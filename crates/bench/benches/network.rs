@@ -1,0 +1,41 @@
+//! Criterion micro-bench: discrete-event simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_catalog::NodeId;
+use qt_cost::NetLink;
+use qt_net::{Ctx, Handler, Simulator, Topology};
+
+struct Relay {
+    next: NodeId,
+    remaining: u32,
+}
+
+impl Handler<u32> for Relay {
+    fn on_message(&mut self, ctx: &mut Ctx<u32>, _from: NodeId, msg: u32) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(self.next, msg + 1, 64.0, "relay");
+        }
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    c.bench_function("sim_10k_events_ring", |b| {
+        b.iter(|| {
+            let nodes = 8u32;
+            let mut sim: Simulator<u32, Relay> =
+                Simulator::new(Topology::Uniform(NetLink::lan()));
+            for i in 0..nodes {
+                sim.add_node(
+                    NodeId(i),
+                    Relay { next: NodeId((i + 1) % nodes), remaining: 10_000 / nodes },
+                );
+            }
+            sim.inject(0.0, NodeId(0), NodeId(0), 0, "start");
+            std::hint::black_box(sim.run(10_000))
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_loop);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benches: the §3.4 query rewrite and view matching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_catalog::NodeId;
+use qt_query::views::match_view;
+use qt_query::{rewrite_for_holdings, MaterializedView};
+use qt_workload::{build_federation, gen_join_query, FederationSpec, QueryShape};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let fed = build_federation(&FederationSpec {
+        nodes: 8,
+        relations: 6,
+        partitions_per_relation: 8,
+        replication: 2,
+        rows_per_partition: 100_000,
+        seed: 3,
+        with_data: false,
+        speed_spread: 1.0,
+        data_skew: 0.0,
+    });
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 6, false, 3);
+    let holdings = fed.catalog.holdings_of(NodeId(1));
+    c.bench_function("rewrite_for_holdings", |b| {
+        b.iter(|| std::hint::black_box(rewrite_for_holdings(&q, &holdings)));
+    });
+}
+
+fn bench_view_match(c: &mut Criterion) {
+    let fed = build_federation(&FederationSpec {
+        nodes: 4,
+        relations: 3,
+        partitions_per_relation: 2,
+        replication: 1,
+        rows_per_partition: 100_000,
+        seed: 4,
+        with_data: false,
+        speed_spread: 1.0,
+        data_skew: 0.0,
+    });
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 4);
+    let view = MaterializedView::new("v", q.clone());
+    c.bench_function("match_view_exact_aggregate", |b| {
+        b.iter(|| std::hint::black_box(match_view(&view.query, &q)));
+    });
+}
+
+criterion_group!(benches, bench_rewrite, bench_view_match);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benches: full QT rounds and protocol negotiation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_bench::runners::seller_engines;
+use qt_catalog::NodeId;
+use qt_core::{run_qt_direct, QtConfig};
+use qt_trade::{Bid, ProtocolKind};
+use qt_workload::{build_federation, gen_join_query, FederationSpec, QueryShape};
+
+fn bench_full_trading_run(c: &mut Criterion) {
+    let fed = build_federation(&FederationSpec {
+        nodes: 16,
+        relations: 3,
+        partitions_per_relation: 2,
+        replication: 2,
+        rows_per_partition: 100_000,
+        seed: 5,
+        with_data: false,
+        speed_spread: 1.0,
+        data_skew: 0.0,
+    });
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
+    let cfg = QtConfig::default();
+    c.bench_function("qt_direct_16_nodes_3way", |b| {
+        b.iter(|| {
+            let mut sellers = seller_engines(&fed, &cfg);
+            let out = run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
+            std::hint::black_box(out.plan.map(|p| p.est.additive_cost))
+        });
+    });
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let bids: Vec<Bid> = (0..32)
+        .map(|i| Bid::new(NodeId(i), 10.0 + i as f64, 8.0 + i as f64 * 0.9))
+        .collect();
+    let mut group = c.benchmark_group("negotiate_32_bids");
+    for proto in [
+        ProtocolKind::SealedBid,
+        ProtocolKind::Vickrey,
+        ProtocolKind::English { decrement: 0.05 },
+        ProtocolKind::Bargaining { max_rounds: 8 },
+    ] {
+        group.bench_function(proto.label(), |b| {
+            b.iter(|| std::hint::black_box(proto.negotiate(&bids, f64::INFINITY)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_trading_run, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerate the evaluation tables/figures.
+//!
+//! ```text
+//! cargo run -p qt-bench --bin repro --release -- all
+//! cargo run -p qt-bench --bin repro --release -- e3 e4
+//! ```
+//!
+//! Each experiment prints its table and writes `results/<id>.csv`.
+
+use qt_bench::experiments;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = experiments::all();
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        registry.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let results = Path::new("results");
+    let mut unknown = Vec::new();
+    for sel in selected {
+        match registry.iter().find(|(id, _)| *id == sel.to_ascii_lowercase()) {
+            Some((id, run)) => {
+                eprintln!("running {id}...");
+                let started = std::time::Instant::now();
+                let table = run();
+                println!("{}", table.render());
+                match table.write_csv(results) {
+                    Ok(path) => eprintln!(
+                        "{id} done in {:.1}s → {}",
+                        started.elapsed().as_secs_f64(),
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("{id}: failed to write CSV: {e}"),
+                }
+            }
+            None => unknown.push(sel.to_string()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment(s): {} (available: {})",
+            unknown.join(", "),
+            registry.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness: regenerates every table/figure of the evaluation.
+//!
+//! Run `cargo run -p qt-bench --bin repro --release -- all` to regenerate
+//! everything; each experiment prints a paper-style table and writes
+//! `results/<id>.csv`. `EXPERIMENTS.md` indexes the experiments and records
+//! measured-vs-expected shapes.
+
+pub mod experiments;
+pub mod runners;
+pub mod table;
+
+pub use runners::{run_algo, Algo};
+pub use table::Table;

@@ -1,0 +1,131 @@
+//! Uniform runner over all algorithms compared in the experiments.
+
+use qt_baselines::{run_baseline, BaselineKind};
+use qt_catalog::NodeId;
+use qt_core::{run_qt_direct, QtConfig, QtOutcome, SellerEngine};
+use qt_optimizer::JoinEnumerator;
+use qt_query::Query;
+use qt_workload::Federation;
+use std::collections::BTreeMap;
+
+/// The algorithms the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Query trading, sellers enumerate exhaustively.
+    QtDp,
+    /// Query trading, sellers run IDP-M(2,5).
+    QtIdp,
+    /// Centralized exhaustive DP with global knowledge.
+    TradDp,
+    /// Centralized IDP-M(2,5) with global knowledge.
+    TradIdp,
+    /// Fetch all base fragments, join everything at the buyer.
+    ShipAll,
+}
+
+impl Algo {
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algo::QtDp => "QT-DP",
+            Algo::QtIdp => "QT-IDP",
+            Algo::TradDp => "TradDP",
+            Algo::TradIdp => "TradIDP",
+            Algo::ShipAll => "ShipAll",
+        }
+    }
+
+    /// All algorithms, in table order.
+    pub fn all() -> [Algo; 5] {
+        [Algo::QtDp, Algo::QtIdp, Algo::TradDp, Algo::TradIdp, Algo::ShipAll]
+    }
+}
+
+/// Fresh seller engines for every node of `fed`, with its heterogeneous
+/// resources applied.
+pub fn seller_engines(fed: &Federation, cfg: &QtConfig) -> BTreeMap<NodeId, SellerEngine> {
+    fed.catalog
+        .nodes
+        .iter()
+        .map(|&n| {
+            let mut e = SellerEngine::new(fed.catalog.holdings_of(n), cfg.clone());
+            if let Some(r) = fed.resources.get(&n) {
+                e.resources = r.clone();
+            }
+            (n, e)
+        })
+        .collect()
+}
+
+/// Run `algo` on `query` over `catalog`, buyer at `buyer_node`, starting
+/// from `base` configuration.
+pub fn run_algo(
+    algo: Algo,
+    fed: &Federation,
+    buyer_node: NodeId,
+    query: &Query,
+    base: &QtConfig,
+) -> QtOutcome {
+    match algo {
+        Algo::QtDp | Algo::QtIdp => {
+            let cfg = QtConfig {
+                enumerator: if algo == Algo::QtIdp {
+                    JoinEnumerator::idp_2_5()
+                } else {
+                    JoinEnumerator::Exhaustive
+                },
+                ..base.clone()
+            };
+            let mut sellers = seller_engines(fed, &cfg);
+            run_qt_direct(buyer_node, fed.catalog.dict.clone(), query, &mut sellers, &cfg)
+        }
+        Algo::TradDp => {
+            run_baseline(BaselineKind::TradDp, &fed.catalog, &fed.resources, buyer_node, query, base)
+        }
+        Algo::TradIdp => run_baseline(
+            BaselineKind::TradIdp { k: 2, m: 5 },
+            &fed.catalog,
+            &fed.resources,
+            buyer_node,
+            query,
+            base,
+        ),
+        Algo::ShipAll => run_baseline(
+            BaselineKind::ShipAll,
+            &fed.catalog,
+            &fed.resources,
+            buyer_node,
+            query,
+            base,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_workload::{build_federation, gen_join_query, FederationSpec, QueryShape};
+
+    #[test]
+    fn all_algorithms_produce_plans_on_the_default_federation() {
+        let fed = build_federation(&FederationSpec::default());
+        let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, false, 1);
+        for algo in Algo::all() {
+            let out = run_algo(algo, &fed, NodeId(0), &q, &QtConfig::default());
+            assert!(out.plan.is_some(), "{} found no plan", algo.label());
+            assert!(out.optimization_time > 0.0, "{}", algo.label());
+        }
+    }
+
+    #[test]
+    fn traddp_quality_is_a_lower_bound_for_shipall() {
+        let fed = build_federation(&FederationSpec::default());
+        let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, false, 2);
+        let cfg = QtConfig::default();
+        let dp = run_algo(Algo::TradDp, &fed, NodeId(0), &q, &cfg);
+        let ship = run_algo(Algo::ShipAll, &fed, NodeId(0), &q, &cfg);
+        assert!(
+            dp.plan.unwrap().est.additive_cost <= ship.plan.unwrap().est.additive_cost + 1e-9
+        );
+    }
+}

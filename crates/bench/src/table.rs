@@ -1,0 +1,138 @@
+//! Aligned text tables + CSV output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple result table: headers and string rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `"E3"`.
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {}: {} ==", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:>w$}  ", c, w = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Write as CSV to `dir/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(s, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        std::fs::write(&path, s)?;
+        Ok(path)
+    }
+}
+
+/// Compact float formatting for table cells.
+pub fn f(x: f64) -> String {
+    if !x.is_finite() {
+        "inf".into()
+    } else if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("E0", "demo", &["n", "value"]);
+        t.push(vec!["2".into(), "10.00".into()]);
+        t.push(vec!["16".into(), "3.14".into()]);
+        let r = t.render();
+        assert!(r.contains("E0: demo"));
+        assert!(r.contains(" n"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let dir = std::env::temp_dir().join("qt-bench-test");
+        let mut t = Table::new("EX", "x", &["a,b", "c"]);
+        t.push(vec!["v\"1".into(), "2".into()]);
+        let p = t.write_csv(&dir).unwrap();
+        let s = std::fs::read_to_string(p).unwrap();
+        assert!(s.contains("\"a,b\""));
+        assert!(s.contains("\"v\"\"1\""));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(5.678), "5.68");
+        assert_eq!(f(0.001234), "0.0012");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(f64::INFINITY), "inf");
+    }
+}

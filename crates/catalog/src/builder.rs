@@ -1,0 +1,192 @@
+//! Imperative builder for [`Catalog`]s.
+
+use crate::error::CatalogError;
+use crate::ident::{NodeId, PartId, RelId};
+use crate::partition::Partitioning;
+use crate::placement::{Catalog, Placement, RelationMeta, SchemaDict};
+use crate::schema::RelationSchema;
+use crate::stats::PartitionStats;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builds a [`Catalog`] step by step: relations, statistics, placement.
+///
+/// The builder validates partitioning schemes eagerly and the whole catalog
+/// on [`build`](CatalogBuilder::build) (via [`try_build`](CatalogBuilder::try_build)).
+///
+/// ```
+/// use qt_catalog::{AttrType, CatalogBuilder, NodeId, PartId, Partitioning,
+///                  PartitionStats, RelationSchema};
+///
+/// let mut b = CatalogBuilder::new();
+/// let rel = b.add_relation(
+///     RelationSchema::new("r", vec![("k", AttrType::Int), ("v", AttrType::Int)]),
+///     Partitioning::Hash { attr: 0, parts: 2 },
+/// );
+/// for p in 0..2 {
+///     b.set_stats(PartId::new(rel, p), PartitionStats::synthetic(1_000, &[500, 100]));
+///     b.place(PartId::new(rel, p), NodeId(p as u32));
+/// }
+/// let catalog = b.build();
+/// assert_eq!(catalog.relation_stats(rel).rows, 2_000);
+/// // Node 0's autonomous local view sees only its own partition.
+/// assert_eq!(catalog.holdings_of(NodeId(0)).parts_of(rel).len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CatalogBuilder {
+    dict: SchemaDict,
+    stats: BTreeMap<PartId, PartitionStats>,
+    placement: Placement,
+    nodes: Vec<NodeId>,
+}
+
+impl CatalogBuilder {
+    /// Fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a relation and its partitioning scheme, returning its id.
+    ///
+    /// # Panics
+    /// Panics on an invalid partitioning scheme or a partitioning attribute
+    /// out of the schema's range — these are setup-time programming errors.
+    pub fn add_relation(&mut self, schema: RelationSchema, partitioning: Partitioning) -> RelId {
+        partitioning.validate().expect("invalid partitioning");
+        if let Partitioning::List { attr, .. }
+        | Partitioning::Range { attr, .. }
+        | Partitioning::Hash { attr, .. } = &partitioning
+        {
+            assert!(*attr < schema.arity(), "partitioning attribute out of range");
+        }
+        let id = RelId(self.dict.relations.len() as u32);
+        self.dict.relations.push(RelationMeta { schema, partitioning });
+        id
+    }
+
+    /// Set the statistics of one partition.
+    pub fn set_stats(&mut self, part: PartId, stats: PartitionStats) {
+        self.stats.insert(part, stats);
+    }
+
+    /// Declare a node (also done implicitly by [`place`](Self::place)).
+    pub fn add_node(&mut self, node: NodeId) {
+        if !self.nodes.contains(&node) {
+            self.nodes.push(node);
+        }
+    }
+
+    /// Declare `count` nodes with ids `0..count`.
+    pub fn add_nodes(&mut self, count: u32) {
+        for i in 0..count {
+            self.add_node(NodeId(i));
+        }
+    }
+
+    /// Place a replica of `part` on `node`.
+    pub fn place(&mut self, part: PartId, node: NodeId) {
+        self.add_node(node);
+        self.placement.place(part, node);
+    }
+
+    /// Validate and build the catalog.
+    pub fn try_build(self) -> Result<Catalog, CatalogError> {
+        // Every partition of every relation must have stats and at least one
+        // replica — otherwise queries over it are unanswerable and every
+        // experiment would silently degenerate.
+        for rel in self.dict.rel_ids() {
+            for part in self.dict.parts_of(rel) {
+                if !self.stats.contains_key(&part) {
+                    return Err(CatalogError::MissingStats(part));
+                }
+                if self.placement.holders(part).is_empty() {
+                    return Err(CatalogError::UnplacedPartition(part));
+                }
+                let arity = self.dict.rel(rel).schema.arity();
+                if self.stats[&part].cols.len() != arity {
+                    return Err(CatalogError::ArityMismatch { part, expected: arity });
+                }
+            }
+        }
+        let mut nodes = self.nodes;
+        nodes.sort_unstable();
+        nodes.dedup();
+        Ok(Catalog {
+            dict: Arc::new(self.dict),
+            stats: self.stats,
+            placement: self.placement,
+            nodes,
+        })
+    }
+
+    /// Validate and build, panicking with the error message on failure.
+    ///
+    /// # Panics
+    /// Panics if [`try_build`](Self::try_build) fails.
+    pub fn build(self) -> Catalog {
+        self.try_build().expect("invalid catalog")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new("r", vec![("a", AttrType::Int)])
+    }
+
+    #[test]
+    fn build_requires_stats() {
+        let mut b = CatalogBuilder::new();
+        let r = b.add_relation(schema(), Partitioning::Single);
+        b.place(PartId::new(r, 0), NodeId(0));
+        assert!(matches!(
+            b.try_build(),
+            Err(CatalogError::MissingStats(_))
+        ));
+    }
+
+    #[test]
+    fn build_requires_placement() {
+        let mut b = CatalogBuilder::new();
+        let r = b.add_relation(schema(), Partitioning::Single);
+        b.set_stats(PartId::new(r, 0), PartitionStats::synthetic(10, &[10]));
+        assert!(matches!(
+            b.try_build(),
+            Err(CatalogError::UnplacedPartition(_))
+        ));
+    }
+
+    #[test]
+    fn build_checks_arity() {
+        let mut b = CatalogBuilder::new();
+        let r = b.add_relation(schema(), Partitioning::Single);
+        b.set_stats(PartId::new(r, 0), PartitionStats::synthetic(10, &[10, 10]));
+        b.place(PartId::new(r, 0), NodeId(0));
+        assert!(matches!(
+            b.try_build(),
+            Err(CatalogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nodes_are_deduped_and_sorted() {
+        let mut b = CatalogBuilder::new();
+        let r = b.add_relation(schema(), Partitioning::Single);
+        b.set_stats(PartId::new(r, 0), PartitionStats::synthetic(10, &[10]));
+        b.place(PartId::new(r, 0), NodeId(2));
+        b.place(PartId::new(r, 0), NodeId(0));
+        b.add_node(NodeId(2));
+        let c = b.build();
+        assert_eq!(c.nodes, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioning attribute out of range")]
+    fn partition_attr_bounds_checked() {
+        let mut b = CatalogBuilder::new();
+        b.add_relation(schema(), Partitioning::Hash { attr: 5, parts: 2 });
+    }
+}

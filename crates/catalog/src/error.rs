@@ -1,0 +1,53 @@
+//! Catalog construction errors.
+
+use crate::ident::PartId;
+use std::fmt;
+
+/// Errors produced when validating a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A partition has no recorded statistics.
+    MissingStats(PartId),
+    /// A partition was never placed on any node.
+    UnplacedPartition(PartId),
+    /// A partition's statistics disagree with its schema arity.
+    ArityMismatch {
+        /// The offending partition.
+        part: PartId,
+        /// The schema arity that the statistics must match.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::MissingStats(p) => write!(f, "partition {p} has no statistics"),
+            CatalogError::UnplacedPartition(p) => {
+                write!(f, "partition {p} is placed on no node")
+            }
+            CatalogError::ArityMismatch { part, expected } => write!(
+                f,
+                "statistics for {part} have wrong arity (schema has {expected} columns)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::RelId;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let p = PartId::new(RelId(1), 2);
+        assert!(CatalogError::MissingStats(p).to_string().contains("rel1.p2"));
+        assert!(CatalogError::UnplacedPartition(p).to_string().contains("no node"));
+        assert!(CatalogError::ArityMismatch { part: p, expected: 3 }
+            .to_string()
+            .contains("3 columns"));
+    }
+}

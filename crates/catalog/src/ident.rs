@@ -1,0 +1,73 @@
+//! Strongly-typed identifiers used across the whole workspace.
+
+use std::fmt;
+
+/// Identifier of an autonomous node (a regional-office DBMS in the paper's
+/// motivating example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifier of a base relation in the federation-wide schema.
+///
+/// The schema itself (relation names and attributes) is assumed to be common
+/// knowledge — the paper's nodes all agree on `customer` / `invoiceline` —
+/// while the *extent* (which partitions exist where, and their statistics)
+/// is private per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel{}", self.0)
+    }
+}
+
+/// Identifier of one horizontal partition of a relation.
+///
+/// Partition indices are dense: relation `rel` with `n` partitions has
+/// partitions `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartId {
+    /// The relation this partition belongs to.
+    pub rel: RelId,
+    /// Index of the partition within the relation's partitioning scheme.
+    pub idx: u16,
+}
+
+impl PartId {
+    /// Convenience constructor.
+    pub fn new(rel: RelId, idx: u16) -> Self {
+        PartId { rel, idx }
+    }
+}
+
+impl fmt::Display for PartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.p{}", self.rel, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(RelId(1).to_string(), "rel1");
+        assert_eq!(PartId::new(RelId(1), 4).to_string(), "rel1.p4");
+    }
+
+    #[test]
+    fn part_id_ordering_groups_by_relation() {
+        let a = PartId::new(RelId(0), 9);
+        let b = PartId::new(RelId(1), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,163 @@
+//! Relation schemas.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string.
+    Str,
+}
+
+impl AttrType {
+    /// Whether `v` inhabits this type.
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (AttrType::Int, Value::Int(_))
+                | (AttrType::Float, Value::Float(_))
+                | (AttrType::Str, Value::Str(_))
+        )
+    }
+
+    /// Average width in bytes assumed by the cost model when no statistics
+    /// are available.
+    pub fn default_width(&self) -> u64 {
+        match self {
+            AttrType::Int | AttrType::Float => 8,
+            AttrType::Str => 16,
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Int => write!(f, "INT"),
+            AttrType::Float => write!(f, "FLOAT"),
+            AttrType::Str => write!(f, "VARCHAR"),
+        }
+    }
+}
+
+/// One attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Column name, unique within the relation.
+    pub name: String,
+    /// Column type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// Schema of a base relation.
+///
+/// Schemas are federation-wide common knowledge in QT (the trading messages
+/// are SQL text over shared relation names); extents and statistics are not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name, unique within the federation.
+    pub name: String,
+    /// Ordered attribute list.
+    pub attrs: Vec<Attribute>,
+}
+
+impl RelationSchema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — schemas are static test/setup
+    /// data, so this is a programming error, not a runtime condition.
+    pub fn new(name: impl Into<String>, attrs: Vec<(&str, AttrType)>) -> Self {
+        let schema = RelationSchema {
+            name: name.into(),
+            attrs: attrs
+                .into_iter()
+                .map(|(n, t)| Attribute::new(n, t))
+                .collect(),
+        };
+        for (i, a) in schema.attrs.iter().enumerate() {
+            for b in &schema.attrs[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate attribute in {}", schema.name);
+            }
+        }
+        schema
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of the attribute called `name`, if any.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The attribute at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn attr(&self, idx: usize) -> &Attribute {
+        &self.attrs[idx]
+    }
+
+    /// Average row width in bytes assumed when statistics are absent.
+    pub fn default_row_width(&self) -> u64 {
+        self.attrs.iter().map(|a| a.ty.default_width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer() -> RelationSchema {
+        RelationSchema::new(
+            "customer",
+            vec![
+                ("custid", AttrType::Int),
+                ("custname", AttrType::Str),
+                ("office", AttrType::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let s = customer();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_index("office"), Some(2));
+        assert_eq!(s.attr_index("missing"), None);
+        assert_eq!(s.attr(1).name, "custname");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attrs_rejected() {
+        RelationSchema::new("r", vec![("a", AttrType::Int), ("a", AttrType::Str)]);
+    }
+
+    #[test]
+    fn row_width_sums_defaults() {
+        assert_eq!(customer().default_row_width(), 8 + 16 + 16);
+    }
+
+    #[test]
+    fn admits_checks_types() {
+        assert!(AttrType::Int.admits(&Value::Int(1)));
+        assert!(!AttrType::Int.admits(&Value::Float(1.0)));
+        assert!(AttrType::Str.admits(&Value::str("x")));
+    }
+}

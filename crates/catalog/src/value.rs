@@ -1,0 +1,208 @@
+//! The value domain shared by schemas, partition restrictions, predicates,
+//! and the row executor.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+///
+/// The QT reproduction restricts itself to three scalar types, which is all
+/// the paper's select-project-join workload needs. `Value` implements a
+/// *total* order (floats compare via [`f64::total_cmp`]) so it can be used in
+/// range restrictions and sort keys; cross-type comparisons order by type tag
+/// (`Int < Float < Str`), which never arises in well-typed queries but keeps
+/// the order total.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (totally ordered via `total_cmp`).
+    Float(f64),
+    /// Interned string. `Arc<str>` keeps row cloning cheap in the executor.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The width in bytes this value contributes to a shipped row. Used by
+    /// the network-transfer cost model.
+    pub fn byte_width(&self) -> u64 {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len() as u64,
+        }
+    }
+
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float payload; integers coerce losslessly-enough for aggregation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// String payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Float(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            // Keep a decimal point so float literals reparse as floats.
+            Value::Float(x) if x.is_finite() && x.fract() == 0.0 => write!(f, "{x:.1}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Float(1.5) < Value::Float(2.5));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        // total_cmp puts NaN above +inf; what matters is the order is total.
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn cross_type_order_is_by_tag() {
+        assert!(Value::Int(i64::MAX) < Value::Float(f64::NEG_INFINITY));
+        assert!(Value::Float(f64::INFINITY) < Value::str(""));
+    }
+
+    #[test]
+    fn eq_is_consistent_with_ord() {
+        assert_eq!(Value::Int(5), Value::Int(5));
+        assert_ne!(Value::Int(5), Value::Float(5.0));
+        assert_eq!(Value::str("x"), Value::str("x"));
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Value::Int(0).byte_width(), 8);
+        assert_eq!(Value::Float(0.0).byte_width(), 8);
+        assert_eq!(Value::str("abcd").byte_width(), 4);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("s").as_f64(), None);
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+    }
+
+    #[test]
+    fn hash_distinguishes_int_and_float() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_ne!(h(&Value::Int(1)), h(&Value::Float(1.0)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Library side of `qtsh`: argument parsing and the REPL session (kept in a
+//! library so it can be unit-tested without a TTY).
+
+pub mod session;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Which demo federation to build.
+    pub demo: Demo,
+    /// Node count (synthetic demo) / office count (telecom demo).
+    pub nodes: u32,
+    /// Relations (synthetic demo only).
+    pub relations: usize,
+    /// Partitions per relation (synthetic demo only).
+    pub partitions: u16,
+    /// Replicas per partition.
+    pub replicas: u32,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Available demo federations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Demo {
+    /// The paper's telecom customer-care scenario.
+    Telecom,
+    /// A synthetic `r0..r{n}` federation with materialized data.
+    Synthetic,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            demo: Demo::Telecom,
+            nodes: 4,
+            relations: 3,
+            partitions: 2,
+            replicas: 1,
+            seed: 2004,
+        }
+    }
+}
+
+impl Args {
+    /// Parse `--flag value` pairs.
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        while let Some(flag) = argv.next() {
+            let mut value = || {
+                argv.next().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--demo" => {
+                    args.demo = match value()?.as_str() {
+                        "telecom" => Demo::Telecom,
+                        "synthetic" => Demo::Synthetic,
+                        other => return Err(format!("unknown demo '{other}'")),
+                    }
+                }
+                "--nodes" => args.nodes = num(&flag, &value()?)?,
+                "--relations" => args.relations = num(&flag, &value()?)?,
+                "--partitions" => args.partitions = num(&flag, &value()?)?,
+                "--replicas" => args.replicas = num(&flag, &value()?)?,
+                "--seed" => args.seed = num(&flag, &value()?)?,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        if args.nodes == 0 || args.relations == 0 {
+            return Err("--nodes and --relations must be positive".into());
+        }
+        Ok(args)
+    }
+}
+
+fn num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: invalid number '{s}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("").unwrap();
+        assert_eq!(a.demo, Demo::Telecom);
+        assert_eq!(a, Args::default());
+    }
+
+    #[test]
+    fn synthetic_with_sizes() {
+        let a = parse("--demo synthetic --nodes 8 --relations 4 --partitions 3 --replicas 2 --seed 7")
+            .unwrap();
+        assert_eq!(a.demo, Demo::Synthetic);
+        assert_eq!(a.nodes, 8);
+        assert_eq!(a.relations, 4);
+        assert_eq!(a.partitions, 3);
+        assert_eq!(a.replicas, 2);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("--demo nope").is_err());
+        assert!(parse("--nodes").is_err());
+        assert!(parse("--nodes zero").is_err());
+        assert!(parse("--wat 3").is_err());
+        assert!(parse("--nodes 0").is_err());
+    }
+}

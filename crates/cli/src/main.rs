@@ -1,0 +1,51 @@
+//! `qtsh` — an interactive shell over the query-trading optimizer.
+//!
+//! ```text
+//! cargo run -p qt-cli --bin qtsh                  # telecom demo federation
+//! cargo run -p qt-cli --bin qtsh -- --demo synthetic --nodes 8 --relations 4
+//! ```
+//!
+//! Type SQL to optimize + execute it; `\help` lists the meta-commands.
+
+use qt_cli::session::Session;
+use qt_cli::Args;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("qtsh: {e}");
+            eprintln!("usage: qtsh [--demo telecom|synthetic] [--nodes N] [--relations R] \
+                       [--partitions P] [--replicas K] [--seed S]");
+            std::process::exit(2);
+        }
+    };
+    let mut session = Session::new(&args);
+    println!("{}", session.banner());
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("qt> ");
+        let _ = std::io::stdout().flush();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        match session.eval(input) {
+            qt_cli::session::Eval::Output(s) => println!("{s}"),
+            qt_cli::session::Eval::Quit => break,
+        }
+    }
+    println!("bye");
+}

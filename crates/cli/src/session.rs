@@ -1,0 +1,362 @@
+//! The REPL session: holds a demo federation and evaluates SQL and
+//! meta-commands against it.
+
+use crate::{Args, Demo};
+use qt_catalog::{Catalog, NodeId};
+use qt_core::{run_qt_direct, QtConfig, SellerEngine};
+use qt_exec::DataStore;
+use qt_query::parse_query;
+use qt_trade::{ProtocolKind, SellerStrategy};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How to run a SQL statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    /// Optimize + execute + print rows.
+    Execute,
+    /// Optimize only.
+    Explain,
+    /// Execute with per-operator tracing.
+    Analyze,
+}
+
+/// Result of evaluating one REPL line.
+#[derive(Debug, PartialEq)]
+pub enum Eval {
+    /// Print this and continue.
+    Output(String),
+    /// Exit the shell.
+    Quit,
+}
+
+/// One interactive session.
+pub struct Session {
+    catalog: Catalog,
+    stores: BTreeMap<NodeId, DataStore>,
+    config: QtConfig,
+    buyer: NodeId,
+    demo: Demo,
+}
+
+impl Session {
+    /// Build the demo federation described by `args`.
+    pub fn new(args: &Args) -> Session {
+        let (catalog, stores) = match args.demo {
+            Demo::Telecom => qt_workload::telecom_federation(&qt_workload::TelecomSpec {
+                offices: args.nodes.max(2),
+                customers_per_office: 50,
+                lines_per_customer: 5,
+                invoice_replicas: args.replicas.max(1),
+                seed: args.seed,
+            }),
+            Demo::Synthetic => {
+                let fed = qt_workload::build_federation(&qt_workload::FederationSpec {
+                    nodes: args.nodes,
+                    relations: args.relations,
+                    partitions_per_relation: args.partitions,
+                    replication: args.replicas,
+                    rows_per_partition: 200,
+                    seed: args.seed,
+                    with_data: true,
+                    speed_spread: 1.0,
+                    data_skew: 0.0,
+                });
+                (fed.catalog, fed.stores)
+            }
+        };
+        Session {
+            catalog,
+            stores,
+            config: QtConfig::default(),
+            buyer: NodeId(0),
+            demo: args.demo,
+        }
+    }
+
+    /// The greeting printed at startup.
+    pub fn banner(&self) -> String {
+        format!(
+            "qtsh — query trading shell ({:?} demo: {} nodes, {} relations)\n\
+             type SQL to optimize+execute it, \\help for commands",
+            self.demo,
+            self.catalog.nodes.len(),
+            self.catalog.dict.relations.len(),
+        )
+    }
+
+    /// Evaluate one line of input.
+    pub fn eval(&mut self, input: &str) -> Eval {
+        if let Some(cmd) = input.strip_prefix('\\') {
+            return self.meta(cmd);
+        }
+        Eval::Output(self.run_sql(input, RunMode::Execute))
+    }
+
+    fn meta(&mut self, cmd: &str) -> Eval {
+        let (head, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
+        match head {
+            "q" | "quit" | "exit" => Eval::Quit,
+            "help" => Eval::Output(
+                "\\schema              show relations and partitioning\n\
+                 \\nodes               show nodes and their holdings\n\
+                 \\explain <SQL>       optimize only, show the distributed plan\n\
+                 \\analyze <SQL>       execute and show per-operator row counts\n\
+                 \\buyer <n>           set the buying node\n\
+                 \\protocol <p>        sealed-bid | vickrey | english | bargaining\n\
+                 \\markup <x>          seller markup factor (1.0 = truthful)\n\
+                 \\quit                leave"
+                    .into(),
+            ),
+            "schema" => Eval::Output(self.schema()),
+            "nodes" => Eval::Output(self.nodes()),
+            "explain" => Eval::Output(self.run_sql(rest, RunMode::Explain)),
+            "analyze" => Eval::Output(self.run_sql(rest, RunMode::Analyze)),
+            "buyer" => match rest.trim().parse::<u32>() {
+                Ok(n) if self.catalog.nodes.contains(&NodeId(n)) => {
+                    self.buyer = NodeId(n);
+                    Eval::Output(format!("buyer is now node{n}"))
+                }
+                _ => Eval::Output(format!("no such node '{rest}'")),
+            },
+            "protocol" => {
+                let p = match rest.trim() {
+                    "sealed-bid" => Some(ProtocolKind::SealedBid),
+                    "vickrey" => Some(ProtocolKind::Vickrey),
+                    "english" => Some(ProtocolKind::English { decrement: 0.05 }),
+                    "bargaining" => Some(ProtocolKind::Bargaining { max_rounds: 4 }),
+                    _ => None,
+                };
+                match p {
+                    Some(p) => {
+                        self.config.protocol = p;
+                        Eval::Output(format!("protocol set to {}", p.label()))
+                    }
+                    None => Eval::Output(format!("unknown protocol '{rest}'")),
+                }
+            }
+            "markup" => match rest.trim().parse::<f64>() {
+                Ok(x) if x >= 1.0 => {
+                    self.config.seller_strategy = if x == 1.0 {
+                        SellerStrategy::Truthful
+                    } else {
+                        SellerStrategy::fixed_markup(x)
+                    };
+                    Eval::Output(format!("sellers now ask {x}x their true cost"))
+                }
+                _ => Eval::Output(format!("invalid markup '{rest}' (need a number >= 1)")),
+            },
+            other => Eval::Output(format!("unknown command '\\{other}' (try \\help)")),
+        }
+    }
+
+    fn schema(&self) -> String {
+        let mut out = String::new();
+        for rel in self.catalog.dict.rel_ids() {
+            let meta = self.catalog.dict.rel(rel);
+            let cols: Vec<String> = meta
+                .schema
+                .attrs
+                .iter()
+                .map(|a| format!("{} {}", a.name, a.ty))
+                .collect();
+            let stats = self.catalog.relation_stats(rel);
+            let _ = writeln!(
+                out,
+                "{}({}) — {} partitions, {} rows",
+                meta.schema.name,
+                cols.join(", "),
+                meta.partitioning.num_partitions(),
+                stats.rows,
+            );
+        }
+        out.trim_end().to_string()
+    }
+
+    fn nodes(&self) -> String {
+        let mut out = String::new();
+        for &node in &self.catalog.nodes {
+            let holdings = self.catalog.holdings_of(node);
+            let parts: Vec<String> = holdings.held.keys().map(|p| p.to_string()).collect();
+            let marker = if node == self.buyer { " (buyer)" } else { "" };
+            let _ = writeln!(
+                out,
+                "{node}{marker}: {}",
+                if parts.is_empty() { "no data".into() } else { parts.join(", ") }
+            );
+        }
+        out.trim_end().to_string()
+    }
+
+    fn run_sql(&mut self, sql: &str, mode: RunMode) -> String {
+        let query = match parse_query(&self.catalog.dict, sql) {
+            Ok(q) => q,
+            Err(e) => return format!("parse error: {e}"),
+        };
+        let mut sellers: BTreeMap<NodeId, SellerEngine> = self
+            .catalog
+            .nodes
+            .iter()
+            .map(|&n| (n, SellerEngine::new(self.catalog.holdings_of(n), self.config.clone())))
+            .collect();
+        let out = run_qt_direct(
+            self.buyer,
+            self.catalog.dict.clone(),
+            &query,
+            &mut sellers,
+            &self.config,
+        );
+        let Some(plan) = out.plan else {
+            return "no plan: the federation does not cover this query".into();
+        };
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "trading: {} iteration(s), {} messages, {:.3}s simulated",
+            out.iterations, out.messages, out.optimization_time
+        );
+        let _ = write!(s, "{}", plan.describe(&self.catalog.dict));
+        if mode == RunMode::Explain {
+            return s.trim_end().to_string();
+        }
+        if mode == RunMode::Analyze {
+            match plan.execute_traced_on(&self.catalog.dict, &self.stores) {
+                Ok((rows, traces)) => {
+                    let _ = writeln!(s, "\nassembly row counts:");
+                    for line in qt_exec::trace::render(&traces).lines() {
+                        let _ = writeln!(s, "  {line}");
+                    }
+                    let _ = writeln!(s, "{} row(s) total", rows.len());
+                }
+                Err(e) => {
+                    let _ = writeln!(s, "execution failed: {e}");
+                }
+            }
+            return s.trim_end().to_string();
+        }
+        match plan.execute_on(&self.catalog.dict, &self.stores) {
+            Ok(mut rows) => {
+                if query.order_by.is_empty() {
+                    rows.sort();
+                }
+                let _ = writeln!(s, "\n{} row(s):", rows.len());
+                for row in rows.iter().take(20) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    let _ = writeln!(s, "  {}", cells.join(" | "));
+                }
+                if rows.len() > 20 {
+                    let _ = writeln!(s, "  ... {} more", rows.len() - 20);
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(s, "execution failed: {e}");
+            }
+        }
+        s.trim_end().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::new(&Args::default())
+    }
+
+    #[test]
+    fn banner_mentions_demo() {
+        let s = session();
+        assert!(s.banner().contains("Telecom"));
+    }
+
+    #[test]
+    fn help_and_quit() {
+        let mut s = session();
+        assert!(matches!(s.eval("\\help"), Eval::Output(o) if o.contains("\\schema")));
+        assert_eq!(s.eval("\\q"), Eval::Quit);
+        assert_eq!(s.eval("\\quit"), Eval::Quit);
+    }
+
+    #[test]
+    fn schema_lists_relations() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval("\\schema") else { panic!() };
+        assert!(o.contains("customer"), "{o}");
+        assert!(o.contains("invoiceline"), "{o}");
+    }
+
+    #[test]
+    fn nodes_marks_buyer() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval("\\nodes") else { panic!() };
+        assert!(o.contains("node0 (buyer)"), "{o}");
+    }
+
+    #[test]
+    fn sql_round_trip_executes() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval(
+            "SELECT office, SUM(charge) FROM customer, invoiceline \
+             WHERE customer.custid = invoiceline.custid GROUP BY office",
+        ) else {
+            panic!()
+        };
+        assert!(o.contains("row(s):"), "{o}");
+        assert!(o.contains("trading:"), "{o}");
+    }
+
+    #[test]
+    fn explain_does_not_execute() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval("\\explain SELECT custname FROM customer") else { panic!() };
+        assert!(o.contains("DistributedPlan"), "{o}");
+        assert!(!o.contains("row(s):"), "{o}");
+    }
+
+    #[test]
+    fn analyze_shows_operator_rows() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval("\\analyze SELECT custname FROM customer") else { panic!() };
+        assert!(o.contains("assembly row counts:"), "{o}");
+        assert!(o.contains("rows"), "{o}");
+        assert!(o.contains("row(s) total"), "{o}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval("SELECT nothing FROM nowhere") else { panic!() };
+        assert!(o.contains("parse error"), "{o}");
+    }
+
+    #[test]
+    fn settings_commands() {
+        let mut s = session();
+        assert!(matches!(s.eval("\\protocol vickrey"), Eval::Output(o) if o.contains("vickrey")));
+        assert!(matches!(s.eval("\\protocol nope"), Eval::Output(o) if o.contains("unknown")));
+        assert!(matches!(s.eval("\\markup 1.5"), Eval::Output(o) if o.contains("1.5x")));
+        assert!(matches!(s.eval("\\markup 0.5"), Eval::Output(o) if o.contains("invalid")));
+        assert!(matches!(s.eval("\\buyer 1"), Eval::Output(o) if o.contains("node1")));
+        assert!(matches!(s.eval("\\buyer 99"), Eval::Output(o) if o.contains("no such")));
+        assert!(matches!(s.eval("\\wat"), Eval::Output(o) if o.contains("unknown command")));
+    }
+
+    #[test]
+    fn synthetic_demo_works() {
+        let mut s = Session::new(&Args {
+            demo: crate::Demo::Synthetic,
+            nodes: 4,
+            relations: 2,
+            partitions: 2,
+            replicas: 1,
+            seed: 3,
+        });
+        let Eval::Output(o) =
+            s.eval("SELECT r0.b, r1.c FROM r0, r1 WHERE r0.a = r1.a AND r0.b < 10")
+        else {
+            panic!()
+        };
+        assert!(o.contains("row(s):"), "{o}");
+    }
+}

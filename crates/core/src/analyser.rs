@@ -1,0 +1,188 @@
+//! The buyer predicates analyser (B5/B6).
+//!
+//! After each round's candidate plans are built, the analyser derives *new*
+//! queries worth putting out to bid in the next round. Two derivations are
+//! implemented:
+//!
+//! 1. **Join-site extraction** — for every join the current best plan
+//!    performs at the buyer, ask the market for the joined sub-query as a
+//!    whole. Sellers rewrite and optimize *that* query directly, so nodes
+//!    holding both sides offer the full join even when it exceeded the
+//!    `max_partial_k` cap of the first round; this is what makes later
+//!    iterations find plans the first round could not.
+//! 2. **Coverage tightening** — the analogue of the paper's union-redundancy
+//!    example ((1a)/(2a) → (1b)/(2b)): each join-site query is additionally
+//!    emitted restricted to the partition coverage the plan actually unions,
+//!    so sellers holding exactly a fragment can bid the *restricted* join
+//!    cheaply instead of being unable to bid the full one.
+
+use crate::offer::Offer;
+use crate::plangen::GenOutput;
+use qt_query::{PartSet, Query};
+use qt_catalog::{RelId, SchemaDict};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Derive next-round queries from this round's generator output and offers.
+///
+/// `asked` is everything already requested (the returned list excludes it).
+pub fn next_queries(
+    dict: &SchemaDict,
+    query: &Query,
+    gen: &GenOutput,
+    offers: &[Offer],
+    asked: &BTreeSet<Query>,
+) -> Vec<Query> {
+    let q_core = query.strip_aggregation();
+    let mut out: Vec<Query> = Vec::new();
+    let mut push = |q: Query| {
+        if q.validate(dict).is_ok() && !asked.contains(&q) && !out.contains(&q) {
+            out.push(q);
+        }
+    };
+
+    // Observed per-relation coverage fragments (from any offer), used for
+    // tightened variants.
+    let mut coverages: BTreeMap<RelId, BTreeSet<PartSet>> = BTreeMap::new();
+    for o in offers {
+        for (rel, parts) in &o.query.relations {
+            if query.relations.contains_key(rel) {
+                coverages.entry(*rel).or_default().insert(*parts);
+            }
+        }
+    }
+
+    for (left, right) in &gen.join_sites {
+        let joined: BTreeSet<RelId> = left.union(right).copied().collect();
+        let site = q_core.restrict_to_rels(&joined);
+        // 1. The full-extent join sub-query (unless it is the original
+        //    query's own core, which is already implied by round 0).
+        if joined.len() < query.num_relations() {
+            push(site.clone());
+        }
+        // 2. Tightened variants: restrict one relation to each observed
+        //    fragment coverage. For the full relation set this yields e.g.
+        //    "customer ⋈ invoiceline WHERE office = 'Myconos'" — the paper's
+        //    (1b)/(2b) tightening — which a node holding exactly that
+        //    fragment can answer wholesale.
+        for (&rel, frags) in &coverages {
+            if !joined.contains(&rel) {
+                continue;
+            }
+            for parts in frags {
+                if *parts != site.relations[&rel] {
+                    let mut tightened = site.clone();
+                    tightened.relations.insert(rel, *parts);
+                    push(tightened);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QtConfig;
+    use crate::offer::RfbItem;
+    use crate::plangen::PlanGenerator;
+    use crate::seller::SellerEngine;
+    use qt_catalog::{
+        AttrType, Catalog, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats,
+        RelationSchema,
+    };
+    use qt_cost::NodeResources;
+    use qt_query::parse_query;
+
+    /// r hash-partitioned over nodes 0/1; s on node 2; t on node 3. No node
+    /// holds more than one relation, so round 1 yields only single-relation
+    /// fragments and all joins happen at the buyer.
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new();
+        let r = b.add_relation(
+            RelationSchema::new("r", vec![("a", AttrType::Int), ("b", AttrType::Int)]),
+            Partitioning::Hash { attr: 0, parts: 2 },
+        );
+        let s = b.add_relation(
+            RelationSchema::new("s", vec![("a", AttrType::Int), ("c", AttrType::Int)]),
+            Partitioning::Single,
+        );
+        let t = b.add_relation(
+            RelationSchema::new("t", vec![("c", AttrType::Int), ("d", AttrType::Int)]),
+            Partitioning::Single,
+        );
+        for i in 0..2u16 {
+            b.set_stats(PartId::new(r, i), PartitionStats::synthetic(1_000, &[500, 100]));
+            b.place(PartId::new(r, i), NodeId(i as u32));
+        }
+        b.set_stats(PartId::new(s, 0), PartitionStats::synthetic(500, &[500, 50]));
+        b.place(PartId::new(s, 0), NodeId(2));
+        b.set_stats(PartId::new(t, 0), PartitionStats::synthetic(50, &[50, 50]));
+        b.place(PartId::new(t, 0), NodeId(3));
+        b.build()
+    }
+
+    #[test]
+    fn analyser_emits_join_sites_and_tightened_variants() {
+        let cat = catalog();
+        let q = parse_query(
+            &cat.dict,
+            "SELECT b, d FROM r, s, t WHERE r.a = s.a AND s.c = t.c",
+        )
+        .unwrap();
+        let cfg = QtConfig::default();
+        let items = vec![RfbItem { query: q.clone(), ref_value: f64::INFINITY }];
+        let mut offers = Vec::new();
+        for node in 0..4 {
+            let mut seller = SellerEngine::new(cat.holdings_of(NodeId(node)), cfg.clone());
+            offers.extend(seller.respond(0, &items).offers);
+        }
+        let pg = PlanGenerator {
+            dict: &cat.dict,
+            query: &q,
+            config: &cfg,
+            buyer_resources: NodeResources::reference(),
+        };
+        let gen = pg.generate(&offers);
+        assert!(gen.plan.is_some(), "coverage exists, a plan must exist");
+        assert!(!gen.join_sites.is_empty(), "joins happen at the buyer");
+        let asked = BTreeSet::from([q.clone()]);
+        let new = next_queries(&cat.dict, &q, &gen, &offers, &asked);
+        assert!(!new.is_empty());
+        // Join-site queries are multi-relation and never the original query.
+        for nq in &new {
+            assert!(nq.num_relations() >= 2);
+            assert_ne!(*nq, q);
+            nq.validate(&cat.dict).unwrap();
+        }
+        // The proper sub-join (s ⋈ t) is requested at full extent.
+        assert!(new.iter().any(|nq| nq.num_relations() == 2));
+        // Tightened variants: some query restricted to a single r partition.
+        assert!(
+            new.iter().any(|nq| nq
+                .relations
+                .get(&qt_catalog::RelId(0))
+                .is_some_and(|p| p.len() == 1)),
+            "expected a partition-tightened join query: {:#?}",
+            new.iter().map(|n| n.display_with(&cat.dict).to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn analyser_excludes_already_asked() {
+        let cat = catalog();
+        let q = parse_query(&cat.dict, "SELECT b, c FROM r, s WHERE r.a = s.a").unwrap();
+        let gen = GenOutput {
+            plan: None,
+            considered: 0,
+            join_sites: vec![(
+                BTreeSet::from([qt_catalog::RelId(0)]),
+                BTreeSet::from([qt_catalog::RelId(1)]),
+            )],
+        };
+        // Join site covers the whole query → implied, nothing new.
+        let asked = BTreeSet::from([q.clone()]);
+        let new = next_queries(&cat.dict, &q, &gen, &[], &asked);
+        assert!(new.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Configuration of a QT optimization run.
+
+use qt_cost::{CostParams, NetLink, Valuation};
+use qt_optimizer::JoinEnumerator;
+use qt_trade::{ProtocolKind, SellerStrategy};
+
+/// Tunables of the QT algorithm and its surrounding simulation.
+#[derive(Debug, Clone)]
+pub struct QtConfig {
+    /// Maximum trading iterations before the buyer settles (the algorithm
+    /// usually converges earlier; see experiment E6).
+    pub max_iterations: u32,
+    /// Maximum size of k-way partial join results sellers include in offers
+    /// (§3.4 modified DP). Ablated in E12.
+    pub max_partial_k: usize,
+    /// Nested winner-selection protocol (B3/S3). Compared in E7.
+    pub protocol: ProtocolKind,
+    /// The buyer's offer-ranking valuation (§3.1).
+    pub valuation: Valuation,
+    /// Default seller strategy (cooperative truthful vs. competitive markup;
+    /// individual sellers may override). Compared in E8.
+    pub seller_strategy: SellerStrategy,
+    /// Join enumerator used by seller-local optimizers.
+    pub enumerator: JoinEnumerator,
+    /// Enable the buyer predicates analyser (B5/B6). Ablated in E11; with it
+    /// off, QT degenerates to one-shot Contract-Net bidding.
+    pub enable_buyer_analyser: bool,
+    /// Let sellers offer *partial aggregates* (pre-aggregated fragments à la
+    /// the Corfu/Myconos SUMs of the motivating example).
+    pub enable_partial_agg: bool,
+    /// Let sellers answer from materialized views (§3.5).
+    pub enable_views: bool,
+    /// Let sellers subcontract missing fragments from third nodes (§3.5's
+    /// deferred extension; evaluated in E10). Off by default, as in the
+    /// paper.
+    pub enable_subcontracting: bool,
+    /// Cap on new queries the buyer predicates analyser may add to the
+    /// working set per iteration (keeps RFBs bounded on fragmented data).
+    pub max_new_queries_per_round: usize,
+    /// Simulator-driver RFB timeout: the buyer closes a round after this
+    /// many virtual seconds even if some sellers never answered (autonomous
+    /// nodes are free to ignore RFBs).
+    pub seller_timeout: f64,
+    /// Simulated seconds charged per sub-plan an optimizer enumerates
+    /// (drives the optimization-time figures deterministically).
+    pub per_subplan_seconds: f64,
+    /// Simulated seconds the buyer spends per offer considered during plan
+    /// generation.
+    pub per_offer_seconds: f64,
+    /// Link model between any two distinct nodes.
+    pub link: NetLink,
+    /// Shared operator cost constants.
+    pub cost_params: CostParams,
+    /// Approximate bytes of one serialized query in protocol messages.
+    pub query_msg_bytes: f64,
+    /// Approximate bytes of one serialized offer in protocol messages.
+    pub offer_msg_bytes: f64,
+}
+
+impl Default for QtConfig {
+    fn default() -> Self {
+        QtConfig {
+            max_iterations: 8,
+            max_partial_k: 2,
+            protocol: ProtocolKind::SealedBid,
+            valuation: Valuation::response_time(),
+            seller_strategy: SellerStrategy::Truthful,
+            enumerator: JoinEnumerator::Exhaustive,
+            enable_buyer_analyser: true,
+            enable_partial_agg: true,
+            enable_views: true,
+            enable_subcontracting: false,
+            max_new_queries_per_round: 16,
+            seller_timeout: 30.0,
+            per_subplan_seconds: 2e-5,
+            per_offer_seconds: 1e-5,
+            link: NetLink::wan(),
+            cost_params: CostParams::reference(),
+            query_msg_bytes: 256.0,
+            offer_msg_bytes: 128.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = QtConfig::default();
+        assert!(c.max_iterations >= 1);
+        assert!(c.max_partial_k >= 1);
+        assert!(c.enable_buyer_analyser);
+        assert_eq!(c.protocol, ProtocolKind::SealedBid);
+    }
+}

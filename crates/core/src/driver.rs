@@ -1,0 +1,447 @@
+//! Drivers: run the trading loop directly (synchronous, analytic time) or on
+//! the discrete-event simulator (virtual time). Both produce the same plans
+//! and message counts; the simulator additionally yields realistic timing
+//! under node/link contention.
+
+use crate::buyer::{BuyerEngine, IterationStats, RoundOutcome};
+use crate::config::QtConfig;
+use crate::dist_plan::DistributedPlan;
+use crate::offer::{Offer, RfbItem};
+use crate::seller::SellerEngine;
+use qt_catalog::{NodeId, SchemaDict};
+use qt_net::{Ctx, Handler, Simulator, Topology};
+use qt_query::Query;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The result of one QT optimization run.
+#[derive(Debug)]
+pub struct QtOutcome {
+    /// The final plan (None = optimization failed / no coverage).
+    pub plan: Option<DistributedPlan>,
+    /// Trading iterations executed.
+    pub iterations: u32,
+    /// Protocol messages exchanged (RFBs, offers, negotiation, awards).
+    pub messages: u64,
+    /// Protocol bytes exchanged.
+    pub bytes: f64,
+    /// Optimization time in simulated seconds.
+    pub optimization_time: f64,
+    /// Total seller optimization effort (sub-plans enumerated).
+    pub seller_effort: u64,
+    /// Total buyer plan-generation effort.
+    pub buyer_considered: u64,
+    /// Per-iteration statistics.
+    pub history: Vec<IterationStats>,
+}
+
+/// Run QT synchronously. `sellers` maps every federation node (other than or
+/// including the buyer) to its engine; the buyer's own engine (if present)
+/// responds without network cost.
+///
+/// ```
+/// use qt_catalog::NodeId;
+/// use qt_core::{run_qt_direct, QtConfig, SellerEngine};
+/// use qt_query::parse_query;
+/// use qt_workload::{build_federation, FederationSpec};
+/// use std::collections::BTreeMap;
+///
+/// let fed = build_federation(&FederationSpec {
+///     with_data: true,
+///     rows_per_partition: 50,
+///     ..FederationSpec::default()
+/// });
+/// let query = parse_query(
+///     &fed.catalog.dict,
+///     "SELECT r0.b, SUM(r1.c) FROM r0, r1 WHERE r0.a = r1.a GROUP BY r0.b",
+/// )
+/// .unwrap();
+///
+/// // Each node is an autonomous seller seeing only its own holdings.
+/// let mut sellers: BTreeMap<NodeId, SellerEngine> = fed
+///     .catalog
+///     .nodes
+///     .iter()
+///     .map(|&n| (n, SellerEngine::new(fed.catalog.holdings_of(n), QtConfig::default())))
+///     .collect();
+///
+/// let outcome =
+///     run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &query, &mut sellers, &QtConfig::default());
+/// let plan = outcome.plan.expect("the federation covers the query");
+/// assert!(outcome.messages > 0);
+/// // The distributed plan executes against the per-node stores.
+/// let answer = plan.execute_on(&fed.catalog.dict, &fed.stores).unwrap();
+/// assert!(!answer.is_empty());
+/// ```
+pub fn run_qt_direct(
+    buyer_node: NodeId,
+    dict: Arc<SchemaDict>,
+    query: &Query,
+    sellers: &mut BTreeMap<NodeId, SellerEngine>,
+    config: &QtConfig,
+) -> QtOutcome {
+    let mut buyer = BuyerEngine::new(buyer_node, dict, query.clone(), config.clone());
+    let mut messages = 0u64;
+    let mut bytes = 0.0f64;
+    let mut time = 0.0f64;
+    let mut seller_effort = 0u64;
+    let mut prev_neg_msgs = 0u64;
+    let mut prev_neg_rts = 0u64;
+
+    let mut items = buyer.start();
+    let mut hints: Vec<Offer> = Vec::new();
+    loop {
+        let rfb_bytes =
+            (items.len() + hints.len()) as f64 * config.query_msg_bytes;
+        let mut round_path = 0.0f64;
+        for (&node, engine) in sellers.iter_mut() {
+            let resp = engine.respond_with_hints(buyer.round, &items, &hints);
+            seller_effort += resp.effort;
+            let compute = resp.effort as f64 * config.per_subplan_seconds;
+            if node == buyer_node {
+                round_path = round_path.max(compute);
+            } else {
+                let back = resp.offers.len() as f64 * config.offer_msg_bytes;
+                let path = config.link.transfer_time(rfb_bytes)
+                    + compute
+                    + config.link.transfer_time(back);
+                round_path = round_path.max(path);
+                messages += 2; // RFB out + offers back (possibly empty)
+                bytes += rfb_bytes + back;
+            }
+            buyer.receive_offers(resp.offers);
+        }
+        time += round_path;
+        let outcome = buyer.close_round();
+        let considered = buyer.history.last().map(|h| h.considered).unwrap_or(0);
+        time += considered as f64 * config.per_offer_seconds;
+        let neg_msgs = buyer.negotiation_messages - prev_neg_msgs;
+        let neg_rts = buyer.negotiation_round_trips - prev_neg_rts;
+        prev_neg_msgs = buyer.negotiation_messages;
+        prev_neg_rts = buyer.negotiation_round_trips;
+        messages += neg_msgs;
+        bytes += neg_msgs as f64 * config.offer_msg_bytes;
+        time += neg_rts as f64 * 2.0 * config.link.latency;
+        match outcome {
+            RoundOutcome::Continue(next) => {
+                items = next;
+                if config.enable_subcontracting {
+                    hints = buyer.hints();
+                }
+            }
+            RoundOutcome::Done => break,
+        }
+    }
+    // Awards to the remote winning sellers.
+    if let Some(plan) = &buyer.best {
+        for p in &plan.purchases {
+            if p.offer.seller != buyer_node {
+                messages += 1;
+                bytes += config.offer_msg_bytes;
+            }
+        }
+        let winners: std::collections::BTreeSet<NodeId> =
+            plan.purchases.iter().map(|p| p.offer.seller).collect();
+        for (&node, engine) in sellers.iter_mut() {
+            engine.observe_award(winners.contains(&node));
+        }
+    }
+    QtOutcome {
+        iterations: buyer.round + 1,
+        messages,
+        bytes,
+        optimization_time: time,
+        seller_effort,
+        buyer_considered: buyer.total_considered(),
+        history: buyer.history.clone(),
+        plan: buyer.best,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator driver
+// ---------------------------------------------------------------------------
+
+/// Protocol messages of the QT trading loop.
+#[derive(Debug, Clone)]
+pub enum QtMsg {
+    /// Kick off the optimization at the buyer.
+    Start,
+    /// Request-For-Bids (B2).
+    Rfb {
+        /// Round number.
+        round: u32,
+        /// The queries out for bid.
+        items: Vec<RfbItem>,
+        /// Market hints for subcontracting sellers.
+        hints: Vec<Offer>,
+    },
+    /// A seller's offers for a round (possibly empty — also the
+    /// round-completion signal).
+    Offers {
+        /// The round being answered.
+        round: u32,
+        /// The offers.
+        offers: Vec<Offer>,
+    },
+    /// The buyer's own RFB timeout timer.
+    Timeout {
+        /// The round the timer guards.
+        round: u32,
+    },
+    /// Synthetic nested-negotiation traffic (auction rounds, bargaining).
+    Negotiate,
+    /// Award notice to a winning seller.
+    Award,
+}
+
+/// A federation node in the simulator: every node can sell; one also buys.
+pub enum QtNode {
+    /// A pure seller.
+    Seller(Box<SellerEngine>),
+    /// The buyer (with an optional local seller engine for its own data).
+    Buyer(Box<BuyerSim>),
+}
+
+/// Simulator-side state of the buying node.
+pub struct BuyerSim {
+    /// The trading engine.
+    pub engine: BuyerEngine,
+    /// The buyer's own seller side (its local data also competes).
+    pub local_seller: Option<SellerEngine>,
+    remote_sellers: Vec<NodeId>,
+    awaiting: usize,
+    round_open: bool,
+    prev_neg_msgs: u64,
+    prev_neg_rts: u64,
+    /// Set when trading finished.
+    pub done: bool,
+    /// Virtual time at which trading finished.
+    pub finish_time: f64,
+}
+
+impl Handler<QtMsg> for QtNode {
+    fn on_message(&mut self, ctx: &mut Ctx<QtMsg>, from: NodeId, msg: QtMsg) {
+        match (self, msg) {
+            (QtNode::Seller(engine), QtMsg::Rfb { round, items, hints }) => {
+                if engine.offline_rounds.contains(&round) {
+                    // Autonomy: the node simply does not answer.
+                    return;
+                }
+                let resp = engine.respond_with_hints(round, &items, &hints);
+                ctx.charge_compute(resp.effort as f64 * engine_cfg(engine).per_subplan_seconds);
+                let bytes = resp.offers.len() as f64 * engine_cfg(engine).offer_msg_bytes;
+                ctx.send(from, QtMsg::Offers { round, offers: resp.offers }, bytes, "offers");
+            }
+            (QtNode::Seller(engine), QtMsg::Award) => engine.observe_award(true),
+            (QtNode::Seller(_), _) => {}
+            (QtNode::Buyer(b), QtMsg::Start) => {
+                let items = b.engine.start();
+                b.broadcast(ctx, 0, items, Vec::new());
+            }
+            (QtNode::Buyer(b), QtMsg::Offers { round, offers }) => {
+                // All market information is welcome, even stragglers...
+                b.engine.receive_offers(offers);
+                // ...but only current-round replies advance the round.
+                if b.round_open && round == b.engine.round {
+                    b.awaiting -= 1;
+                    if b.awaiting == 0 {
+                        b.finish_round(ctx);
+                    }
+                }
+            }
+            (QtNode::Buyer(b), QtMsg::Timeout { round }) => {
+                if b.round_open && round == b.engine.round {
+                    b.finish_round(ctx);
+                }
+            }
+            (QtNode::Buyer(_), _) => {}
+        }
+    }
+}
+
+fn engine_cfg(engine: &SellerEngine) -> &QtConfig {
+    // SellerEngine keeps its config private; expose the two constants we
+    // need through a tiny accessor.
+    engine.config()
+}
+
+impl BuyerSim {
+    fn broadcast(
+        &mut self,
+        ctx: &mut Ctx<QtMsg>,
+        round: u32,
+        items: Vec<RfbItem>,
+        hints: Vec<Offer>,
+    ) {
+        // The buyer's own data competes without network messages.
+        if let Some(local) = &mut self.local_seller {
+            let resp = local.respond_with_hints(round, &items, &hints);
+            ctx.charge_compute(
+                resp.effort as f64 * self.engine.config.per_subplan_seconds,
+            );
+            self.engine.receive_offers(resp.offers);
+        }
+        self.awaiting = self.remote_sellers.len();
+        self.round_open = true;
+        let bytes =
+            (items.len() + hints.len()) as f64 * self.engine.config.query_msg_bytes;
+        for &s in &self.remote_sellers.clone() {
+            ctx.send(
+                s,
+                QtMsg::Rfb { round, items: items.clone(), hints: hints.clone() },
+                bytes,
+                "rfb",
+            );
+        }
+        if self.awaiting == 0 {
+            self.finish_round(ctx);
+        } else {
+            ctx.schedule(
+                self.engine.config.seller_timeout,
+                QtMsg::Timeout { round },
+                "timeout",
+            );
+        }
+    }
+
+    fn finish_round(&mut self, ctx: &mut Ctx<QtMsg>) {
+        self.round_open = false;
+        let outcome = self.engine.close_round();
+        let considered = self.engine.history.last().map(|h| h.considered).unwrap_or(0);
+        ctx.charge_compute(considered as f64 * self.engine.config.per_offer_seconds);
+        // Nested-negotiation traffic.
+        let neg_msgs = self.engine.negotiation_messages - self.prev_neg_msgs;
+        let neg_rts = self.engine.negotiation_round_trips - self.prev_neg_rts;
+        self.prev_neg_msgs = self.engine.negotiation_messages;
+        self.prev_neg_rts = self.engine.negotiation_round_trips;
+        ctx.charge_compute(neg_rts as f64 * 2.0 * self.engine.config.link.latency);
+        for i in 0..neg_msgs {
+            let to = self.remote_sellers[i as usize % self.remote_sellers.len().max(1)];
+            ctx.send(
+                to,
+                QtMsg::Negotiate,
+                self.engine.config.offer_msg_bytes,
+                "negotiate",
+            );
+        }
+        match outcome {
+            RoundOutcome::Continue(items) => {
+                let round = self.engine.round;
+                let hints = if self.engine.config.enable_subcontracting {
+                    self.engine.hints()
+                } else {
+                    Vec::new()
+                };
+                self.broadcast(ctx, round, items, hints);
+            }
+            RoundOutcome::Done => {
+                self.finish_time = ctx.now();
+                if let Some(plan) = &self.engine.best {
+                    for p in &plan.purchases {
+                        if p.offer.seller != self.engine.node {
+                            ctx.send(
+                                p.offer.seller,
+                                QtMsg::Award,
+                                self.engine.config.offer_msg_bytes,
+                                "award",
+                            );
+                        }
+                    }
+                }
+                self.done = true;
+            }
+        }
+    }
+}
+
+/// Run QT on the discrete-event simulator with a uniform topology built
+/// from `config.link`. Returns the outcome and the simulator metrics
+/// (virtual end time, per-kind message counts).
+pub fn run_qt_sim(
+    buyer_node: NodeId,
+    dict: Arc<SchemaDict>,
+    query: &Query,
+    sellers: BTreeMap<NodeId, SellerEngine>,
+    config: &QtConfig,
+) -> (QtOutcome, qt_net::Metrics) {
+    run_qt_sim_with_topology(
+        buyer_node,
+        dict,
+        query,
+        sellers,
+        config,
+        Topology::Uniform(config.link),
+    )
+}
+
+/// Run QT on the discrete-event simulator over an arbitrary [`Topology`]
+/// (e.g. [`Topology::TwoTier`] regional offices). Sellers still *estimate*
+/// delivery with `config.link` — autonomous nodes do not know where the
+/// buyer sits — while actual message transport follows the topology.
+pub fn run_qt_sim_with_topology(
+    buyer_node: NodeId,
+    dict: Arc<SchemaDict>,
+    query: &Query,
+    mut sellers: BTreeMap<NodeId, SellerEngine>,
+    config: &QtConfig,
+    topology: Topology,
+) -> (QtOutcome, qt_net::Metrics) {
+    let mut sim: Simulator<QtMsg, QtNode> = Simulator::new(topology);
+    let local_seller = sellers.remove(&buyer_node);
+    let remote: Vec<NodeId> = sellers.keys().copied().collect();
+    let all_nodes: Vec<NodeId> = remote.clone();
+    let buyer = BuyerSim {
+        engine: BuyerEngine::new(buyer_node, dict, query.clone(), config.clone()),
+        local_seller,
+        remote_sellers: remote,
+        awaiting: 0,
+        round_open: false,
+        prev_neg_msgs: 0,
+        prev_neg_rts: 0,
+        done: false,
+        finish_time: 0.0,
+    };
+    sim.add_node(buyer_node, QtNode::Buyer(Box::new(buyer)));
+    for (node, engine) in sellers {
+        sim.add_node(node, QtNode::Seller(Box::new(engine)));
+    }
+    sim.inject(0.0, buyer_node, buyer_node, QtMsg::Start, "start");
+    sim.run(10_000_000);
+    let metrics = sim.metrics.clone();
+    let mut seller_effort = 0u64;
+    for node in &all_nodes {
+        if let Some(QtNode::Seller(e)) = sim.handler(*node) {
+            seller_effort += e.total_effort;
+        }
+    }
+    let QtNode::Buyer(b) = sim
+        .handler(buyer_node)
+        .expect("buyer registered")
+    else {
+        panic!("buyer node is not a buyer");
+    };
+    assert!(b.done, "simulation drained without finishing trading");
+    // Trailing (stale) timers may run after trading completed; the
+    // optimization finished when the buyer said so.
+    let end_time = b.finish_time;
+    if let Some(local) = &b.local_seller {
+        seller_effort += local.total_effort;
+    }
+    let engine = &b.engine;
+    let outcome = QtOutcome {
+        plan: engine.best.clone(),
+        iterations: engine.round + 1,
+        // Exclude the kick-off event and local timers from protocol
+        // message counts.
+        messages: metrics.messages
+            - metrics.kind_count("start")
+            - metrics.kind_count("timeout"),
+        bytes: metrics.bytes,
+        optimization_time: end_time,
+        seller_effort,
+        buyer_considered: engine.total_considered(),
+        history: engine.history.clone(),
+    };
+    (outcome, metrics)
+}

@@ -1,0 +1,40 @@
+//! The query-trading (QT) distributed query optimizer.
+//!
+//! This crate is the paper's contribution: query optimization as an
+//! iterative trading negotiation between a *buyer* (the node that received
+//! the user query) and autonomous *seller* nodes (everyone else). Per
+//! iteration (Fig. 2 of the paper):
+//!
+//! | Step | Module |
+//! |------|--------|
+//! | B1: strategic valuation of the working set Q | [`qt_trade::BuyerValueBook`] via [`buyer`] |
+//! | B2: Request-For-Bids broadcast | [`driver`] |
+//! | S2.1–2.2: partial query construction & cost estimation | [`seller`] |
+//! | S2.3: seller predicates analyser (materialized views) | [`seller`] |
+//! | B3/S3: nested winner-selection negotiation | [`qt_trade::ProtocolKind`] via [`buyer`] |
+//! | B4: candidate plan generation (answering queries using offers) | [`plangen`] |
+//! | B5/B6: buyer predicates analyser (new working set) | [`analyser`] |
+//! | B7/B8: convergence check, best plan | [`buyer`] |
+//!
+//! The engines are transport-independent; [`driver`] runs them either
+//! *directly* (a synchronous loop with analytic message accounting — fast,
+//! used for plan-quality experiments and tests) or *on the simulator*
+//! (`qt-net` handlers with virtual time — used for optimization-time and
+//! message-count experiments). Both produce identical plans and message
+//! counts by construction; a test asserts it.
+
+pub mod analyser;
+pub mod buyer;
+pub mod config;
+pub mod dist_plan;
+pub mod driver;
+pub mod offer;
+pub mod plangen;
+pub mod seller;
+
+pub use buyer::BuyerEngine;
+pub use config::QtConfig;
+pub use dist_plan::{DistributedPlan, PlanEstimate, Purchase};
+pub use driver::{run_qt_direct, run_qt_sim, run_qt_sim_with_topology, QtOutcome};
+pub use offer::{Offer, OfferKind, RfbItem};
+pub use seller::SellerEngine;

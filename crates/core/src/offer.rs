@@ -1,0 +1,96 @@
+//! RFB items and offers — the protocol payloads of the trading loop.
+
+use qt_catalog::NodeId;
+use qt_cost::AnswerProperties;
+use qt_query::Query;
+
+/// One entry of a Request-For-Bids: a query the buyer wants valued, with the
+/// buyer's current reference value for it (step B1's strategic estimate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RfbItem {
+    /// The query being requested.
+    pub query: Query,
+    /// The buyer's reference value (its walk-away reserve derives from it).
+    pub ref_value: f64,
+}
+
+/// How the offered rows relate to the offered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferKind {
+    /// Plain rows of the offer's (SPJ) query.
+    Rows,
+    /// Pre-aggregated rows: one row per group *within the seller's
+    /// fragment*; the buyer must re-aggregate partial groups.
+    PartialAggregate,
+    /// Rows served from a materialized view (possibly stale, hence the
+    /// `freshness` property).
+    FromView,
+}
+
+/// A seller's offer: "I will deliver the answer of `query` with properties
+/// `props`". Offers are the commodity of QT (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Offer {
+    /// Unique id within the optimization run.
+    pub id: u64,
+    /// The offering seller.
+    pub seller: NodeId,
+    /// The exact (rewritten) query whose answer is promised.
+    pub query: Query,
+    /// Asking properties (after the seller's strategy markup).
+    pub props: AnswerProperties,
+    /// The seller's true delivery cost in valuation units. Private in a real
+    /// federation; carried here to drive auction dynamics and surplus
+    /// accounting in the simulation.
+    pub true_cost: f64,
+    /// What the delivered rows are.
+    pub kind: OfferKind,
+    /// Which RFB round produced this offer.
+    pub round: u32,
+    /// Sub-purchases this offer depends on (§3.5 subcontracting): the seller
+    /// will buy these fragments from third nodes to assemble its answer.
+    /// Empty for ordinary offers.
+    pub subcontracts: Vec<(NodeId, Query)>,
+}
+
+impl Offer {
+    /// Stable fingerprint of the offered query (the buyer's value-book key).
+    pub fn query_key(query: &Query) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        query.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_catalog::{
+        AttrType, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelationSchema,
+    };
+    use qt_query::{parse_query, PartSet, SelectItem};
+
+    #[test]
+    fn query_key_is_stable_and_discriminating() {
+        let mut b = CatalogBuilder::new();
+        let r = b.add_relation(
+            RelationSchema::new("r", vec![("a", AttrType::Int)]),
+            Partitioning::Hash { attr: 0, parts: 2 },
+        );
+        b.set_stats(PartId::new(r, 0), PartitionStats::synthetic(1, &[1]));
+        b.set_stats(PartId::new(r, 1), PartitionStats::synthetic(1, &[1]));
+        b.place(PartId::new(r, 0), NodeId(0));
+        b.place(PartId::new(r, 1), NodeId(0));
+        let cat = b.build();
+        let q = parse_query(&cat.dict, "SELECT a FROM r").unwrap();
+        assert_eq!(Offer::query_key(&q), Offer::query_key(&q.clone()));
+        let restricted = q.clone().with_partset(r, PartSet::single(0));
+        assert_ne!(Offer::query_key(&q), Offer::query_key(&restricted));
+        let other = qt_query::Query::over_full(&cat.dict, [r])
+            .with_select(vec![SelectItem::Col(qt_query::Col::new(r, 0))])
+            .with_order_by(vec![qt_query::Col::new(r, 0)]);
+        assert_ne!(Offer::query_key(&q), Offer::query_key(&other));
+    }
+}

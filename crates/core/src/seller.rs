@@ -1,0 +1,541 @@
+//! The seller side: partial query constructor & cost estimator (S2.1–S2.2)
+//! and the seller predicates analyser (S2.3).
+
+use crate::config::QtConfig;
+use crate::offer::{Offer, OfferKind, RfbItem};
+use qt_catalog::{NodeHoldings, NodeId};
+use qt_cost::{AnswerProperties, CardinalityEstimator, NodeResources};
+use qt_optimizer::LocalOptimizer;
+use qt_query::views::match_view;
+use qt_query::{rewrite_for_holdings, MaterializedView, Query};
+
+/// A seller's reply to one RFB.
+#[derive(Debug, Clone, Default)]
+pub struct SellerResponse {
+    /// The offers made.
+    pub offers: Vec<Offer>,
+    /// Optimization effort spent producing them (sub-plans enumerated).
+    pub effort: u64,
+}
+
+/// One autonomous selling node's trading engine.
+///
+/// Owns the node's private state: holdings (data + statistics), resources,
+/// materialized views, and strategy. Produces offers for RFBs; learns from
+/// award outcomes.
+pub struct SellerEngine {
+    /// This node's id.
+    pub node: NodeId,
+    /// Private holdings and statistics.
+    pub holdings: NodeHoldings,
+    /// Private resources.
+    pub resources: NodeResources,
+    /// Materialized views this node keeps.
+    pub views: Vec<MaterializedView>,
+    /// This node's strategy (may differ from the federation default).
+    pub strategy: qt_trade::SellerStrategy,
+    /// Cumulative optimization effort across all RFBs (read by the drivers).
+    pub total_effort: u64,
+    /// Rounds in which this node is offline/unresponsive (failure injection
+    /// for the availability experiments; simulator driver only).
+    pub offline_rounds: std::collections::BTreeSet<u32>,
+    config: QtConfig,
+    next_offer: u64,
+}
+
+impl SellerEngine {
+    /// Build a seller from its private holdings.
+    pub fn new(holdings: NodeHoldings, config: QtConfig) -> Self {
+        SellerEngine {
+            node: holdings.node,
+            resources: NodeResources::reference(),
+            views: Vec::new(),
+            strategy: config.seller_strategy.clone(),
+            holdings,
+            total_effort: 0,
+            offline_rounds: std::collections::BTreeSet::new(),
+            config,
+            next_offer: 0,
+        }
+    }
+
+    /// The run configuration this seller was built with.
+    pub fn config(&self) -> &QtConfig {
+        &self.config
+    }
+
+    /// Builder-style resources override.
+    pub fn with_resources(mut self, r: NodeResources) -> Self {
+        self.resources = r;
+        self
+    }
+
+    /// Builder-style views.
+    pub fn with_views(mut self, views: Vec<MaterializedView>) -> Self {
+        self.views = views;
+        self
+    }
+
+    fn optimizer(&self) -> LocalOptimizer<'_, NodeHoldings> {
+        let mut o = LocalOptimizer::new(&self.holdings)
+            .with_enumerator(self.config.enumerator)
+            .with_resources(self.resources.clone());
+        o.params = self.config.cost_params.clone();
+        o
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = ((self.node.0 as u64) << 32) | self.next_offer;
+        self.next_offer += 1;
+        id
+    }
+
+    /// Delivery properties for a result of `rows × width` bytes costing
+    /// `local_cost` node-seconds to produce.
+    fn delivery_props(&self, local_cost: f64, rows: f64, width: f64) -> AnswerProperties {
+        let bytes = rows * width;
+        let transfer = self.config.link.transfer_time(bytes);
+        let mut p = AnswerProperties::timed(local_cost + transfer, rows, bytes);
+        p.first_row_time = local_cost * 0.5 + self.config.link.first_byte_time();
+        p
+    }
+
+    fn make_offer(
+        &mut self,
+        round: u32,
+        query: Query,
+        true_props: AnswerProperties,
+        kind: OfferKind,
+    ) -> Offer {
+        let ask = self.strategy.ask_for(&true_props);
+        Offer {
+            id: self.fresh_id(),
+            seller: self.node,
+            query,
+            true_cost: self.config.valuation.score(&true_props),
+            props: ask,
+            kind,
+            round,
+            subcontracts: vec![],
+        }
+    }
+
+    /// Respond to an RFB: rewrite each requested query for local holdings,
+    /// run the modified DP for partial offers, add partial-aggregate and
+    /// materialized-view offers.
+    pub fn respond(&mut self, round: u32, items: &[RfbItem]) -> SellerResponse {
+        self.respond_with_hints(round, items, &[])
+    }
+
+    /// Like [`respond`](Self::respond), but with *market hints* — fragment
+    /// offers the buyer has already seen, which subcontracting sellers may
+    /// buy from third nodes to assemble composite offers (§3.5).
+    pub fn respond_with_hints(
+        &mut self,
+        round: u32,
+        items: &[RfbItem],
+        hints: &[Offer],
+    ) -> SellerResponse {
+        let mut resp = SellerResponse::default();
+        for item in items {
+            self.respond_one(round, &item.query, hints, &mut resp);
+        }
+        self.total_effort += resp.effort;
+        resp
+    }
+
+    fn respond_one(&mut self, round: u32, q: &Query, hints: &[Offer], resp: &mut SellerResponse) {
+        // S2.1: rewrite for local holdings (§3.4).
+        if let Some(q_local) = rewrite_for_holdings(q, &self.holdings) {
+            // S2.2: modified DP — optimal k-way partials become offers.
+            let (partials, effort) =
+                self.optimizer().partial_results(&q_local, self.config.max_partial_k);
+            resp.effort += effort;
+            for p in &partials {
+                let props = self.delivery_props(p.cost, p.rows, p.width);
+                resp.offers.push(self.make_offer(round, p.query.clone(), props, OfferKind::Rows));
+            }
+            // Per-partition sub-offers for multi-partition single-relation
+            // fragments: replicas overlap across sellers, and the buyer can
+            // only union *disjoint* fragments — singleton-partition offers
+            // guarantee an exact tiling always exists.
+            for p in &partials {
+                if p.query.num_relations() != 1 {
+                    continue;
+                }
+                let (&rel, parts) = p.query.relations.iter().next().expect("one relation");
+                if parts.len() <= 1 {
+                    continue;
+                }
+                for idx in parts.iter() {
+                    let sub = p.query.with_partset(rel, qt_query::PartSet::single(idx));
+                    let o = self.optimizer().optimize(&sub);
+                    resp.effort += o.effort;
+                    let props = self.delivery_props(o.cost, o.rows, o.width);
+                    resp.offers.push(self.make_offer(round, sub, props, OfferKind::Rows));
+                }
+            }
+
+            // Partial aggregates: only meaningful when the seller sees every
+            // relation of the query (its fragment is then a clean sub-cube
+            // of the join, pre-aggregable per group).
+            if self.config.enable_partial_agg
+                && q.is_aggregate()
+                && q.aggregates_decomposable()
+                && q_local.num_relations() == q.num_relations()
+            {
+                let mut agg_q = q.clone();
+                agg_q.order_by.clear();
+                for (rel, parts) in &q_local.relations {
+                    agg_q.relations.insert(*rel, *parts);
+                }
+                let o = self.optimizer().optimize(&agg_q);
+                resp.effort += o.effort;
+                let props = self.delivery_props(o.cost, o.rows, o.width);
+                resp.offers.push(self.make_offer(
+                    round,
+                    agg_q,
+                    props,
+                    OfferKind::PartialAggregate,
+                ));
+            }
+
+            // Sorted delivery: when the query wants an ordering and this
+            // node can answer it exactly, offer the *sorted* answer — the
+            // buyer can then skip its local sort (the "addition/removal of
+            // sorting predicates" dimension of the predicates analysers).
+            if !q.is_aggregate()
+                && !q.order_by.is_empty()
+                && qt_query::rewrite::can_answer_exactly(q, &self.holdings)
+            {
+                let o = self.optimizer().optimize(q);
+                resp.effort += o.effort;
+                let props = self.delivery_props(o.cost, o.rows, o.width);
+                resp.offers.push(self.make_offer(round, q.clone(), props, OfferKind::Rows));
+            }
+
+            // §3.5 subcontracting: when this node lacks some relations, it
+            // may buy their fragments from third nodes (via the buyer's
+            // market hints) and offer the composite join wholesale.
+            if self.config.enable_subcontracting
+                && !hints.is_empty()
+                && q_local.num_relations() < q.num_relations()
+            {
+                if let Some((offer, effort)) = self.subcontract_offer(round, q, &q_local, hints)
+                {
+                    resp.effort += effort;
+                    resp.offers.push(offer);
+                }
+            }
+        }
+
+        // S2.3: seller predicates analyser — materialized views can answer
+        // the query (even over data this node does not hold as base
+        // relations) at the cost of a view scan plus residual work.
+        if self.config.enable_views {
+            let view_offers: Vec<Offer> = self
+                .views
+                .iter()
+                .filter_map(|view| self.view_offer(round, q, view))
+                .collect();
+            for mut o in view_offers {
+                o.id = self.fresh_id();
+                resp.offers.push(o);
+            }
+        }
+    }
+
+    /// Build a composite offer for the whole SPJ core of `q`: this node's
+    /// local fragment joined with purchased fragments of the relations it
+    /// lacks. Returns `None` unless every missing relation has a hint
+    /// covering its full requested extent.
+    fn subcontract_offer(
+        &mut self,
+        round: u32,
+        q: &Query,
+        q_local: &Query,
+        hints: &[Offer],
+    ) -> Option<(Offer, u64)> {
+        let q_core = q.strip_aggregation();
+        let mut subs: Vec<(NodeId, Query)> = Vec::new();
+        let mut sub_delivery = 0.0f64;
+        let mut sub_price = 0.0f64;
+        let mut sub_rows = 0.0f64;
+        let mut sub_bytes = 0.0f64;
+        for rel in q.rel_ids() {
+            if q_local.relations.contains_key(&rel) {
+                continue;
+            }
+            let expected =
+                q_core.restrict_to_rels(&std::collections::BTreeSet::from([rel]));
+            let hint = hints
+                .iter()
+                .filter(|h| h.query == expected && h.seller != self.node)
+                .min_by(|a, b| a.props.total_time.total_cmp(&b.props.total_time))?;
+            sub_delivery = sub_delivery.max(hint.props.total_time);
+            sub_price += hint.props.price;
+            sub_rows = sub_rows.max(hint.props.rows);
+            sub_bytes += hint.props.bytes;
+            subs.push((hint.seller, hint.query.clone()));
+        }
+        if subs.is_empty() {
+            return None;
+        }
+        // Composite query: the full SPJ core, with this node's partition
+        // coverage on its own relations.
+        let mut composite = q_core.clone();
+        for (rel, parts) in &q_local.relations {
+            composite.relations.insert(*rel, *parts);
+        }
+        // Cost: local fragment computed in parallel with sub-deliveries,
+        // then joined locally and shipped out.
+        let own = self.optimizer().optimize(q_local);
+        let p = &self.config.cost_params;
+        let est = CardinalityEstimator::new(&self.holdings);
+        let composite_est = est.estimate(&composite);
+        let out_rows = composite_est.rows.max(1.0);
+        let join_cost = p.hash_join(own.rows.min(sub_rows.max(1.0)), own.rows.max(sub_rows), out_rows)
+            * self.resources.cpu_factor();
+        let width = composite_est.width;
+        let local_path = own.cost.max(sub_delivery) + join_cost;
+        let mut props = self.delivery_props(local_path, out_rows, width);
+        props.bytes += sub_bytes; // shipped twice: to us, then onward
+        props.price += sub_price;
+        let mut offer = self.make_offer(round, composite, props, OfferKind::Rows);
+        offer.subcontracts = subs;
+        Some((offer, own.effort))
+    }
+
+    fn view_offer(&self, round: u32, q: &Query, view: &MaterializedView) -> Option<Offer> {
+        let m = match_view(&view.query, q)?;
+        let est = CardinalityEstimator::new(&self.holdings);
+        let view_rows = est.estimate(&view.query);
+        let out = est.estimate(q);
+        // Cost: scan the materialized rows, apply residuals / re-aggregate.
+        let p = &self.config.cost_params;
+        let mut cost = p.scan(view_rows.rows, view_rows.width) * self.resources.io_factor();
+        if !m.residual_predicates.is_empty() {
+            cost += p.filter(view_rows.rows) * self.resources.cpu_factor();
+        }
+        if m.needs_reaggregation {
+            cost += p.aggregate(view_rows.rows, out.rows) * self.resources.cpu_factor();
+        }
+        let mut props = self.delivery_props(cost, out.rows, out.width);
+        props.freshness = 0.9; // materialized data is one refresh behind
+        let ask = self.strategy.ask_for(&props);
+        Some(Offer {
+            id: 0, // re-assigned by caller
+            seller: self.node,
+            query: q.clone(),
+            true_cost: self.config.valuation.score(&props),
+            props: ask,
+            kind: OfferKind::FromView,
+            round,
+            subcontracts: vec![],
+        })
+    }
+
+    /// Learn from the buyer's award: `won` per offer this seller made.
+    pub fn observe_award(&mut self, won: bool) {
+        self.strategy.observe_outcome(won);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_catalog::{
+        AttrType, Catalog, CatalogBuilder, PartId, Partitioning, PartitionStats, RelationSchema,
+        Value,
+    };
+    use qt_query::{parse_query, PartSet};
+
+    /// The telecom setup: customer partitioned over 3 offices, invoiceline
+    /// held fully by Myconos (node 2) and Athens (node 0).
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new();
+        let cust = b.add_relation(
+            RelationSchema::new(
+                "customer",
+                vec![
+                    ("custid", AttrType::Int),
+                    ("custname", AttrType::Str),
+                    ("office", AttrType::Str),
+                ],
+            ),
+            Partitioning::List {
+                attr: 2,
+                groups: vec![
+                    vec![Value::str("Athens")],
+                    vec![Value::str("Corfu")],
+                    vec![Value::str("Myconos")],
+                ],
+            },
+        );
+        let inv = b.add_relation(
+            RelationSchema::new(
+                "invoiceline",
+                vec![
+                    ("invid", AttrType::Int),
+                    ("linenum", AttrType::Int),
+                    ("custid", AttrType::Int),
+                    ("charge", AttrType::Float),
+                ],
+            ),
+            Partitioning::Single,
+        );
+        for i in 0..3u16 {
+            b.set_stats(
+                PartId::new(cust, i),
+                PartitionStats::synthetic(1_000, &[1_000, 900, 1]),
+            );
+            b.place(PartId::new(cust, i), NodeId(i as u32));
+        }
+        b.set_stats(
+            PartId::new(inv, 0),
+            PartitionStats::synthetic(10_000, &[2_000, 5, 3_000, 500]),
+        );
+        b.place(PartId::new(inv, 0), NodeId(0));
+        b.place(PartId::new(inv, 0), NodeId(2));
+        b.build()
+    }
+
+    fn motivating(cat: &Catalog) -> Query {
+        parse_query(
+            &cat.dict,
+            "SELECT office, SUM(charge) FROM customer, invoiceline \
+             WHERE customer.custid = invoiceline.custid GROUP BY office",
+        )
+        .unwrap()
+    }
+
+    fn rfb(q: &Query) -> Vec<RfbItem> {
+        vec![RfbItem { query: q.clone(), ref_value: f64::INFINITY }]
+    }
+
+    #[test]
+    fn myconos_offers_partials_and_partial_aggregate() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        let resp = seller.respond(0, &rfb(&q));
+        assert!(resp.effort > 0);
+        // Singletons (customer_myc, invoiceline), the 2-way join, and the
+        // partial aggregate.
+        let kinds: Vec<OfferKind> = resp.offers.iter().map(|o| o.kind).collect();
+        assert!(kinds.contains(&OfferKind::PartialAggregate));
+        assert!(resp.offers.iter().filter(|o| o.kind == OfferKind::Rows).count() >= 3);
+        // The partial aggregate is restricted to the Myconos partition.
+        let agg = resp
+            .offers
+            .iter()
+            .find(|o| o.kind == OfferKind::PartialAggregate)
+            .unwrap();
+        assert_eq!(agg.query.relations[&qt_catalog::RelId(0)], PartSet::single(2));
+        assert!(agg.query.is_aggregate());
+        // Offers are priced: positive time, positive rows.
+        for o in &resp.offers {
+            assert!(o.props.total_time > 0.0, "{:?}", o);
+            assert!(o.true_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn corfu_cannot_offer_partial_aggregate_without_invoiceline() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(1)), QtConfig::default());
+        let resp = seller.respond(0, &rfb(&q));
+        assert!(resp.offers.iter().all(|o| o.kind == OfferKind::Rows));
+        // It still offers its customer partition.
+        assert_eq!(resp.offers.len(), 1);
+        assert_eq!(resp.offers[0].query.num_relations(), 1);
+    }
+
+    #[test]
+    fn empty_node_offers_nothing() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(9)), QtConfig::default());
+        let resp = seller.respond(0, &rfb(&q));
+        assert!(resp.offers.is_empty());
+        assert_eq!(resp.effort, 0);
+    }
+
+    #[test]
+    fn markup_strategy_inflates_asks() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let cfg = QtConfig::default();
+        let mut honest = SellerEngine::new(cat.holdings_of(NodeId(2)), cfg.clone());
+        let mut greedy = SellerEngine::new(cat.holdings_of(NodeId(2)), cfg);
+        greedy.strategy = qt_trade::SellerStrategy::fixed_markup(2.0);
+        let h = honest.respond(0, &rfb(&q));
+        let g = greedy.respond(0, &rfb(&q));
+        for (a, b) in h.offers.iter().zip(&g.offers) {
+            assert!(b.props.total_time > a.props.total_time * 1.9);
+            assert!((a.true_cost - b.true_cost).abs() < 1e-9, "true cost unchanged");
+        }
+    }
+
+    #[test]
+    fn view_offer_answers_query_cheaply() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        // Node 1 (Corfu) materializes the full aggregate at finer grain.
+        let finer = parse_query(
+            &cat.dict,
+            "SELECT office, custname, SUM(charge) FROM customer, invoiceline \
+             WHERE customer.custid = invoiceline.custid GROUP BY office, custname",
+        )
+        .unwrap();
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(1)), QtConfig::default())
+            .with_views(vec![MaterializedView::new("charges_by_cust", finer)]);
+        let resp = seller.respond(0, &rfb(&q));
+        let view_offers: Vec<&Offer> =
+            resp.offers.iter().filter(|o| o.kind == OfferKind::FromView).collect();
+        assert_eq!(view_offers.len(), 1);
+        let vo = view_offers[0];
+        assert_eq!(vo.query, q, "view offer promises the full query");
+        assert!(vo.props.freshness < 1.0);
+    }
+
+    #[test]
+    fn views_can_be_disabled() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let finer = parse_query(
+            &cat.dict,
+            "SELECT office, custname, SUM(charge) FROM customer, invoiceline \
+             WHERE customer.custid = invoiceline.custid GROUP BY office, custname",
+        )
+        .unwrap();
+        let cfg = QtConfig { enable_views: false, ..QtConfig::default() };
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(1)), cfg)
+            .with_views(vec![MaterializedView::new("v", finer)]);
+        let resp = seller.respond(0, &rfb(&q));
+        assert!(resp.offers.iter().all(|o| o.kind != OfferKind::FromView));
+    }
+
+    #[test]
+    fn offer_ids_are_unique_across_rounds() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        let mut ids = std::collections::HashSet::new();
+        for round in 0..3 {
+            for o in seller.respond(round, &rfb(&q)).offers {
+                assert!(ids.insert(o.id), "duplicate offer id {}", o.id);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_strategy_learns_from_awards() {
+        let cat = catalog();
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        seller.strategy = qt_trade::SellerStrategy::adaptive_markup(1.2);
+        seller.observe_award(false);
+        assert!(seller.strategy.current_markup() < 1.2);
+    }
+}

@@ -1,0 +1,31 @@
+//! Cost model for the query-trading optimizer.
+//!
+//! §3.1 of the paper defines what an offer promises: "the total time required
+//! to execute and transmit the results of the query back to the buyer, the
+//! time required to find the first row of the answer, the average rate of
+//! retrieved rows per second, the total rows of the answer, the freshness of
+//! the data, the completeness of the data, and possibly a charged amount for
+//! this answer". [`properties::AnswerProperties`] is exactly that tuple, and
+//! [`properties::Valuation`] is the "administrator-defined weighting
+//! aggregation function" the buyer ranks offers with.
+//!
+//! The crate also provides what sellers need to *produce* those properties:
+//!
+//! * [`resources`] — per-node CPU/IO speed and current load;
+//! * [`network`] — latency/bandwidth links and transfer-time estimation;
+//! * [`params`] — the operator cost constants shared by every optimizer in
+//!   the workspace (so plan costs are comparable across algorithms);
+//! * [`cardinality`] — statistics-based cardinality and width estimation for
+//!   [`qt_query::Query`] fragments.
+
+pub mod cardinality;
+pub mod network;
+pub mod params;
+pub mod properties;
+pub mod resources;
+
+pub use cardinality::{CardEstimate, CardinalityEstimator, RelProfile, StatsSource};
+pub use network::NetLink;
+pub use params::CostParams;
+pub use properties::{AnswerProperties, Valuation};
+pub use resources::NodeResources;

@@ -1,0 +1,63 @@
+//! Network link cost model.
+
+/// A (directed) network path between two nodes: fixed latency plus
+/// bandwidth-limited transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetLink {
+    /// One-way latency in seconds.
+    pub latency: f64,
+    /// Bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl NetLink {
+    /// A LAN-ish default: 1 ms latency, 10 MB/s.
+    pub fn lan() -> Self {
+        NetLink { latency: 0.001, bandwidth: 10e6 }
+    }
+
+    /// A WAN-ish default: 25 ms latency, 1 MB/s — the regime of the paper's
+    /// geographically distributed regional offices.
+    pub fn wan() -> Self {
+        NetLink { latency: 0.025, bandwidth: 1e6 }
+    }
+
+    /// Time to deliver a message/result of `bytes` bytes.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency + bytes.max(0.0) / self.bandwidth
+    }
+
+    /// Time until the *first* byte of a streamed result arrives.
+    pub fn first_byte_time(&self) -> f64 {
+        self.latency
+    }
+}
+
+impl Default for NetLink {
+    fn default() -> Self {
+        NetLink::wan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let l = NetLink { latency: 0.01, bandwidth: 1000.0 };
+        assert!((l.transfer_time(0.0) - 0.01).abs() < 1e-12);
+        assert!((l.transfer_time(2000.0) - 2.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_bytes_clamp() {
+        let l = NetLink::lan();
+        assert!((l.transfer_time(-5.0) - l.latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        assert!(NetLink::wan().transfer_time(1e6) > NetLink::lan().transfer_time(1e6));
+    }
+}

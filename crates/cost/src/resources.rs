@@ -1,0 +1,88 @@
+//! Per-node resource model.
+
+/// Compute resources of one autonomous node.
+///
+/// The paper stresses that autonomous sellers price offers against "the
+/// available network resources and the current workload" — heterogeneity and
+/// load are what make identical queries cost differently at different nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeResources {
+    /// CPU speed relative to the reference node (1.0 = reference; 2.0 =
+    /// twice as fast). Scales all CPU operator costs by `1/speed`.
+    pub cpu_speed: f64,
+    /// Sequential I/O rate relative to the reference node.
+    pub io_speed: f64,
+    /// Current load factor: 1.0 = idle; `k` = queries take `k`× longer.
+    pub load: f64,
+}
+
+impl NodeResources {
+    /// The reference node: unit speed, idle.
+    pub fn reference() -> Self {
+        NodeResources { cpu_speed: 1.0, io_speed: 1.0, load: 1.0 }
+    }
+
+    /// A node `s`× the reference speed (CPU and I/O), idle.
+    pub fn uniform(s: f64) -> Self {
+        NodeResources { cpu_speed: s, io_speed: s, load: 1.0 }
+    }
+
+    /// Effective multiplier on CPU work.
+    pub fn cpu_factor(&self) -> f64 {
+        self.load / self.cpu_speed
+    }
+
+    /// Effective multiplier on I/O work.
+    pub fn io_factor(&self) -> f64 {
+        self.load / self.io_speed
+    }
+
+    /// Validate (all factors strictly positive).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("cpu_speed", self.cpu_speed),
+            ("io_speed", self.io_speed),
+            ("load", self.load),
+        ] {
+            if v <= 0.0 || v.is_nan() || !v.is_finite() {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for NodeResources {
+    fn default() -> Self {
+        NodeResources::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_combine_speed_and_load() {
+        let r = NodeResources { cpu_speed: 2.0, io_speed: 4.0, load: 3.0 };
+        assert!((r.cpu_factor() - 1.5).abs() < 1e-12);
+        assert!((r.io_factor() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_node_is_cheaper() {
+        let slow = NodeResources::uniform(0.5);
+        let fast = NodeResources::uniform(2.0);
+        assert!(fast.cpu_factor() < slow.cpu_factor());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(NodeResources::reference().validate().is_ok());
+        assert!(NodeResources { cpu_speed: 0.0, io_speed: 1.0, load: 1.0 }.validate().is_err());
+        assert!(NodeResources { cpu_speed: 1.0, io_speed: -1.0, load: 1.0 }.validate().is_err());
+        assert!(NodeResources { cpu_speed: 1.0, io_speed: 1.0, load: f64::NAN }
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the cost model: monotonicity, composition laws,
+//! and estimator sanity.
+
+use proptest::prelude::*;
+use qt_cost::{AnswerProperties, CostParams, NetLink, NodeResources, Valuation};
+
+proptest! {
+    /// Operator costs are monotone in their row inputs.
+    #[test]
+    fn operator_costs_are_monotone(
+        rows in 1.0f64..1e6,
+        extra in 1.0f64..1e5,
+        width in 1.0f64..200.0,
+    ) {
+        let p = CostParams::reference();
+        prop_assert!(p.scan(rows + extra, width) > p.scan(rows, width));
+        prop_assert!(p.filter(rows + extra) > p.filter(rows));
+        prop_assert!(p.union(rows + extra) > p.union(rows));
+        prop_assert!(p.sort(rows + extra) >= p.sort(rows));
+        prop_assert!(
+            p.hash_join(rows + extra, rows, rows) > p.hash_join(rows, rows, rows)
+        );
+        prop_assert!(p.nl_join(rows + extra, rows, rows) > p.nl_join(rows, rows, rows));
+        prop_assert!(p.aggregate(rows + extra, 10.0) > p.aggregate(rows, 10.0));
+    }
+
+    /// Link transfer time is monotone in bytes and latency is its floor.
+    #[test]
+    fn transfer_time_monotone(bytes in 0.0f64..1e9, extra in 1.0f64..1e6) {
+        for link in [NetLink::lan(), NetLink::wan()] {
+            prop_assert!(link.transfer_time(bytes + extra) > link.transfer_time(bytes));
+            prop_assert!(link.transfer_time(bytes) >= link.latency);
+        }
+    }
+
+    /// Parallel composition of answer properties: commutative, time is the
+    /// max, size/price are sums, completeness multiplies.
+    #[test]
+    fn parallel_composition_laws(
+        t1 in 0.0f64..100.0, t2 in 0.0f64..100.0,
+        r1 in 0.0f64..1e5, r2 in 0.0f64..1e5,
+        p1 in 0.0f64..10.0, p2 in 0.0f64..10.0,
+    ) {
+        let a = AnswerProperties::timed(t1, r1, r1 * 8.0).priced(p1);
+        let b = AnswerProperties::timed(t2, r2, r2 * 8.0).priced(p2);
+        let ab = a.clone() + b.clone();
+        let ba = b.clone() + a.clone();
+        prop_assert!((ab.total_time - ba.total_time).abs() < 1e-9);
+        prop_assert!((ab.total_time - t1.max(t2)).abs() < 1e-9);
+        prop_assert!((ab.rows - (r1 + r2)).abs() < 1e-6);
+        prop_assert!((ab.price - (p1 + p2)).abs() < 1e-9);
+        prop_assert!((ab.bytes - ba.bytes).abs() < 1e-6);
+    }
+
+    /// delayed_by shifts both time dimensions by exactly the delay.
+    #[test]
+    fn delay_shifts_times(t in 0.0f64..100.0, d in 0.0f64..100.0, rows in 1.0f64..1e4) {
+        let p = AnswerProperties::timed(t, rows, rows * 8.0);
+        let q = p.clone().delayed_by(d);
+        prop_assert!((q.total_time - (p.total_time + d)).abs() < 1e-9);
+        prop_assert!((q.first_row_time - (p.first_row_time + d)).abs() < 1e-9);
+    }
+
+    /// The valuation is linear: score(p delayed by d) - score(p) =
+    /// w_total·d + w_first·d for time-only valuations.
+    #[test]
+    fn valuation_is_linear_in_time(
+        t in 0.0f64..100.0, d in 0.0f64..50.0,
+        w_t in 0.0f64..2.0, w_f in 0.0f64..2.0,
+    ) {
+        let v = Valuation {
+            w_total_time: w_t,
+            w_first_row: w_f,
+            w_price: 0.0,
+            w_staleness: 0.0,
+            w_incompleteness: 0.0,
+        };
+        let p = AnswerProperties::timed(t, 100.0, 800.0);
+        let delta = v.score(&p.clone().delayed_by(d)) - v.score(&p);
+        prop_assert!((delta - (w_t + w_f) * d).abs() < 1e-6);
+    }
+
+    /// Faster nodes always report lower effective work factors.
+    #[test]
+    fn resources_scale_inversely(speed in 0.1f64..10.0, boost in 1.1f64..4.0) {
+        let slow = NodeResources::uniform(speed);
+        let fast = NodeResources::uniform(speed * boost);
+        prop_assert!(fast.cpu_factor() < slow.cpu_factor());
+        prop_assert!(fast.io_factor() < slow.io_factor());
+    }
+}

@@ -1,0 +1,187 @@
+//! In-memory partition storage.
+
+use crate::exec::RowSource;
+use crate::{Row, Table};
+use qt_catalog::{PartId, PartitionStats, RelId, SchemaDict};
+use std::collections::BTreeMap;
+
+/// One node's materialized partitions.
+#[derive(Debug, Clone, Default)]
+pub struct DataStore {
+    partitions: BTreeMap<PartId, Table>,
+}
+
+impl DataStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        DataStore::default()
+    }
+
+    /// Insert (replacing) the rows of `part`.
+    pub fn insert(&mut self, part: PartId, rows: Table) {
+        self.partitions.insert(part, rows);
+    }
+
+    /// Load a whole relation's rows, routing each row to its partition via
+    /// the dictionary's partitioning scheme. Rows matching no partition
+    /// (list partitioning gaps) are dropped and counted in the return value.
+    pub fn load_relation(&mut self, dict: &SchemaDict, rel: RelId, rows: Table) -> usize {
+        let scheme = &dict.rel(rel).partitioning;
+        let mut dropped = 0;
+        for row in rows {
+            match scheme.partition_of(&row) {
+                Some(idx) => self
+                    .partitions
+                    .entry(PartId::new(rel, idx))
+                    .or_default()
+                    .push(row),
+                None => dropped += 1,
+            }
+        }
+        // Make sure every partition exists, even if empty.
+        for part in dict.parts_of(rel) {
+            self.partitions.entry(part).or_default();
+        }
+        dropped
+    }
+
+    /// All stored partitions.
+    pub fn parts(&self) -> impl Iterator<Item = PartId> + '_ {
+        self.partitions.keys().copied()
+    }
+
+    /// Exact statistics of a stored partition, computed from its rows.
+    pub fn stats_of(&self, dict: &SchemaDict, part: PartId) -> Option<PartitionStats> {
+        let rows = self.partitions.get(&part)?;
+        let arity = dict.rel(part.rel).schema.arity();
+        Some(PartitionStats::from_rows(arity, rows))
+    }
+
+    /// Copy selected partitions into a new store (replica creation).
+    pub fn subset(&self, parts: &[PartId]) -> DataStore {
+        DataStore {
+            partitions: parts
+                .iter()
+                .filter_map(|p| self.partitions.get(p).map(|t| (*p, t.clone())))
+                .collect(),
+        }
+    }
+
+    /// Merge another store into this one (replacing overlapping partitions).
+    pub fn merge_from(&mut self, other: &DataStore) {
+        for (p, t) in &other.partitions {
+            self.partitions.insert(*p, t.clone());
+        }
+    }
+
+    /// Total stored rows.
+    pub fn total_rows(&self) -> usize {
+        self.partitions.values().map(Vec::len).sum()
+    }
+}
+
+impl RowSource for DataStore {
+    fn rows_of(&self, part: PartId) -> Option<&[Row]> {
+        self.partitions.get(&part).map(|t| t.as_slice())
+    }
+}
+
+/// A row source over several stores (used by tests and the reference
+/// evaluator to see the whole federation's data at once).
+pub struct UnionSource<'a>(pub Vec<&'a DataStore>);
+
+impl RowSource for UnionSource<'_> {
+    fn rows_of(&self, part: PartId) -> Option<&[Row]> {
+        self.0.iter().find_map(|s| s.rows_of(part))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_catalog::{AttrType, CatalogBuilder, NodeId, Partitioning, RelationSchema, Value};
+
+    fn dict() -> std::sync::Arc<SchemaDict> {
+        let mut b = CatalogBuilder::new();
+        let r = b.add_relation(
+            RelationSchema::new("r", vec![("a", AttrType::Int), ("grp", AttrType::Str)]),
+            Partitioning::List {
+                attr: 1,
+                groups: vec![vec![Value::str("x")], vec![Value::str("y")]],
+            },
+        );
+        b.set_stats(PartId::new(r, 0), PartitionStats::synthetic(1, &[1, 1]));
+        b.set_stats(PartId::new(r, 1), PartitionStats::synthetic(1, &[1, 1]));
+        b.place(PartId::new(r, 0), NodeId(0));
+        b.place(PartId::new(r, 1), NodeId(0));
+        b.build().dict
+    }
+
+    #[test]
+    fn load_relation_routes_rows() {
+        let d = dict();
+        let mut store = DataStore::new();
+        let dropped = store.load_relation(
+            &d,
+            RelId(0),
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("y")],
+                vec![Value::Int(3), Value::str("zzz")], // no partition
+            ],
+        );
+        assert_eq!(dropped, 1);
+        assert_eq!(store.rows_of(PartId::new(RelId(0), 0)).unwrap().len(), 1);
+        assert_eq!(store.rows_of(PartId::new(RelId(0), 1)).unwrap().len(), 1);
+        assert_eq!(store.total_rows(), 2);
+    }
+
+    #[test]
+    fn stats_reflect_data() {
+        let d = dict();
+        let mut store = DataStore::new();
+        store.load_relation(
+            &d,
+            RelId(0),
+            vec![
+                vec![Value::Int(5), Value::str("x")],
+                vec![Value::Int(9), Value::str("x")],
+            ],
+        );
+        let s = store.stats_of(&d, PartId::new(RelId(0), 0)).unwrap();
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.cols[0].min, Some(Value::Int(5)));
+        assert_eq!(s.cols[0].max, Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn subset_and_merge() {
+        let d = dict();
+        let mut store = DataStore::new();
+        store.load_relation(
+            &d,
+            RelId(0),
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("y")],
+            ],
+        );
+        let replica = store.subset(&[PartId::new(RelId(0), 1)]);
+        assert_eq!(replica.total_rows(), 1);
+        let mut other = DataStore::new();
+        other.merge_from(&replica);
+        assert!(other.rows_of(PartId::new(RelId(0), 1)).is_some());
+        assert!(other.rows_of(PartId::new(RelId(0), 0)).is_none());
+    }
+
+    #[test]
+    fn union_source_searches_all_stores() {
+        let d = dict();
+        let mut a = DataStore::new();
+        a.load_relation(&d, RelId(0), vec![vec![Value::Int(1), Value::str("x")]]);
+        let b = a.subset(&[PartId::new(RelId(0), 1)]);
+        let u = UnionSource(vec![&b, &a]);
+        assert!(u.rows_of(PartId::new(RelId(0), 0)).is_some());
+        assert!(u.rows_of(PartId::new(RelId(9), 0)).is_none());
+    }
+}

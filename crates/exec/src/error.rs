@@ -1,0 +1,48 @@
+//! Execution errors.
+
+use qt_catalog::PartId;
+use qt_query::Col;
+use std::fmt;
+
+/// Errors raised by the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A scanned partition is absent from the row source.
+    MissingPartition(PartId),
+    /// A referenced input slot was not supplied.
+    MissingInput(usize),
+    /// A plan references a column its child does not produce.
+    UnresolvedColumn(Col),
+    /// An aggregate was applied to a non-numeric column.
+    TypeError(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingPartition(p) => write!(f, "partition {p} not in row source"),
+            ExecError::MissingInput(i) => write!(f, "input slot {i} not supplied"),
+            ExecError::UnresolvedColumn(c) => {
+                write!(f, "column {:?} not produced by child plan", c)
+            }
+            ExecError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_catalog::RelId;
+
+    #[test]
+    fn display() {
+        assert!(ExecError::MissingPartition(PartId::new(RelId(0), 1))
+            .to_string()
+            .contains("rel0.p1"));
+        assert!(ExecError::MissingInput(3).to_string().contains("slot 3"));
+        assert!(ExecError::TypeError("x".into()).to_string().contains("x"));
+    }
+}

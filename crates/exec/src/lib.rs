@@ -1,0 +1,33 @@
+//! Physical plans and a row executor.
+//!
+//! QT never *executes* anything during optimization ("no query or part of it
+//! is physically executed during the whole optimization procedure", §3.1) —
+//! but a reproduction needs to demonstrate that the plans the optimizer
+//! produces actually compute the right answers. This crate provides:
+//!
+//! * [`plan`] — the physical operator tree ([`PhysPlan`]): scans, filters,
+//!   projections, hash/nested-loop joins, unions, sorts, hash aggregation,
+//!   and [`PhysPlan::Input`] slots for pre-materialized (purchased) tables;
+//! * [`exec`] — a straightforward materializing executor;
+//! * [`datastore`] — in-memory partition storage implementing [`RowSource`];
+//! * [`mod@reference`] — a brute-force evaluator of [`qt_query::Query`] semantics
+//!   used to cross-check every plan the optimizers emit.
+
+pub mod datastore;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod reference;
+pub mod trace;
+
+pub use datastore::DataStore;
+pub use error::ExecError;
+pub use exec::{execute, RowSource};
+pub use plan::{AggSpec, PhysPlan};
+pub use reference::evaluate_query;
+pub use trace::{execute_traced, OpTrace};
+
+/// A row of values.
+pub type Row = Vec<qt_catalog::Value>;
+/// A materialized table.
+pub type Table = Vec<Row>;

@@ -1,0 +1,339 @@
+//! The physical operator tree.
+//!
+//! Every node carries enough information to compute its *output schema* — an
+//! ordered list of [`Col`]s — so predicates and projections can be resolved
+//! positionally at execution time without a separate binding pass.
+
+use qt_catalog::PartId;
+use qt_query::{AggFunc, Col, Predicate};
+
+/// One aggregate computed by [`PhysPlan::HashAggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated column (`None` = `COUNT(*)`).
+    pub arg: Option<Col>,
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    /// Scan a stored partition, producing all attributes of its relation as
+    /// columns `(rel, 0..arity)`.
+    Scan {
+        /// The partition to scan.
+        part: PartId,
+        /// Arity of the relation (fixes the output schema without a dict).
+        arity: usize,
+    },
+    /// A pre-materialized input table (a purchased sub-result) with a known
+    /// schema, read from the executor's input slots.
+    Input {
+        /// Index into the executor's `inputs` array.
+        slot: usize,
+        /// Schema of the table in the slot.
+        schema: Vec<Col>,
+    },
+    /// Keep rows satisfying all predicates.
+    Filter {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Project to the given columns (which must exist in the input schema).
+    Project {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Output columns, in order.
+        cols: Vec<Col>,
+    },
+    /// Hash equi-join on pairwise-equal key columns.
+    HashJoin {
+        /// Build side.
+        left: Box<PhysPlan>,
+        /// Probe side.
+        right: Box<PhysPlan>,
+        /// Join keys: `left_keys[i] = right_keys[i]`.
+        left_keys: Vec<Col>,
+        /// Right-side join keys.
+        right_keys: Vec<Col>,
+    },
+    /// Sort-merge equi-join: both inputs must already be sorted on their
+    /// key columns (the optimizer inserts [`PhysPlan::Sort`] enforcers).
+    /// Output is sorted on the keys.
+    MergeJoin {
+        /// Left input, sorted on `left_keys`.
+        left: Box<PhysPlan>,
+        /// Right input, sorted on `right_keys`.
+        right: Box<PhysPlan>,
+        /// Join keys: `left_keys[i] = right_keys[i]`.
+        left_keys: Vec<Col>,
+        /// Right-side join keys.
+        right_keys: Vec<Col>,
+    },
+    /// Nested-loop theta join (fallback for non-equi predicates; empty
+    /// predicate list = cross product).
+    NlJoin {
+        /// Outer side.
+        left: Box<PhysPlan>,
+        /// Inner side.
+        right: Box<PhysPlan>,
+        /// Join predicates evaluated on the concatenated row.
+        predicates: Vec<Predicate>,
+    },
+    /// Concatenation of inputs with identical schemas (`UNION ALL`; unions of
+    /// disjoint partitions are duplicate-free by construction).
+    Union {
+        /// Input plans (at least one).
+        inputs: Vec<PhysPlan>,
+    },
+    /// Sort ascending by the key columns.
+    Sort {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Sort keys, major first.
+        keys: Vec<Col>,
+    },
+    /// Hash aggregation: one output row per distinct key combination, with
+    /// the group keys first and one column per aggregate after them.
+    HashAggregate {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Grouping keys (may be empty for scalar aggregates).
+        group_by: Vec<Col>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+}
+
+/// Synthetic column marker for aggregate outputs: aggregates produce fresh
+/// columns; we tag them with the argument column (or the first group key /
+/// a zero column for `COUNT(*)`) at attribute offset `AGG_ATTR_BASE + i`.
+/// Downstream plans re-aggregating partial results address them this way.
+pub const AGG_ATTR_BASE: usize = 1_000;
+
+impl PhysPlan {
+    /// The output schema: ordered column identities.
+    pub fn schema(&self) -> Vec<Col> {
+        match self {
+            PhysPlan::Scan { part, arity } => {
+                (0..*arity).map(|a| Col::new(part.rel, a)).collect()
+            }
+            PhysPlan::Input { schema, .. } => schema.clone(),
+            PhysPlan::Filter { input, .. } | PhysPlan::Sort { input, .. } => input.schema(),
+            PhysPlan::Project { cols, .. } => cols.clone(),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::MergeJoin { left, right, .. }
+            | PhysPlan::NlJoin { left, right, .. } => {
+                let mut s = left.schema();
+                s.extend(right.schema());
+                s
+            }
+            PhysPlan::Union { inputs } => inputs[0].schema(),
+            PhysPlan::HashAggregate { group_by, aggs, .. } => {
+                let mut s = group_by.clone();
+                for (i, a) in aggs.iter().enumerate() {
+                    let base = a.arg.or(group_by.first().copied()).unwrap_or(Col::new(
+                        qt_catalog::RelId(0),
+                        0,
+                    ));
+                    s.push(Col::new(base.rel, AGG_ATTR_BASE + i * 10_000 + base.attr));
+                }
+                s
+            }
+        }
+    }
+
+    /// Number of operator nodes (for plan-complexity accounting).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            PhysPlan::Scan { .. } | PhysPlan::Input { .. } => 0,
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::HashAggregate { input, .. } => input.node_count(),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::MergeJoin { left, right, .. }
+            | PhysPlan::NlJoin { left, right, .. } => {
+                left.node_count() + right.node_count()
+            }
+            PhysPlan::Union { inputs } => inputs.iter().map(PhysPlan::node_count).sum(),
+        }
+    }
+
+    /// All partitions scanned anywhere in the tree.
+    pub fn scanned_parts(&self) -> Vec<PartId> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let PhysPlan::Scan { part, .. } = p {
+                out.push(*part);
+            }
+        });
+        out
+    }
+
+    /// All input slots referenced anywhere in the tree.
+    pub fn input_slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let PhysPlan::Input { slot, .. } = p {
+                out.push(*slot);
+            }
+        });
+        out
+    }
+
+    fn visit(&self, f: &mut impl FnMut(&PhysPlan)) {
+        f(self);
+        match self {
+            PhysPlan::Scan { .. } | PhysPlan::Input { .. } => {}
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::HashAggregate { input, .. } => input.visit(f),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::MergeJoin { left, right, .. }
+            | PhysPlan::NlJoin { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            PhysPlan::Union { inputs } => {
+                for i in inputs {
+                    i.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Pretty-print as an indented tree.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.pretty_into(&mut s, 0);
+        s
+    }
+
+    fn pretty_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysPlan::Scan { part, .. } => {
+                let _ = writeln!(out, "{pad}Scan {part}");
+            }
+            PhysPlan::Input { slot, schema } => {
+                let _ = writeln!(out, "{pad}Input slot={slot} ({} cols)", schema.len());
+            }
+            PhysPlan::Filter { input, predicates } => {
+                let _ = writeln!(out, "{pad}Filter ({} preds)", predicates.len());
+                input.pretty_into(out, depth + 1);
+            }
+            PhysPlan::Project { input, cols } => {
+                let _ = writeln!(out, "{pad}Project ({} cols)", cols.len());
+                input.pretty_into(out, depth + 1);
+            }
+            PhysPlan::HashJoin { left, right, left_keys, .. } => {
+                let _ = writeln!(out, "{pad}HashJoin ({} keys)", left_keys.len());
+                left.pretty_into(out, depth + 1);
+                right.pretty_into(out, depth + 1);
+            }
+            PhysPlan::MergeJoin { left, right, left_keys, .. } => {
+                let _ = writeln!(out, "{pad}MergeJoin ({} keys)", left_keys.len());
+                left.pretty_into(out, depth + 1);
+                right.pretty_into(out, depth + 1);
+            }
+            PhysPlan::NlJoin { left, right, predicates } => {
+                let _ = writeln!(out, "{pad}NlJoin ({} preds)", predicates.len());
+                left.pretty_into(out, depth + 1);
+                right.pretty_into(out, depth + 1);
+            }
+            PhysPlan::Union { inputs } => {
+                let _ = writeln!(out, "{pad}Union ({} inputs)", inputs.len());
+                for i in inputs {
+                    i.pretty_into(out, depth + 1);
+                }
+            }
+            PhysPlan::Sort { input, keys } => {
+                let _ = writeln!(out, "{pad}Sort ({} keys)", keys.len());
+                input.pretty_into(out, depth + 1);
+            }
+            PhysPlan::HashAggregate { input, group_by, aggs } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashAggregate ({} keys, {} aggs)",
+                    group_by.len(),
+                    aggs.len()
+                );
+                input.pretty_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_catalog::RelId;
+
+    fn scan(rel: u32, arity: usize) -> PhysPlan {
+        PhysPlan::Scan { part: PartId::new(RelId(rel), 0), arity }
+    }
+
+    #[test]
+    fn scan_schema_enumerates_attrs() {
+        let s = scan(1, 3).schema();
+        assert_eq!(s, vec![
+            Col::new(RelId(1), 0),
+            Col::new(RelId(1), 1),
+            Col::new(RelId(1), 2)
+        ]);
+    }
+
+    #[test]
+    fn join_schema_concatenates() {
+        let j = PhysPlan::HashJoin {
+            left: Box::new(scan(0, 2)),
+            right: Box::new(scan(1, 1)),
+            left_keys: vec![Col::new(RelId(0), 0)],
+            right_keys: vec![Col::new(RelId(1), 0)],
+        };
+        assert_eq!(j.schema().len(), 3);
+        assert_eq!(j.node_count(), 3);
+    }
+
+    #[test]
+    fn aggregate_schema_appends_fresh_columns() {
+        let a = PhysPlan::HashAggregate {
+            input: Box::new(scan(0, 2)),
+            group_by: vec![Col::new(RelId(0), 1)],
+            aggs: vec![AggSpec { func: AggFunc::Sum, arg: Some(Col::new(RelId(0), 0)) }],
+        };
+        let s = a.schema();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], Col::new(RelId(0), 1));
+        assert!(s[1].attr >= AGG_ATTR_BASE);
+    }
+
+    #[test]
+    fn scanned_parts_and_slots_collected() {
+        let p = PhysPlan::Union {
+            inputs: vec![
+                scan(0, 1),
+                PhysPlan::Input { slot: 2, schema: vec![Col::new(RelId(0), 0)] },
+            ],
+        };
+        assert_eq!(p.scanned_parts(), vec![PartId::new(RelId(0), 0)]);
+        assert_eq!(p.input_slots(), vec![2]);
+    }
+
+    #[test]
+    fn pretty_prints_tree() {
+        let j = PhysPlan::Filter {
+            input: Box::new(scan(0, 2)),
+            predicates: vec![],
+        };
+        let s = j.pretty();
+        assert!(s.contains("Filter"));
+        assert!(s.contains("  Scan"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic discrete-event simulation of a federation of autonomous
+//! nodes.
+//!
+//! The paper evaluates QT on a simulated network; this crate is that
+//! substrate. Design goals, in order:
+//!
+//! 1. **Determinism** — identical inputs produce identical virtual
+//!    timestamps and message counts on every run and platform. Experiments
+//!    plot optimization *time*; host-scheduling noise would make the figures
+//!    unreproducible. (This is why the simulator is a single-threaded event
+//!    loop rather than a tokio runtime; see DESIGN.md, substitution 1.)
+//! 2. **Autonomy by construction** — node handlers receive only their own
+//!    state and messages; there is no shared-memory backdoor.
+//! 3. **Cost accounting** — every message is charged latency + size/bandwidth
+//!    on its link; every handler can charge virtual compute time, which
+//!    serializes on its node.
+//!
+//! The simulator is generic over the protocol message type `M`; the QT
+//! protocol itself lives in `qt-core`.
+
+pub mod metrics;
+pub mod sim;
+pub mod topology;
+
+pub use metrics::Metrics;
+pub use sim::{Ctx, Handler, Simulator};
+pub use topology::Topology;

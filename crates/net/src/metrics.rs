@@ -1,0 +1,50 @@
+//! Simulation metrics: the raw material of the messages/time figures.
+
+use std::collections::BTreeMap;
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total payload bytes transferred.
+    pub bytes: f64,
+    /// Messages per protocol kind (the `kind` label passed to `Ctx::send`).
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Total virtual compute seconds charged, across all nodes.
+    pub compute_seconds: f64,
+    /// Events processed (delivered messages, including self-sends).
+    pub events: u64,
+}
+
+impl Metrics {
+    /// Record one delivered message.
+    pub fn record_message(&mut self, kind: &'static str, bytes: f64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Messages of one kind.
+    pub fn kind_count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut m = Metrics::default();
+        m.record_message("rfb", 100.0);
+        m.record_message("rfb", 50.0);
+        m.record_message("offer", 10.0);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bytes, 160.0);
+        assert_eq!(m.kind_count("rfb"), 2);
+        assert_eq!(m.kind_count("offer"), 1);
+        assert_eq!(m.kind_count("nope"), 0);
+    }
+}

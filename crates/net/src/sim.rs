@@ -1,0 +1,418 @@
+//! The event loop.
+
+use crate::metrics::Metrics;
+use crate::topology::Topology;
+use qt_catalog::NodeId;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// A node's protocol behavior. Implementations hold the node's private state
+/// (holdings, optimizer, strategy); the simulator owns one handler per node.
+pub trait Handler<M> {
+    /// React to a delivered message. Use `ctx` to send replies and charge
+    /// virtual compute time; everything queued on `ctx` takes effect after
+    /// the handler returns.
+    fn on_message(&mut self, ctx: &mut Ctx<M>, from: NodeId, msg: M);
+}
+
+/// Side-effect collector passed to handlers.
+pub struct Ctx<M> {
+    now: f64,
+    node: NodeId,
+    compute: f64,
+    outbox: Vec<Outgoing<M>>,
+}
+
+struct Outgoing<M> {
+    to: NodeId,
+    msg: M,
+    bytes: f64,
+    kind: &'static str,
+    extra_delay: f64,
+}
+
+impl<M> Ctx<M> {
+    /// Current virtual time at the start of handling (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The node this handler runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Charge `seconds` of local compute time. The node is busy for that
+    /// long: later messages queue behind it, and replies depart after it.
+    pub fn charge_compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute charge");
+        self.compute += seconds.max(0.0);
+    }
+
+    /// Send `msg` of `bytes` payload bytes to `to`, labeled `kind` for the
+    /// message-count metrics. Departs when the handler's compute finishes.
+    pub fn send(&mut self, to: NodeId, msg: M, bytes: f64, kind: &'static str) {
+        self.outbox.push(Outgoing { to, msg, bytes, kind, extra_delay: 0.0 });
+    }
+
+    /// Schedule `msg` to be delivered *to this node itself* after `delay`
+    /// virtual seconds (a timer: no link, no bytes).
+    pub fn schedule(&mut self, delay: f64, msg: M, kind: &'static str) {
+        debug_assert!(delay >= 0.0, "negative timer delay");
+        self.outbox.push(Outgoing {
+            to: self.node,
+            msg,
+            bytes: 0.0,
+            kind,
+            extra_delay: delay.max(0.0),
+        });
+    }
+}
+
+struct Event<M> {
+    time: f64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    bytes: f64,
+    kind: &'static str,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversal at the call site; tie-break on sequence
+        // number for full determinism.
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// ```
+/// use qt_catalog::NodeId;
+/// use qt_cost::NetLink;
+/// use qt_net::{Ctx, Handler, Simulator, Topology};
+///
+/// struct Echo;
+/// struct Probe { reply_at: Option<f64> }
+///
+/// enum Msg { Ping, Pong }
+/// # // One handler type per simulator; dispatch on node role.
+/// enum Node { Echo(Echo), Probe(Probe) }
+///
+/// impl Handler<Msg> for Node {
+///     fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, msg: Msg) {
+///         match (self, msg) {
+///             (Node::Echo(_), Msg::Ping) => {
+///                 ctx.charge_compute(0.5);                  // half a second of work
+///                 ctx.send(from, Msg::Pong, 1_000.0, "pong"); // 1 KB reply
+///             }
+///             (Node::Probe(p), Msg::Pong) => p.reply_at = Some(ctx.now()),
+///             _ => {}
+///         }
+///     }
+/// }
+///
+/// let mut sim: Simulator<Msg, Node> =
+///     Simulator::new(Topology::Uniform(NetLink { latency: 0.1, bandwidth: 10_000.0 }));
+/// sim.add_node(NodeId(0), Node::Probe(Probe { reply_at: None }));
+/// sim.add_node(NodeId(1), Node::Echo(Echo));
+/// sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping, "ping");
+/// sim.run(100);
+///
+/// // ping at t=0, 0.5 s compute, then 0.1 s latency + 0.1 s transfer.
+/// let Node::Probe(p) = sim.handler(NodeId(0)).unwrap() else { unreachable!() };
+/// assert!((p.reply_at.unwrap() - 0.7).abs() < 1e-9);
+/// assert_eq!(sim.metrics.kind_count("pong"), 1);
+/// ```
+pub struct Simulator<M, H: Handler<M>> {
+    handlers: BTreeMap<NodeId, H>,
+    queue: BinaryHeap<std::cmp::Reverse<Event<M>>>,
+    topology: Topology,
+    time: f64,
+    seq: u64,
+    busy_until: BTreeMap<NodeId, f64>,
+    /// Accumulated metrics (public for the experiment harness).
+    pub metrics: Metrics,
+}
+
+impl<M, H: Handler<M>> Simulator<M, H> {
+    /// New simulator over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        Simulator {
+            handlers: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            topology,
+            time: 0.0,
+            seq: 0,
+            busy_until: BTreeMap::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Register `handler` as node `id`.
+    pub fn add_node(&mut self, id: NodeId, handler: H) {
+        self.handlers.insert(id, handler);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+
+    /// Borrow a node's handler (to read results out after the run).
+    pub fn handler(&self, id: NodeId) -> Option<&H> {
+        self.handlers.get(&id)
+    }
+
+    /// Mutably borrow a node's handler (test instrumentation).
+    pub fn handler_mut(&mut self, id: NodeId) -> Option<&mut H> {
+        self.handlers.get_mut(&id)
+    }
+
+    /// Inject an external message to `to` at absolute virtual time `at`
+    /// (e.g. the user's query arriving at the buyer).
+    pub fn inject(&mut self, at: f64, from: NodeId, to: NodeId, msg: M, kind: &'static str) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(std::cmp::Reverse(Event {
+            time: at,
+            seq,
+            from,
+            to,
+            msg,
+            bytes: 0.0,
+            kind,
+        }));
+    }
+
+    /// Run until the event queue drains or `max_events` deliveries happened.
+    /// Returns the number of events processed.
+    ///
+    /// # Panics
+    /// Panics if a message targets an unregistered node — a protocol bug.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events {
+            let Some(std::cmp::Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
+            processed += 1;
+            self.metrics.events += 1;
+            // Delivery waits for the node to be free (sequential nodes).
+            let start = ev.time.max(self.busy_until.get(&ev.to).copied().unwrap_or(0.0));
+            self.time = start;
+            self.metrics.record_message(ev.kind, ev.bytes);
+
+            let handler = self
+                .handlers
+                .get_mut(&ev.to)
+                .unwrap_or_else(|| panic!("message to unregistered {}", ev.to));
+            let mut ctx = Ctx { now: start, node: ev.to, compute: 0.0, outbox: Vec::new() };
+            handler.on_message(&mut ctx, ev.from, ev.msg);
+
+            self.metrics.compute_seconds += ctx.compute;
+            let done = start + ctx.compute;
+            self.busy_until.insert(ev.to, done);
+            for out in ctx.outbox {
+                let link = self.topology.link(ev.to, out.to);
+                let arrive = done + link.transfer_time(out.bytes) + out.extra_delay;
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(std::cmp::Reverse(Event {
+                    time: arrive,
+                    seq,
+                    from: ev.to,
+                    to: out.to,
+                    msg: out.msg,
+                    bytes: out.bytes,
+                    kind: out.kind,
+                }));
+            }
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_cost::NetLink;
+
+    /// Ping-pong: node 0 sends `n` pings; node 1 echoes each.
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Pinger {
+        remaining: u32,
+        received: Vec<u32>,
+    }
+
+    impl Handler<Msg> for Pinger {
+        fn on_message(&mut self, ctx: &mut Ctx<Msg>, _from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(i) => {
+                    // Echo with some compute.
+                    ctx.charge_compute(0.5);
+                    ctx.send(NodeId(0), Msg::Pong(i), 100.0, "pong");
+                }
+                Msg::Pong(i) => {
+                    self.received.push(i);
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        ctx.send(NodeId(1), Msg::Ping(i + 1), 100.0, "ping");
+                    }
+                }
+            }
+        }
+    }
+
+    fn build(n: u32) -> Simulator<Msg, Pinger> {
+        let mut sim = Simulator::new(Topology::Uniform(NetLink {
+            latency: 1.0,
+            bandwidth: 100.0,
+        }));
+        sim.add_node(NodeId(0), Pinger { remaining: n, received: vec![] });
+        sim.add_node(NodeId(1), Pinger { remaining: 0, received: vec![] });
+        sim
+    }
+
+    #[test]
+    fn ping_pong_round_trip_time() {
+        let mut sim = build(0);
+        // Kick off: deliver Pong(0) to node 0 at t=0; it sends Ping(1)... no,
+        // remaining=0 means it just records. Send a Ping to node 1 instead.
+        sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        sim.run(1000);
+        // One echo: ping delivered t=0, compute 0.5, transfer 1 + 100/100=2
+        // → pong arrives at 2.5.
+        assert!((sim.now() - 2.5).abs() < 1e-9, "{}", sim.now());
+        assert_eq!(sim.handler(NodeId(0)).unwrap().received, vec![0]);
+        assert_eq!(sim.metrics.messages, 2);
+        assert_eq!(sim.metrics.kind_count("pong"), 1);
+        assert!((sim.metrics.compute_seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_rounds_accumulate_time_deterministically() {
+        let mut a = build(3);
+        a.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        a.run(1000);
+        let mut b = build(3);
+        b.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        b.run(1000);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+        assert_eq!(a.handler(NodeId(0)).unwrap().received, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn busy_node_serializes_processing() {
+        // Two pings arrive at t=0; the echoes must be 0.5 apart because the
+        // responder is sequential.
+        struct Recorder {
+            times: Vec<f64>,
+        }
+        struct Echo;
+        enum M2 {
+            Ping,
+            Pong,
+        }
+        enum Either {
+            E(Echo),
+            R(Recorder),
+        }
+        impl Handler<M2> for Either {
+            fn on_message(&mut self, ctx: &mut Ctx<M2>, from: NodeId, msg: M2) {
+                match (self, msg) {
+                    (Either::E(_), M2::Ping) => {
+                        ctx.charge_compute(0.5);
+                        ctx.send(from, M2::Pong, 0.0, "pong");
+                    }
+                    (Either::R(r), M2::Pong) => r.times.push(ctx.now()),
+                    _ => {}
+                }
+            }
+        }
+        let mut sim: Simulator<M2, Either> =
+            Simulator::new(Topology::Uniform(NetLink { latency: 0.0, bandwidth: f64::INFINITY }));
+        sim.add_node(NodeId(0), Either::R(Recorder { times: vec![] }));
+        sim.add_node(NodeId(1), Either::E(Echo));
+        sim.inject(0.0, NodeId(0), NodeId(1), M2::Ping, "ping");
+        sim.inject(0.0, NodeId(0), NodeId(1), M2::Ping, "ping");
+        sim.run(100);
+        let Either::R(r) = sim.handler(NodeId(0)).unwrap() else { panic!() };
+        assert_eq!(r.times.len(), 2);
+        assert!((r.times[0] - 0.5).abs() < 1e-9);
+        assert!((r.times[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_events_bounds_run() {
+        let mut sim = build(1_000_000);
+        sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        let processed = sim.run(10);
+        assert_eq!(processed, 10);
+    }
+
+    #[test]
+    fn scheduled_timers_fire_after_delay() {
+        struct Timed {
+            fired_at: Vec<f64>,
+        }
+        impl Handler<&'static str> for Timed {
+            fn on_message(&mut self, ctx: &mut Ctx<&'static str>, _from: NodeId, msg: &'static str) {
+                match msg {
+                    "start" => ctx.schedule(5.0, "timer", "timer"),
+                    "timer" => self.fired_at.push(ctx.now()),
+                    _ => {}
+                }
+            }
+        }
+        let mut sim: Simulator<&'static str, Timed> = Simulator::new(Topology::default());
+        sim.add_node(NodeId(0), Timed { fired_at: vec![] });
+        sim.inject(0.0, NodeId(0), NodeId(0), "start", "start");
+        sim.run(10);
+        let t = &sim.handler(NodeId(0)).unwrap().fired_at;
+        assert_eq!(t.len(), 1);
+        assert!((t[0] - 5.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn self_send_is_instant() {
+        struct SelfLoop {
+            count: u32,
+        }
+        impl Handler<u32> for SelfLoop {
+            fn on_message(&mut self, ctx: &mut Ctx<u32>, _from: NodeId, msg: u32) {
+                self.count += 1;
+                if msg > 0 {
+                    ctx.send(ctx.node(), msg - 1, 1e9, "self");
+                }
+            }
+        }
+        let mut sim: Simulator<u32, SelfLoop> = Simulator::new(Topology::default());
+        sim.add_node(NodeId(0), SelfLoop { count: 0 });
+        sim.inject(0.0, NodeId(0), NodeId(0), 5, "self");
+        sim.run(100);
+        assert_eq!(sim.handler(NodeId(0)).unwrap().count, 6);
+        assert_eq!(sim.now(), 0.0); // self-sends cost no time
+    }
+}

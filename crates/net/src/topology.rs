@@ -1,0 +1,92 @@
+//! Network topologies: which link connects each node pair.
+
+use qt_catalog::NodeId;
+use qt_cost::NetLink;
+
+/// A topology maps ordered node pairs to links.
+#[derive(Clone)]
+pub enum Topology {
+    /// Every pair connected by the same link (the paper's flat federation).
+    Uniform(NetLink),
+    /// Two-tier: nodes in the same region (`node.0 / region_size`) use the
+    /// fast link, others the slow link. Models regional offices behind WAN
+    /// uplinks.
+    TwoTier {
+        /// Nodes per region.
+        region_size: u32,
+        /// Intra-region link.
+        local: NetLink,
+        /// Inter-region link.
+        remote: NetLink,
+    },
+    /// Arbitrary function (e.g. per-pair jitter seeded deterministically).
+    Custom(std::sync::Arc<dyn Fn(NodeId, NodeId) -> NetLink + Send + Sync>),
+}
+
+impl Topology {
+    /// The link used from `from` to `to`. Self-sends are free and instant.
+    pub fn link(&self, from: NodeId, to: NodeId) -> NetLink {
+        if from == to {
+            return NetLink { latency: 0.0, bandwidth: f64::INFINITY };
+        }
+        match self {
+            Topology::Uniform(l) => *l,
+            Topology::TwoTier { region_size, local, remote } => {
+                if from.0 / region_size == to.0 / region_size {
+                    *local
+                } else {
+                    *remote
+                }
+            }
+            Topology::Custom(f) => f(from, to),
+        }
+    }
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Topology::Uniform(l) => write!(f, "Uniform({l:?})"),
+            Topology::TwoTier { region_size, .. } => write!(f, "TwoTier(region={region_size})"),
+            Topology::Custom(_) => write!(f, "Custom"),
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::Uniform(NetLink::wan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_link_is_instant() {
+        let t = Topology::Uniform(NetLink::wan());
+        let l = t.link(NodeId(1), NodeId(1));
+        assert_eq!(l.transfer_time(1e9), 0.0);
+    }
+
+    #[test]
+    fn two_tier_distinguishes_regions() {
+        let t = Topology::TwoTier {
+            region_size: 4,
+            local: NetLink::lan(),
+            remote: NetLink::wan(),
+        };
+        assert_eq!(t.link(NodeId(0), NodeId(3)).latency, NetLink::lan().latency);
+        assert_eq!(t.link(NodeId(0), NodeId(4)).latency, NetLink::wan().latency);
+    }
+
+    #[test]
+    fn custom_topology_runs_closure() {
+        let t = Topology::Custom(std::sync::Arc::new(|a, b| NetLink {
+            latency: (a.0 + b.0) as f64 * 0.001,
+            bandwidth: 1e6,
+        }));
+        assert!((t.link(NodeId(1), NodeId(2)).latency - 0.003).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Subset-DP machinery shared by the exhaustive and IDP enumerators.
+
+use qt_exec::PhysPlan;
+use std::collections::HashMap;
+
+/// Which join-enumeration strategy a node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum JoinEnumerator {
+    /// Classic System-R dynamic programming over all relation subsets.
+    #[default]
+    Exhaustive,
+    /// IDP-M(k, m) (Kossmann & Stocker): evaluate all `k`-way sub-plans,
+    /// keep only the best `m` of them, then continue like DP. The paper's
+    /// experiments use IDP-M(2, 5).
+    IdpM {
+        /// Sub-plan size at which pruning happens.
+        k: usize,
+        /// Number of sub-plans kept at size `k`.
+        m: usize,
+    },
+}
+
+impl JoinEnumerator {
+    /// The paper's IDP-M(2,5).
+    pub fn idp_2_5() -> Self {
+        JoinEnumerator::IdpM { k: 2, m: 5 }
+    }
+
+    /// Label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            JoinEnumerator::Exhaustive => "DP".into(),
+            JoinEnumerator::IdpM { k, m } => format!("IDP({k},{m})"),
+        }
+    }
+}
+
+
+/// One memoized sub-plan: the best known way to compute the join over a
+/// relation subset.
+#[derive(Debug, Clone)]
+pub struct DpEntry {
+    /// The physical sub-plan.
+    pub plan: PhysPlan,
+    /// Local cost in node-seconds.
+    pub cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output row width in bytes (full concatenated tuples).
+    pub width: f64,
+    /// Columns the output is sorted on (major first); empty = unordered.
+    /// Merge joins produce key-ordered output that later merge joins and
+    /// `ORDER BY` can reuse.
+    pub order: Vec<qt_query::Col>,
+}
+
+/// Does order `a` cover order `b` — i.e. is a stream sorted on `a` also
+/// sorted on `b`? True iff `b` is a prefix of `a`.
+pub fn order_covers(a: &[qt_query::Col], b: &[qt_query::Col]) -> bool {
+    b.len() <= a.len() && a[..b.len()] == *b
+}
+
+/// DP table keyed by relation-subset bitmask, organized by subset size.
+///
+/// Each subset keeps a *Pareto set* of entries over (cost, interesting
+/// order) — System R's classic treatment: a plan survives unless another
+/// plan is at most as expensive **and** at least as ordered.
+#[derive(Debug, Default)]
+pub struct DpTable {
+    entries: HashMap<u64, Vec<DpEntry>>,
+    by_size: Vec<Vec<u64>>,
+}
+
+impl DpTable {
+    /// Table for a query over `n` relations.
+    pub fn new(n: usize) -> Self {
+        DpTable { entries: HashMap::new(), by_size: vec![Vec::new(); n + 1] }
+    }
+
+    /// Insert `entry` for `mask`, maintaining the Pareto set.
+    pub fn insert(&mut self, mask: u64, entry: DpEntry) {
+        let slot = match self.entries.get_mut(&mask) {
+            Some(v) => v,
+            None => {
+                self.by_size[mask.count_ones() as usize].push(mask);
+                self.entries.entry(mask).or_default()
+            }
+        };
+        // Dominated by an existing entry?
+        if slot
+            .iter()
+            .any(|e| e.cost <= entry.cost && order_covers(&e.order, &entry.order))
+        {
+            return;
+        }
+        // Remove entries the newcomer dominates.
+        slot.retain(|e| !(entry.cost <= e.cost && order_covers(&entry.order, &e.order)));
+        slot.push(entry);
+    }
+
+    /// The cheapest entry for `mask`, if any.
+    pub fn get(&self, mask: u64) -> Option<&DpEntry> {
+        self.entries
+            .get(&mask)?
+            .iter()
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+    }
+
+    /// All Pareto entries for `mask`.
+    pub fn entries(&self, mask: u64) -> &[DpEntry] {
+        self.entries.get(&mask).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Masks of a given subset size (insertion order).
+    pub fn masks_of_size(&self, size: usize) -> &[u64] {
+        self.by_size.get(size).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// IDP pruning: keep only the `m` masks of `size` with the cheapest
+    /// best entries.
+    pub fn prune_size(&mut self, size: usize, m: usize) {
+        let masks = &mut self.by_size[size];
+        if masks.len() <= m {
+            return;
+        }
+        let best = |entries: &HashMap<u64, Vec<DpEntry>>, mask: &u64| -> f64 {
+            entries[mask]
+                .iter()
+                .map(|e| e.cost)
+                .fold(f64::INFINITY, f64::min)
+        };
+        masks.sort_by(|a, b| {
+            best(&self.entries, a)
+                .total_cmp(&best(&self.entries, b))
+                .then(a.cmp(b))
+        });
+        for dropped in masks.split_off(m) {
+            self.entries.remove(&dropped);
+        }
+    }
+
+    /// All `(mask, best entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &DpEntry)> {
+        self.entries.iter().filter_map(|(m, v)| {
+            v.iter().min_by(|a, b| a.cost.total_cmp(&b.cost)).map(|e| (*m, e))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_catalog::{PartId, RelId};
+
+    fn entry(cost: f64) -> DpEntry {
+        DpEntry {
+            plan: PhysPlan::Scan { part: PartId::new(RelId(0), 0), arity: 1 },
+            cost,
+            rows: 1.0,
+            width: 8.0,
+            order: vec![],
+        }
+    }
+
+    #[test]
+    fn insert_keeps_cheaper() {
+        let mut t = DpTable::new(3);
+        t.insert(0b11, entry(5.0));
+        t.insert(0b11, entry(9.0));
+        assert_eq!(t.get(0b11).unwrap().cost, 5.0);
+        t.insert(0b11, entry(2.0));
+        assert_eq!(t.get(0b11).unwrap().cost, 2.0);
+        assert_eq!(t.masks_of_size(2), &[0b11]);
+    }
+
+    #[test]
+    fn prune_keeps_best_m() {
+        let mut t = DpTable::new(4);
+        t.insert(0b0011, entry(5.0));
+        t.insert(0b0101, entry(1.0));
+        t.insert(0b1001, entry(3.0));
+        t.prune_size(2, 2);
+        assert!(t.get(0b0101).is_some());
+        assert!(t.get(0b1001).is_some());
+        assert!(t.get(0b0011).is_none());
+        assert_eq!(t.masks_of_size(2).len(), 2);
+    }
+
+    #[test]
+    fn prune_noop_when_small() {
+        let mut t = DpTable::new(4);
+        t.insert(0b0011, entry(5.0));
+        t.prune_size(2, 5);
+        assert!(t.get(0b0011).is_some());
+    }
+
+    #[test]
+    fn enumerator_labels() {
+        assert_eq!(JoinEnumerator::Exhaustive.label(), "DP");
+        assert_eq!(JoinEnumerator::idp_2_5().label(), "IDP(2,5)");
+    }
+}

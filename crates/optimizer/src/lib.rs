@@ -1,0 +1,28 @@
+//! Per-node local query optimizer.
+//!
+//! Every node in the federation runs one of these privately. It serves three
+//! callers:
+//!
+//! * a seller estimating the cost of a (rewritten) query it was asked to bid
+//!   on — [`LocalOptimizer::optimize`];
+//! * a seller generating the *partial* k-way join results the paper's
+//!   modified dynamic-programming algorithm includes in offers (§3.4) —
+//!   [`LocalOptimizer::partial_results`];
+//! * the baselines, which run the same enumerators with global knowledge.
+//!
+//! Two enumeration strategies are provided: exhaustive System-R style
+//! dynamic programming over subsets ([`JoinEnumerator::Exhaustive`]) and
+//! Iterative Dynamic Programming **IDP-M(k,m)** after Kossmann & Stocker
+//! ([`JoinEnumerator::IdpM`]), the paper's scalable alternative: evaluate all
+//! k-way sub-plans, keep the best m, continue like DP.
+//!
+//! The enumerators report their *effort* (sub-plans considered); the
+//! simulation charges optimization compute time proportionally, which is how
+//! the optimization-time experiments see DP's exponential blow-up without
+//! depending on host CPU speed.
+
+pub mod dp;
+pub mod local;
+
+pub use dp::JoinEnumerator;
+pub use local::{LocalOptimizer, Optimized, PartialResult};

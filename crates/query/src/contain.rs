@@ -1,0 +1,268 @@
+//! Conjunctive-predicate implication.
+//!
+//! The buyer and seller predicates analysers (§3.5, §3.7) and the
+//! materialized-view matcher need to answer one question: given a
+//! conjunction `P`, does `P` imply a predicate `q`? We implement the classic
+//! sound-but-incomplete syntactic test over per-column value intervals: exact
+//! for the comparison predicates this model admits on a single column, and
+//! identity-based for column-to-column predicates.
+
+use crate::predicate::{Col, CompOp, Operand, Predicate};
+use qt_catalog::Value;
+use std::collections::BTreeMap;
+
+/// Per-column knowledge derived from a conjunction: an interval plus
+/// equality/inequality constants.
+#[derive(Debug, Clone, Default)]
+struct ColRange {
+    /// Greatest lower bound `(value, inclusive)`.
+    lo: Option<(Value, bool)>,
+    /// Least upper bound `(value, inclusive)`.
+    hi: Option<(Value, bool)>,
+    /// Pinned value from an equality predicate.
+    eq: Option<Value>,
+    /// Excluded values from `<>` predicates.
+    ne: Vec<Value>,
+}
+
+impl ColRange {
+    fn add(&mut self, op: CompOp, v: &Value) {
+        match op {
+            CompOp::Eq => {
+                self.eq = Some(v.clone());
+                self.tighten_lo(v, true);
+                self.tighten_hi(v, true);
+            }
+            CompOp::Ne => self.ne.push(v.clone()),
+            CompOp::Lt => self.tighten_hi(v, false),
+            CompOp::Le => self.tighten_hi(v, true),
+            CompOp::Gt => self.tighten_lo(v, false),
+            CompOp::Ge => self.tighten_lo(v, true),
+        }
+    }
+
+    fn tighten_lo(&mut self, v: &Value, inclusive: bool) {
+        let better = match &self.lo {
+            None => true,
+            Some((cur, cur_inc)) => v > cur || (v == cur && *cur_inc && !inclusive),
+        };
+        if better {
+            self.lo = Some((v.clone(), inclusive));
+        }
+    }
+
+    fn tighten_hi(&mut self, v: &Value, inclusive: bool) {
+        let better = match &self.hi {
+            None => true,
+            Some((cur, cur_inc)) => v < cur || (v == cur && *cur_inc && !inclusive),
+        };
+        if better {
+            self.hi = Some((v.clone(), inclusive));
+        }
+    }
+
+    /// Does every value in this range satisfy `op v`?
+    fn implies(&self, op: CompOp, v: &Value) -> bool {
+        if let Some(eq) = &self.eq {
+            return op.eval(eq, v);
+        }
+        match op {
+            CompOp::Eq => false, // a non-pinned range can't imply equality
+            CompOp::Ne => {
+                // Implied when v is outside the interval, or explicitly excluded.
+                self.ne.contains(v)
+                    || self.lo.as_ref().is_some_and(|(lo, inc)| {
+                        v < lo || (v == lo && !inc)
+                    })
+                    || self.hi.as_ref().is_some_and(|(hi, inc)| {
+                        v > hi || (v == hi && !inc)
+                    })
+            }
+            CompOp::Lt => self
+                .hi
+                .as_ref()
+                .is_some_and(|(hi, inc)| hi < v || (hi == v && !inc)),
+            CompOp::Le => self.hi.as_ref().is_some_and(|(hi, _)| hi <= v),
+            CompOp::Gt => self
+                .lo
+                .as_ref()
+                .is_some_and(|(lo, inc)| lo > v || (lo == v && !inc)),
+            CompOp::Ge => self.lo.as_ref().is_some_and(|(lo, _)| lo >= v),
+        }
+    }
+
+    /// Is the range empty (conjunction unsatisfiable on this column)?
+    fn is_empty(&self) -> bool {
+        if let (Some((lo, lo_inc)), Some((hi, hi_inc))) = (&self.lo, &self.hi) {
+            if lo > hi || (lo == hi && !(*lo_inc && *hi_inc)) {
+                return true;
+            }
+        }
+        if let Some(eq) = &self.eq {
+            if self.ne.contains(eq) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn ranges_of(preds: &[Predicate]) -> BTreeMap<Col, ColRange> {
+    let mut m: BTreeMap<Col, ColRange> = BTreeMap::new();
+    for p in preds {
+        if let Operand::Const(v) = &p.right {
+            m.entry(p.left).or_default().add(p.op, v);
+        }
+    }
+    m
+}
+
+/// Does the conjunction `premises` imply `conclusion`?
+///
+/// Sound but incomplete: `true` guarantees implication; `false` means "not
+/// provable here". Column-to-column predicates are implied only by a
+/// syntactically identical (canonical) premise.
+pub fn implies(premises: &[Predicate], conclusion: &Predicate) -> bool {
+    let conclusion = conclusion.clone().canonical();
+    // Identity.
+    if premises.iter().any(|p| p.clone().canonical() == conclusion) {
+        return true;
+    }
+    match &conclusion.right {
+        Operand::Col(_) => false,
+        Operand::Const(v) => {
+            let ranges = ranges_of(premises);
+            ranges
+                .get(&conclusion.left)
+                .is_some_and(|r| r.implies(conclusion.op, v))
+        }
+    }
+}
+
+/// Does `premises` imply *every* predicate in `conclusions`?
+pub fn implies_all(premises: &[Predicate], conclusions: &[Predicate]) -> bool {
+    conclusions.iter().all(|c| implies(premises, c))
+}
+
+/// Simplify a conjunction: drop conjuncts implied by the others; return
+/// `None` if the conjunction is detectably unsatisfiable.
+pub fn simplify(preds: &[Predicate]) -> Option<Vec<Predicate>> {
+    let ranges = ranges_of(preds);
+    if ranges.values().any(ColRange::is_empty) {
+        return None;
+    }
+    let mut kept: Vec<Predicate> = Vec::new();
+    for (i, p) in preds.iter().enumerate() {
+        let mut others: Vec<Predicate> = Vec::with_capacity(preds.len() - 1 + kept.len());
+        others.extend_from_slice(&kept);
+        others.extend(preds[i + 1..].iter().cloned());
+        if !implies(&others, p) {
+            kept.push(p.clone().canonical());
+        }
+    }
+    kept.sort();
+    kept.dedup();
+    Some(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_catalog::RelId;
+
+    fn col(a: usize) -> Col {
+        Col::new(RelId(0), a)
+    }
+
+    fn pc(attr: usize, op: CompOp, v: i64) -> Predicate {
+        Predicate::with_const(col(attr), op, v)
+    }
+
+    #[test]
+    fn identity_implication() {
+        let p = pc(0, CompOp::Gt, 5);
+        assert!(implies(std::slice::from_ref(&p), &p));
+    }
+
+    #[test]
+    fn equality_implies_range() {
+        let prem = [pc(0, CompOp::Eq, 5)];
+        assert!(implies(&prem, &pc(0, CompOp::Ge, 3)));
+        assert!(implies(&prem, &pc(0, CompOp::Le, 5)));
+        assert!(implies(&prem, &pc(0, CompOp::Ne, 9)));
+        assert!(!implies(&prem, &pc(0, CompOp::Gt, 5)));
+        assert!(!implies(&prem, &pc(0, CompOp::Eq, 6)));
+    }
+
+    #[test]
+    fn range_implies_weaker_range() {
+        let prem = [pc(0, CompOp::Gt, 10)];
+        assert!(implies(&prem, &pc(0, CompOp::Gt, 5)));
+        assert!(implies(&prem, &pc(0, CompOp::Ge, 10)));
+        assert!(implies(&prem, &pc(0, CompOp::Ne, 10)));
+        assert!(implies(&prem, &pc(0, CompOp::Ne, 3)));
+        assert!(!implies(&prem, &pc(0, CompOp::Gt, 11)));
+        assert!(!implies(&prem, &pc(0, CompOp::Lt, 100)));
+    }
+
+    #[test]
+    fn interval_implies_not_equal_outside() {
+        let prem = [pc(0, CompOp::Ge, 0), pc(0, CompOp::Lt, 10)];
+        assert!(implies(&prem, &pc(0, CompOp::Ne, 10)));
+        assert!(implies(&prem, &pc(0, CompOp::Ne, -1)));
+        assert!(!implies(&prem, &pc(0, CompOp::Ne, 5)));
+        assert!(!implies(&prem, &pc(0, CompOp::Le, 9))); // ints not modeled densely
+        assert!(implies(&prem, &pc(0, CompOp::Lt, 10)));
+    }
+
+    #[test]
+    fn different_columns_do_not_interact() {
+        let prem = [pc(0, CompOp::Eq, 5)];
+        assert!(!implies(&prem, &pc(1, CompOp::Eq, 5)));
+    }
+
+    #[test]
+    fn join_predicate_only_identity() {
+        let j1 = Predicate::eq_cols(Col::new(RelId(0), 0), Col::new(RelId(1), 2));
+        let j2 = Predicate::eq_cols(Col::new(RelId(1), 2), Col::new(RelId(0), 0));
+        assert!(implies(std::slice::from_ref(&j1), &j2)); // canonical forms match
+        let j3 = Predicate::eq_cols(Col::new(RelId(0), 1), Col::new(RelId(1), 2));
+        assert!(!implies(&[j1], &j3));
+    }
+
+    #[test]
+    fn implies_all_checks_everything() {
+        let prem = [pc(0, CompOp::Eq, 5), pc(1, CompOp::Gt, 0)];
+        let good = [pc(0, CompOp::Ge, 5), pc(1, CompOp::Ge, 0)];
+        assert!(implies_all(&prem, &good));
+        let bad = [pc(0, CompOp::Ge, 5), pc(1, CompOp::Gt, 1)];
+        assert!(!implies_all(&prem, &bad));
+    }
+
+    #[test]
+    fn gt_implies_ge_same_bound() {
+        // x > 0 implies x >= 0.
+        assert!(implies(&[pc(0, CompOp::Gt, 0)], &pc(0, CompOp::Ge, 0)));
+    }
+
+    #[test]
+    fn simplify_drops_redundant() {
+        let preds = vec![pc(0, CompOp::Gt, 5), pc(0, CompOp::Gt, 3)];
+        let s = simplify(&preds).unwrap();
+        assert_eq!(s, vec![pc(0, CompOp::Gt, 5)]);
+    }
+
+    #[test]
+    fn simplify_detects_contradiction() {
+        assert!(simplify(&[pc(0, CompOp::Gt, 5), pc(0, CompOp::Lt, 3)]).is_none());
+        assert!(simplify(&[pc(0, CompOp::Eq, 5), pc(0, CompOp::Ne, 5)]).is_none());
+        assert!(simplify(&[pc(0, CompOp::Lt, 5), pc(0, CompOp::Ge, 5)]).is_none());
+    }
+
+    #[test]
+    fn simplify_keeps_satisfiable() {
+        let preds = vec![pc(0, CompOp::Ge, 0), pc(0, CompOp::Lt, 10), pc(1, CompOp::Eq, 3)];
+        let s = simplify(&preds).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the query algebra.
+
+use proptest::prelude::*;
+use qt_catalog::{
+    AttrType, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelId,
+    RelationSchema, SchemaDict, Value,
+};
+use qt_query::{
+    contain::simplify, implies, parse_query, Col, CompOp, PartSet, Predicate, Query, SelectItem,
+};
+use std::sync::Arc;
+
+fn dict() -> Arc<SchemaDict> {
+    let mut b = CatalogBuilder::new();
+    let r = b.add_relation(
+        RelationSchema::new(
+            "r",
+            vec![("a", AttrType::Int), ("b", AttrType::Int), ("c", AttrType::Int)],
+        ),
+        Partitioning::Hash { attr: 0, parts: 4 },
+    );
+    let s = b.add_relation(
+        RelationSchema::new("s", vec![("a", AttrType::Int), ("d", AttrType::Int)]),
+        Partitioning::Single,
+    );
+    for i in 0..4 {
+        b.set_stats(PartId::new(r, i), PartitionStats::synthetic(10, &[10, 10, 10]));
+        b.place(PartId::new(r, i), NodeId(0));
+    }
+    b.set_stats(PartId::new(s, 0), PartitionStats::synthetic(10, &[10, 10]));
+    b.place(PartId::new(s, 0), NodeId(0));
+    b.build().dict
+}
+
+fn comp_op() -> impl Strategy<Value = CompOp> {
+    prop_oneof![
+        Just(CompOp::Eq),
+        Just(CompOp::Ne),
+        Just(CompOp::Lt),
+        Just(CompOp::Le),
+        Just(CompOp::Gt),
+        Just(CompOp::Ge),
+    ]
+}
+
+fn const_pred(attr: usize) -> impl Strategy<Value = Predicate> {
+    (comp_op(), -20i64..20).prop_map(move |(op, v)| {
+        Predicate::with_const(Col::new(RelId(0), attr), op, v)
+    })
+}
+
+proptest! {
+    /// Soundness of `implies`: if the conjunction P implies q, every value
+    /// satisfying all of P satisfies q.
+    #[test]
+    fn implication_is_sound(
+        premises in prop::collection::vec(const_pred(0), 1..5),
+        conclusion in const_pred(0),
+        probe in -25i64..25,
+    ) {
+        if implies(&premises, &conclusion) {
+            let row = [Value::Int(probe), Value::Int(0), Value::Int(0)];
+            let sat = |p: &Predicate| match &p.right {
+                qt_query::Operand::Const(v) => p.op.eval(&row[p.left.attr], v),
+                qt_query::Operand::Col(c) => p.op.eval(&row[p.left.attr], &row[c.attr]),
+            };
+            if premises.iter().all(sat) {
+                prop_assert!(sat(&conclusion),
+                    "{premises:?} implies {conclusion:?} but probe {probe} violates it");
+            }
+        }
+    }
+
+    /// `simplify` preserves satisfying assignments (on single-column
+    /// conjunctions it must keep exactly the same models).
+    #[test]
+    fn simplify_preserves_models(
+        preds in prop::collection::vec(const_pred(1), 1..5),
+        probe in -25i64..25,
+    ) {
+        let row = [Value::Int(0), Value::Int(probe), Value::Int(0)];
+        let sat = |ps: &[Predicate]| ps.iter().all(|p| match &p.right {
+            qt_query::Operand::Const(v) => p.op.eval(&row[p.left.attr], v),
+            qt_query::Operand::Col(c) => p.op.eval(&row[p.left.attr], &row[c.attr]),
+        });
+        match simplify(&preds) {
+            // UNSAT detection must be sound: no probe may satisfy the input.
+            None => prop_assert!(
+                !sat(&preds),
+                "simplify said UNSAT but {probe} satisfies {preds:?}"
+            ),
+            Some(kept) => prop_assert_eq!(sat(&preds), sat(&kept)),
+        }
+    }
+
+    /// Canonicalization is idempotent and order-insensitive.
+    #[test]
+    fn canonicalization_is_stable(
+        mut preds in prop::collection::vec(const_pred(0), 0..6),
+        swap in any::<bool>(),
+    ) {
+        let d = dict();
+        let q1 = Query::over_full(&d, [RelId(0)])
+            .with_select(vec![SelectItem::Col(Col::new(RelId(0), 2))])
+            .with_predicates(preds.clone());
+        if swap {
+            preds.reverse();
+        }
+        let q2 = Query::over_full(&d, [RelId(0)])
+            .with_select(vec![SelectItem::Col(Col::new(RelId(0), 2))])
+            .with_predicates(preds);
+        prop_assert_eq!(&q1, &q2);
+        let mut q3 = q1.clone();
+        q3.canonicalize();
+        prop_assert_eq!(q1, q3);
+    }
+
+    /// SQL display → parse is the identity on valid queries.
+    #[test]
+    fn display_parse_roundtrip(
+        n_preds in 0usize..3,
+        cut in -10i64..10,
+        use_join in any::<bool>(),
+        agg in any::<bool>(),
+    ) {
+        let d = dict();
+        let r = RelId(0);
+        let s = RelId(1);
+        let mut preds = vec![];
+        if use_join {
+            preds.push(Predicate::eq_cols(Col::new(r, 0), Col::new(s, 0)));
+        }
+        for i in 0..n_preds {
+            preds.push(Predicate::with_const(Col::new(r, 1), CompOp::Gt, cut + i as i64));
+        }
+        let rels: Vec<RelId> = if use_join { vec![r, s] } else { vec![r] };
+        let q = if agg {
+            Query::over_full(&d, rels)
+                .with_predicates(preds)
+                .with_select(vec![
+                    SelectItem::Col(Col::new(r, 1)),
+                    SelectItem::Agg { func: qt_query::AggFunc::Sum, arg: Some(Col::new(r, 2)) },
+                ])
+                .with_group_by(vec![Col::new(r, 1)])
+        } else {
+            Query::over_full(&d, rels)
+                .with_predicates(preds)
+                .with_select(vec![SelectItem::Col(Col::new(r, 2))])
+        };
+        prop_assert!(q.validate(&d).is_ok());
+        let sql = q.display_with(&d).to_string();
+        let q2 = parse_query(&d, &sql).unwrap();
+        prop_assert_eq!(q, q2, "{}", sql);
+    }
+
+    /// PartSet algebra laws.
+    #[test]
+    fn partset_algebra(
+        a in prop::collection::btree_set(0u16..16, 0..10),
+        b in prop::collection::btree_set(0u16..16, 0..10),
+    ) {
+        let pa = PartSet::from_indices(a.iter().copied());
+        let pb = PartSet::from_indices(b.iter().copied());
+        prop_assert_eq!(pa.union(&pb), pb.union(&pa));
+        prop_assert_eq!(pa.intersect(&pb), pb.intersect(&pa));
+        prop_assert_eq!(pa.minus(&pb).union(&pa.intersect(&pb)), pa);
+        prop_assert_eq!(pa.is_disjoint(&pb), pa.intersect(&pb).is_empty());
+        prop_assert!(pa.intersect(&pb).is_subset(&pa));
+        prop_assert!(pa.is_subset(&pa.union(&pb)));
+        prop_assert_eq!(pa.len() as usize, a.len());
+    }
+
+    /// `restrict_to_rels` output always validates and keeps needed columns.
+    #[test]
+    fn restrict_validates(keep_r in any::<bool>(), keep_s in any::<bool>()) {
+        prop_assume!(keep_r || keep_s);
+        let d = dict();
+        let r = RelId(0);
+        let s = RelId(1);
+        let q = Query::over_full(&d, [r, s])
+            .with_predicates(vec![
+                Predicate::eq_cols(Col::new(r, 0), Col::new(s, 0)),
+                Predicate::with_const(Col::new(r, 1), CompOp::Lt, 5i64),
+            ])
+            .with_select(vec![SelectItem::Col(Col::new(s, 1))]);
+        let mut rels = std::collections::BTreeSet::new();
+        if keep_r { rels.insert(r); }
+        if keep_s { rels.insert(s); }
+        let sub = q.restrict_to_rels(&rels);
+        prop_assert!(sub.validate(&d).is_ok());
+        if keep_r {
+            // The join column must survive so the fragment stays joinable.
+            prop_assert!(sub.select.contains(&SelectItem::Col(Col::new(r, 0))));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Generic trading-negotiation framework (§2 of the paper).
+//!
+//! A trading framework has two orthogonal pieces per party:
+//!
+//! * a **negotiation protocol** — the rules of the exchange (bidding,
+//!   bargaining, auctions) deciding who wins and at what value;
+//! * a **strategy module** — the party's private policy choosing what to
+//!   offer/ask given its true valuation and what it knows about the others.
+//!
+//! QT reuses this machinery unchanged for the *nested* winner-selection
+//! negotiation of each iteration (steps B3/S3); what QT changes is only that
+//! the negotiated item set differs per iteration. Hence this crate knows
+//! nothing about queries — it negotiates abstract items whose buyer-side
+//! scores and seller-side costs are already known.
+
+pub mod offer;
+pub mod protocol;
+pub mod strategy;
+
+pub use offer::{Bid, NegotiationOutcome};
+pub use protocol::ProtocolKind;
+pub use strategy::{BuyerValueBook, SellerStrategy};

@@ -1,0 +1,80 @@
+//! Bids and negotiation outcomes.
+
+use qt_catalog::NodeId;
+
+/// One seller's position in a negotiation for a single item, as the
+/// *protocol* sees it: an asking value and (held privately in simulation) the
+/// seller's true reservation value. Values are in the buyer's valuation unit
+/// (seconds of response time by default), lower = better.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bid {
+    /// The bidding seller.
+    pub seller: NodeId,
+    /// Asking value announced to the buyer.
+    pub ask: f64,
+    /// The seller's true cost (reservation value). In a real federation this
+    /// is private; the simulator uses it to drive auction dynamics
+    /// (drop-outs, concessions) faithfully.
+    pub reserve: f64,
+}
+
+impl Bid {
+    /// Convenience constructor.
+    pub fn new(seller: NodeId, ask: f64, reserve: f64) -> Self {
+        Bid { seller, ask, reserve }
+    }
+}
+
+/// The result of a winner-selection negotiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegotiationOutcome {
+    /// Index (into the bid list) of the winning bid, `None` if no bid was
+    /// acceptable.
+    pub winner: Option<usize>,
+    /// Value agreed with the winner (what the buyer "pays" — enters the plan
+    /// cost under monetary valuations; equals the promised cost otherwise).
+    pub agreed_value: f64,
+    /// Messages exchanged by the protocol *beyond* the initial RFB/offer
+    /// round (award notices, auction rounds, bargaining counter-offers).
+    pub extra_messages: u64,
+    /// Virtual round-trips consumed beyond the initial round.
+    pub extra_round_trips: u64,
+}
+
+impl NegotiationOutcome {
+    /// The empty outcome (no bids).
+    pub fn no_deal() -> Self {
+        NegotiationOutcome {
+            winner: None,
+            agreed_value: f64::INFINITY,
+            extra_messages: 0,
+            extra_round_trips: 0,
+        }
+    }
+
+    /// Seller surplus for the winning bid: agreed value minus true cost.
+    pub fn seller_surplus(&self, bids: &[Bid]) -> f64 {
+        match self.winner {
+            Some(i) => self.agreed_value - bids[i].reserve,
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surplus_is_agreed_minus_reserve() {
+        let bids = vec![Bid::new(NodeId(1), 12.0, 10.0)];
+        let out = NegotiationOutcome {
+            winner: Some(0),
+            agreed_value: 12.0,
+            extra_messages: 1,
+            extra_round_trips: 1,
+        };
+        assert!((out.seller_surplus(&bids) - 2.0).abs() < 1e-12);
+        assert_eq!(NegotiationOutcome::no_deal().seller_surplus(&bids), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Strategy modules.
+//!
+//! Strategies are the *private policies* of the trading parties (§2): given a
+//! party's true valuation, what does it announce? Cooperative strategies
+//! maximize joint surplus (truth-telling); competitive strategies maximize
+//! private surplus (markups, adapted from outcomes).
+
+use qt_cost::AnswerProperties;
+use std::collections::HashMap;
+
+/// The seller-side strategy: turn a true cost estimate into an asking offer.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum SellerStrategy {
+    /// Cooperative: ask exactly the true cost (parts of one organization —
+    /// the paper's telecom company).
+    #[default]
+    Truthful,
+    /// Competitive: multiply the true cost by `markup` (>= 1). With
+    /// `adaptive`, the markup moves by `step` after each outcome — up after
+    /// a win (extract more surplus), down after a loss (price back in) —
+    /// clamped to `[1, max_markup]`.
+    Markup {
+        /// Current markup factor.
+        markup: f64,
+        /// Whether outcomes adjust the markup.
+        adaptive: bool,
+        /// Adjustment step per outcome.
+        step: f64,
+        /// Upper clamp for the markup.
+        max_markup: f64,
+    },
+}
+
+impl SellerStrategy {
+    /// A fixed, non-adaptive markup.
+    pub fn fixed_markup(markup: f64) -> Self {
+        SellerStrategy::Markup { markup, adaptive: false, step: 0.0, max_markup: markup }
+    }
+
+    /// A standard adaptive competitor.
+    pub fn adaptive_markup(initial: f64) -> Self {
+        SellerStrategy::Markup { markup: initial, adaptive: true, step: 0.05, max_markup: 3.0 }
+    }
+
+    /// The asking properties announced for a true-cost estimate.
+    pub fn ask_for(&self, true_cost: &AnswerProperties) -> AnswerProperties {
+        match self {
+            SellerStrategy::Truthful => true_cost.clone(),
+            SellerStrategy::Markup { markup, .. } => {
+                let mut p = true_cost.clone();
+                p.total_time *= markup;
+                p.first_row_time *= markup;
+                p.price *= markup;
+                if p.total_time > 0.0 {
+                    p.rows_per_sec = p.rows / p.total_time;
+                }
+                p
+            }
+        }
+    }
+
+    /// Feed back a negotiation outcome so adaptive strategies can learn.
+    pub fn observe_outcome(&mut self, won: bool) {
+        if let SellerStrategy::Markup { markup, adaptive: true, step, max_markup } = self {
+            if won {
+                *markup = (*markup + *step).min(*max_markup);
+            } else {
+                *markup = (*markup - *step).max(1.0);
+            }
+        }
+    }
+
+    /// Current markup factor (1.0 for truthful).
+    pub fn current_markup(&self) -> f64 {
+        match self {
+            SellerStrategy::Truthful => 1.0,
+            SellerStrategy::Markup { markup, .. } => *markup,
+        }
+    }
+}
+
+
+/// The buyer-side value book (step B1): the buyer's running estimates of what
+/// each traded item should cost, used as the RFB reference value and the
+/// walk-away reserve of the nested negotiation.
+///
+/// Keys are opaque item fingerprints so this crate stays query-agnostic.
+#[derive(Debug, Clone, Default)]
+pub struct BuyerValueBook {
+    estimates: HashMap<u64, f64>,
+    /// Reserve multiplier: the buyer walks away above `reserve_factor × est`.
+    pub reserve_factor: f64,
+    /// Default estimate for never-seen items (the paper's "predefined
+    /// constant" initial value).
+    pub default_estimate: f64,
+}
+
+impl BuyerValueBook {
+    /// Fresh book with the given defaults.
+    pub fn new(default_estimate: f64, reserve_factor: f64) -> Self {
+        BuyerValueBook { estimates: HashMap::new(), reserve_factor, default_estimate }
+    }
+
+    /// Current estimate for an item.
+    pub fn estimate(&self, item: u64) -> f64 {
+        self.estimates.get(&item).copied().unwrap_or(self.default_estimate)
+    }
+
+    /// The buyer's walk-away value for an item.
+    pub fn reserve(&self, item: u64) -> f64 {
+        let est = self.estimate(item);
+        if est.is_finite() {
+            est * self.reserve_factor
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Record an observed market value (best received ask), moving the
+    /// estimate by exponential smoothing.
+    pub fn observe(&mut self, item: u64, value: f64) {
+        let e = self.estimates.entry(item).or_insert(value);
+        *e = 0.5 * *e + 0.5 * value;
+    }
+
+    /// Number of items tracked.
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Is the book empty?
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(t: f64) -> AnswerProperties {
+        AnswerProperties::timed(t, 100.0, 800.0)
+    }
+
+    #[test]
+    fn truthful_asks_cost() {
+        let s = SellerStrategy::Truthful;
+        assert_eq!(s.ask_for(&cost(10.0)).total_time, 10.0);
+        assert_eq!(s.current_markup(), 1.0);
+    }
+
+    #[test]
+    fn markup_scales_time_and_price() {
+        let s = SellerStrategy::fixed_markup(1.5);
+        let a = s.ask_for(&cost(10.0).priced(4.0));
+        assert!((a.total_time - 15.0).abs() < 1e-12);
+        assert!((a.price - 6.0).abs() < 1e-12);
+        assert!((a.rows_per_sec - 100.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_markup_moves_with_outcomes() {
+        let mut s = SellerStrategy::adaptive_markup(1.2);
+        s.observe_outcome(true);
+        assert!((s.current_markup() - 1.25).abs() < 1e-12);
+        for _ in 0..20 {
+            s.observe_outcome(false);
+        }
+        assert!((s.current_markup() - 1.0).abs() < 1e-12, "clamped at 1");
+        for _ in 0..100 {
+            s.observe_outcome(true);
+        }
+        assert!(s.current_markup() <= 3.0 + 1e-12, "clamped at max");
+    }
+
+    #[test]
+    fn truthful_ignores_outcomes() {
+        let mut s = SellerStrategy::Truthful;
+        s.observe_outcome(true);
+        assert_eq!(s, SellerStrategy::Truthful);
+    }
+
+    #[test]
+    fn value_book_defaults_and_learning() {
+        let mut b = BuyerValueBook::new(100.0, 2.0);
+        assert_eq!(b.estimate(1), 100.0);
+        assert_eq!(b.reserve(1), 200.0);
+        b.observe(1, 40.0);
+        assert_eq!(b.estimate(1), 40.0);
+        b.observe(1, 20.0);
+        assert_eq!(b.estimate(1), 30.0);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn infinite_default_keeps_reserve_open() {
+        let b = BuyerValueBook::new(f64::INFINITY, 2.0);
+        assert_eq!(b.reserve(7), f64::INFINITY);
+    }
+}

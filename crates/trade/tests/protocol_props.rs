@@ -1,0 +1,110 @@
+//! Property-based tests of the negotiation protocols: winner admissibility,
+//! payment bounds, and incentive sanity.
+
+use proptest::prelude::*;
+use qt_catalog::NodeId;
+use qt_trade::{Bid, ProtocolKind};
+
+fn bids_strategy() -> impl Strategy<Value = Vec<Bid>> {
+    prop::collection::vec((1.0f64..100.0, 0.5f64..1.0), 1..12).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (ask, reserve_frac))| {
+                // Reserve (true cost) never exceeds the ask.
+                Bid::new(NodeId(i as u32), ask, ask * reserve_frac)
+            })
+            .collect()
+    })
+}
+
+fn protocols() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::SealedBid),
+        Just(ProtocolKind::Vickrey),
+        (0.01f64..0.3).prop_map(|d| ProtocolKind::English { decrement: d }),
+        (1u32..10).prop_map(|r| ProtocolKind::Bargaining { max_rounds: r }),
+    ]
+}
+
+proptest! {
+    /// Whoever wins, the agreed value never dips below the winner's true
+    /// cost (no protocol forces a seller to sell at a loss) and never
+    /// exceeds the worst admissible ask.
+    #[test]
+    fn agreed_value_is_individually_rational(
+        bids in bids_strategy(),
+        proto in protocols(),
+        reserve in 1.0f64..200.0,
+    ) {
+        let out = proto.negotiate(&bids, reserve);
+        if let Some(w) = out.winner {
+            prop_assert!(bids[w].ask <= reserve + 1e-9, "winner must be admissible");
+            prop_assert!(
+                out.agreed_value >= bids[w].reserve - 1e-9,
+                "{}: agreed {} below winner reserve {}",
+                proto.label(), out.agreed_value, bids[w].reserve
+            );
+            let max_ask = bids
+                .iter()
+                .filter(|b| b.ask <= reserve)
+                .map(|b| b.ask)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(
+                out.agreed_value <= max_ask + 1e-9,
+                "{}: agreed {} above worst admissible ask {}",
+                proto.label(), out.agreed_value, max_ask
+            );
+        }
+    }
+
+    /// With no admissible bids, every protocol reports no deal.
+    #[test]
+    fn hopeless_reserve_means_no_deal(bids in bids_strategy(), proto in protocols()) {
+        let min_ask = bids.iter().map(|b| b.ask).fold(f64::INFINITY, f64::min);
+        let out = proto.negotiate(&bids, min_ask * 0.5);
+        prop_assert_eq!(out.winner, None);
+    }
+
+    /// Sealed-bid and Vickrey pick the same winner (lowest ask); Vickrey
+    /// never charges more than sealed-bid... in reverse auctions it pays
+    /// MORE (second price), rewarding truthfulness.
+    #[test]
+    fn vickrey_pays_at_least_sealed_bid(bids in bids_strategy()) {
+        let sb = ProtocolKind::SealedBid.negotiate(&bids, f64::INFINITY);
+        let vk = ProtocolKind::Vickrey.negotiate(&bids, f64::INFINITY);
+        prop_assert_eq!(sb.winner, vk.winner);
+        prop_assert!(vk.agreed_value >= sb.agreed_value - 1e-9);
+    }
+
+    /// The English (descending) auction always selects a lowest-reserve
+    /// seller — the efficient allocation.
+    #[test]
+    fn english_is_allocatively_efficient(bids in bids_strategy()) {
+        let out = ProtocolKind::English { decrement: 0.05 }.negotiate(&bids, f64::INFINITY);
+        let w = out.winner.unwrap();
+        let min_reserve = bids.iter().map(|b| b.reserve).fold(f64::INFINITY, f64::min);
+        prop_assert!((bids[w].reserve - min_reserve).abs() < 1e-9);
+    }
+
+    /// Bargaining always lands in the [reserve, ask] interval of the best
+    /// bidder, and more rounds never increase the price.
+    #[test]
+    fn bargaining_monotone_in_rounds(bids in bids_strategy(), r1 in 1u32..5, extra in 1u32..5) {
+        let short = ProtocolKind::Bargaining { max_rounds: r1 }.negotiate(&bids, f64::INFINITY);
+        let long = ProtocolKind::Bargaining { max_rounds: r1 + extra }
+            .negotiate(&bids, f64::INFINITY);
+        prop_assert_eq!(short.winner, long.winner);
+        prop_assert!(long.agreed_value <= short.agreed_value + 1e-9);
+    }
+
+    /// Message accounting: every protocol reports at least one extra message
+    /// when a deal happens, and extra messages grow with English rounds.
+    #[test]
+    fn protocols_account_messages(bids in bids_strategy(), proto in protocols()) {
+        let out = proto.negotiate(&bids, f64::INFINITY);
+        if out.winner.is_some() {
+            prop_assert!(out.extra_messages >= 1);
+            prop_assert!(out.extra_round_trips >= 1);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generators for the QT experiments.
+//!
+//! * [`federation`] — seeded synthetic federations: `R` relations, each
+//!   hash-partitioned into `P` partitions replicated `k`× over `N` nodes,
+//!   with synthetic or materialized data;
+//! * [`queries`] — chain/star join query generation with optional
+//!   aggregation and selections;
+//! * [`telecom`] — the paper's motivating customer-care scenario, with data;
+//! * [`tpch`] — a TPC-H-like analytical star schema for the
+//!   internet-data-products flavor of federation.
+
+pub mod federation;
+pub mod queries;
+pub mod telecom;
+pub mod tpch;
+
+pub use federation::{build_federation, Federation, FederationSpec};
+pub use queries::{gen_join_query, gen_join_query_with_cut, QueryShape};
+pub use telecom::{telecom_federation, TelecomSpec};
+pub use tpch::{tpch_federation, TpchRels, TpchSpec};

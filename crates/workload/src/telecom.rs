@@ -1,0 +1,195 @@
+//! The paper's motivating scenario: a telecom with regional offices, each a
+//! node of the federation, customer data partitioned by office.
+
+use qt_catalog::{
+    AttrType, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelId,
+    RelationSchema, Value,
+};
+use qt_exec::DataStore;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Parameters of the telecom federation.
+#[derive(Debug, Clone)]
+pub struct TelecomSpec {
+    /// Number of regional offices (nodes). Office `i` is node `i` and holds
+    /// the customer partition `office{i}`.
+    pub offices: u32,
+    /// Customers per office.
+    pub customers_per_office: u32,
+    /// Invoice lines per customer.
+    pub lines_per_customer: u32,
+    /// How many nodes hold a full `invoiceline` replica (at least 1; replica
+    /// `j` lives on node `j × offices / replicas`).
+    pub invoice_replicas: u32,
+    /// RNG seed for charges.
+    pub seed: u64,
+}
+
+impl Default for TelecomSpec {
+    fn default() -> Self {
+        TelecomSpec {
+            offices: 3,
+            customers_per_office: 20,
+            lines_per_customer: 4,
+            invoice_replicas: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// The generated telecom federation: catalog + per-node stores.
+pub fn telecom_federation(
+    spec: &TelecomSpec,
+) -> (qt_catalog::Catalog, BTreeMap<NodeId, DataStore>) {
+    assert!(spec.offices >= 1 && spec.invoice_replicas >= 1);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let office_names: Vec<String> = (0..spec.offices)
+        .map(|i| match i {
+            0 => "Athens".into(),
+            1 => "Corfu".into(),
+            2 => "Myconos".into(),
+            n => format!("Office{n}"),
+        })
+        .collect();
+
+    let customer_schema = || {
+        RelationSchema::new(
+            "customer",
+            vec![
+                ("custid", AttrType::Int),
+                ("custname", AttrType::Str),
+                ("office", AttrType::Str),
+            ],
+        )
+    };
+    let invoice_schema = || {
+        RelationSchema::new(
+            "invoiceline",
+            vec![
+                ("invid", AttrType::Int),
+                ("linenum", AttrType::Int),
+                ("custid", AttrType::Int),
+                ("charge", AttrType::Float),
+            ],
+        )
+    };
+    let customer_partitioning = || Partitioning::List {
+        attr: 2,
+        groups: office_names.iter().map(|n| vec![Value::str(n)]).collect(),
+    };
+
+    // Probe dict for routing data.
+    let probe_dict = {
+        let mut pb = CatalogBuilder::new();
+        pb.add_relation(customer_schema(), customer_partitioning());
+        pb.add_relation(invoice_schema(), Partitioning::Single);
+        for i in 0..spec.offices as u16 {
+            pb.set_stats(PartId::new(RelId(0), i), PartitionStats::synthetic(1, &[1, 1, 1]));
+            pb.place(PartId::new(RelId(0), i), NodeId(0));
+        }
+        pb.set_stats(PartId::new(RelId(1), 0), PartitionStats::synthetic(1, &[1, 1, 1, 1]));
+        pb.place(PartId::new(RelId(1), 0), NodeId(0));
+        pb.build().dict
+    };
+
+    // Data.
+    let total_customers = spec.offices * spec.customers_per_office;
+    let customers: Vec<Vec<Value>> = (0..total_customers)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::str(format!("cust{i}")),
+                Value::str(&office_names[(i % spec.offices) as usize]),
+            ]
+        })
+        .collect();
+    let mut invoices: Vec<Vec<Value>> = Vec::new();
+    for c in 0..total_customers {
+        for l in 0..spec.lines_per_customer {
+            invoices.push(vec![
+                Value::Int((c * spec.lines_per_customer + l) as i64 / 4),
+                Value::Int(l as i64),
+                Value::Int(c as i64),
+                Value::Float(rng.random_range(1.0..200.0)),
+            ]);
+        }
+    }
+    let mut loader = DataStore::new();
+    loader.load_relation(&probe_dict, RelId(0), customers);
+    loader.load_relation(&probe_dict, RelId(1), invoices);
+
+    // Real catalog with exact stats and placement.
+    let mut b = CatalogBuilder::new();
+    let cust = b.add_relation(customer_schema(), customer_partitioning());
+    let inv = b.add_relation(invoice_schema(), Partitioning::Single);
+    let mut stores: BTreeMap<NodeId, DataStore> = BTreeMap::new();
+    for i in 0..spec.offices as u16 {
+        let part = PartId::new(cust, i);
+        b.set_stats(part, loader.stats_of(&probe_dict, part).expect("customers loaded"));
+        b.place(part, NodeId(i as u32));
+        stores
+            .entry(NodeId(i as u32))
+            .or_default()
+            .merge_from(&loader.subset(&[part]));
+    }
+    let inv_part = PartId::new(inv, 0);
+    b.set_stats(inv_part, loader.stats_of(&probe_dict, inv_part).expect("invoices loaded"));
+    for j in 0..spec.invoice_replicas.min(spec.offices) {
+        let node = NodeId(j * spec.offices / spec.invoice_replicas.min(spec.offices));
+        b.place(inv_part, node);
+        stores
+            .entry(node)
+            .or_default()
+            .merge_from(&loader.subset(&[inv_part]));
+    }
+    (b.build(), stores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_shape() {
+        let (cat, stores) = telecom_federation(&TelecomSpec::default());
+        assert_eq!(cat.dict.rel_by_name("customer"), Some(RelId(0)));
+        assert_eq!(cat.dict.rel_by_name("invoiceline"), Some(RelId(1)));
+        assert_eq!(cat.dict.rel(RelId(0)).partitioning.num_partitions(), 3);
+        assert_eq!(cat.relation_stats(RelId(0)).rows, 60);
+        assert_eq!(cat.relation_stats(RelId(1)).rows, 240);
+        // Athens (node 0) holds its customers and the invoice replica.
+        let athens = cat.holdings_of(NodeId(0));
+        assert!(athens.has_relation(RelId(1)));
+        assert_eq!(stores[&NodeId(0)].total_rows(), 20 + 240);
+        // Corfu holds only its customers.
+        assert_eq!(stores[&NodeId(1)].total_rows(), 20);
+    }
+
+    #[test]
+    fn replicas_spread_over_nodes() {
+        let spec = TelecomSpec { offices: 6, invoice_replicas: 3, ..TelecomSpec::default() };
+        let (cat, _) = telecom_federation(&spec);
+        let holders = cat.placement.holders(PartId::new(RelId(1), 0));
+        assert_eq!(holders.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = telecom_federation(&TelecomSpec::default());
+        let b = telecom_federation(&TelecomSpec::default());
+        assert_eq!(
+            a.0.stats(PartId::new(RelId(1), 0)),
+            b.0.stats(PartId::new(RelId(1), 0))
+        );
+    }
+
+    #[test]
+    fn office_names_follow_paper() {
+        let (cat, _) = telecom_federation(&TelecomSpec::default());
+        let part = cat.dict.rel(RelId(0)).partitioning.restriction(2);
+        let sql = part.display_with(&cat.dict.rel(RelId(0)).schema).to_string();
+        assert_eq!(sql, "office = 'Myconos'");
+    }
+}

@@ -1,0 +1,353 @@
+//! A TPC-H-like analytical schema, scaled down and horizontally partitioned
+//! across the federation — the "data products on the internet" flavor of
+//! workload the paper's introduction motivates.
+//!
+//! Relations (a star around `lineitem`):
+//!
+//! ```text
+//! region(regionkey, rname)
+//! nation(nationkey, regionkey, nname)
+//! supplier(suppkey, nationkey, sbalance)
+//! customer(custkey, nationkey, cbalance)
+//! orders(orderkey, custkey, ototal)
+//! lineitem(orderkey, suppkey, quantity, price)
+//! ```
+//!
+//! `lineitem` and `orders` are hash-partitioned on their keys and scattered;
+//! dimensions are replicated. All values are integers/floats so the standard
+//! estimator applies.
+
+use qt_catalog::{
+    AttrType, Catalog, CatalogBuilder, NodeId, PartId, Partitioning, RelId, RelationSchema,
+    Value,
+};
+use qt_exec::DataStore;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Scale and layout of the TPC-H-like federation.
+#[derive(Debug, Clone)]
+pub struct TpchSpec {
+    /// Number of federation nodes.
+    pub nodes: u32,
+    /// Orders count (lineitems ≈ 4×, customers ≈ orders/10).
+    pub orders: u32,
+    /// Partitions for `orders`/`lineitem`.
+    pub fact_partitions: u16,
+    /// Replicas for the dimension tables.
+    pub dim_replicas: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchSpec {
+    fn default() -> Self {
+        TpchSpec { nodes: 6, orders: 200, fact_partitions: 2, dim_replicas: 2, seed: 1 }
+    }
+}
+
+/// Relation ids of the TPC-H-like schema, in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpchRels {
+    /// `region`
+    pub region: RelId,
+    /// `nation`
+    pub nation: RelId,
+    /// `supplier`
+    pub supplier: RelId,
+    /// `customer`
+    pub customer: RelId,
+    /// `orders`
+    pub orders: RelId,
+    /// `lineitem`
+    pub lineitem: RelId,
+}
+
+/// Build the federation with materialized data. Returns the catalog, the
+/// per-node stores, and the relation ids.
+pub fn tpch_federation(spec: &TpchSpec) -> (Catalog, BTreeMap<NodeId, DataStore>, TpchRels) {
+    assert!(spec.nodes >= 1 && spec.orders >= 10);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+
+    let schemas: Vec<(RelationSchema, Partitioning)> = vec![
+        (
+            RelationSchema::new("region", vec![("regionkey", AttrType::Int), ("rname", AttrType::Str)]),
+            Partitioning::Single,
+        ),
+        (
+            RelationSchema::new(
+                "nation",
+                vec![
+                    ("nationkey", AttrType::Int),
+                    ("regionkey", AttrType::Int),
+                    ("nname", AttrType::Str),
+                ],
+            ),
+            Partitioning::Single,
+        ),
+        (
+            RelationSchema::new(
+                "supplier",
+                vec![
+                    ("suppkey", AttrType::Int),
+                    ("nationkey", AttrType::Int),
+                    ("sbalance", AttrType::Float),
+                ],
+            ),
+            Partitioning::Single,
+        ),
+        (
+            RelationSchema::new(
+                "customer",
+                vec![
+                    ("custkey", AttrType::Int),
+                    ("nationkey", AttrType::Int),
+                    ("cbalance", AttrType::Float),
+                ],
+            ),
+            Partitioning::Single,
+        ),
+        (
+            RelationSchema::new(
+                "orders",
+                vec![
+                    ("orderkey", AttrType::Int),
+                    ("custkey", AttrType::Int),
+                    ("ototal", AttrType::Float),
+                ],
+            ),
+            if spec.fact_partitions <= 1 {
+                Partitioning::Single
+            } else {
+                Partitioning::Hash { attr: 0, parts: spec.fact_partitions as u32 }
+            },
+        ),
+        (
+            RelationSchema::new(
+                "lineitem",
+                vec![
+                    ("orderkey", AttrType::Int),
+                    ("suppkey", AttrType::Int),
+                    ("quantity", AttrType::Int),
+                    ("price", AttrType::Float),
+                ],
+            ),
+            if spec.fact_partitions <= 1 {
+                Partitioning::Single
+            } else {
+                Partitioning::Hash { attr: 0, parts: spec.fact_partitions as u32 }
+            },
+        ),
+    ];
+
+    let probe_dict = {
+        let mut pb = CatalogBuilder::new();
+        for (schema, part) in &schemas {
+            let rel = pb.add_relation(schema.clone(), part.clone());
+            for p in 0..part.num_partitions() {
+                pb.set_stats(
+                    PartId::new(rel, p),
+                    qt_catalog::PartitionStats::synthetic(1, &vec![1; schema.arity()]),
+                );
+                pb.place(PartId::new(rel, p), NodeId(0));
+            }
+        }
+        pb.build().dict
+    };
+
+    // ---- Data ------------------------------------------------------------
+    let regions = ["AMERICA", "EUROPE", "ASIA"];
+    let nations_per_region = 3u32;
+    let n_nations = regions.len() as u32 * nations_per_region;
+    let n_suppliers = (spec.orders / 20).max(3);
+    let n_customers = (spec.orders / 10).max(5);
+
+    let region_rows: Vec<Vec<Value>> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| vec![Value::Int(i as i64), Value::str(*r)])
+        .collect();
+    let nation_rows: Vec<Vec<Value>> = (0..n_nations)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int((i / nations_per_region) as i64),
+                Value::str(format!("nation{i}")),
+            ]
+        })
+        .collect();
+    let supplier_rows: Vec<Vec<Value>> = (0..n_suppliers)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.random_range(0..n_nations) as i64),
+                Value::Float(rng.random_range(-100.0..10_000.0)),
+            ]
+        })
+        .collect();
+    let customer_rows: Vec<Vec<Value>> = (0..n_customers)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.random_range(0..n_nations) as i64),
+                Value::Float(rng.random_range(-100.0..10_000.0)),
+            ]
+        })
+        .collect();
+    let orders_rows: Vec<Vec<Value>> = (0..spec.orders)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.random_range(0..n_customers) as i64),
+                Value::Float(rng.random_range(10.0..5_000.0)),
+            ]
+        })
+        .collect();
+    let mut lineitem_rows: Vec<Vec<Value>> = Vec::new();
+    for o in 0..spec.orders {
+        for _ in 0..rng.random_range(2..=6) {
+            lineitem_rows.push(vec![
+                Value::Int(o as i64),
+                Value::Int(rng.random_range(0..n_suppliers) as i64),
+                Value::Int(rng.random_range(1..50)),
+                Value::Float(rng.random_range(1.0..1_000.0)),
+            ]);
+        }
+    }
+
+    let mut loader = DataStore::new();
+    let all_rows = [
+        region_rows,
+        nation_rows,
+        supplier_rows,
+        customer_rows,
+        orders_rows,
+        lineitem_rows,
+    ];
+    for (i, rows) in all_rows.into_iter().enumerate() {
+        loader.load_relation(&probe_dict, RelId(i as u32), rows);
+    }
+
+    // ---- Catalog + placement ---------------------------------------------
+    let mut b = CatalogBuilder::new();
+    b.add_nodes(spec.nodes);
+    let mut stores: BTreeMap<NodeId, DataStore> = BTreeMap::new();
+    for (i, (schema, part)) in schemas.iter().enumerate() {
+        let rel = b.add_relation(schema.clone(), part.clone());
+        let dim = i < 4; // region/nation/supplier/customer are dimensions
+        for p in 0..part.num_partitions() {
+            let pid = PartId::new(rel, p);
+            b.set_stats(pid, loader.stats_of(&probe_dict, pid).expect("loaded"));
+            let replicas = if dim { spec.dim_replicas.min(spec.nodes) } else { 1 };
+            let mut placed: Vec<u32> = Vec::new();
+            while placed.len() < replicas.max(1) as usize {
+                let n = rng.random_range(0..spec.nodes);
+                if !placed.contains(&n) {
+                    placed.push(n);
+                }
+            }
+            for &n in &placed {
+                b.place(pid, NodeId(n));
+                stores
+                    .entry(NodeId(n))
+                    .or_default()
+                    .merge_from(&loader.subset(&[pid]));
+            }
+        }
+    }
+    let catalog = b.build();
+    let rels = TpchRels {
+        region: RelId(0),
+        nation: RelId(1),
+        supplier: RelId(2),
+        customer: RelId(3),
+        orders: RelId(4),
+        lineitem: RelId(5),
+    };
+    (catalog, stores, rels)
+}
+
+/// Canned analytical queries over the schema (SQL text, parse with
+/// [`qt_query::parse_query`]).
+pub mod queries {
+    /// Revenue per customer nation (a Q5-flavoured join):
+    /// customer ⋈ orders ⋈ nation, grouped by nation name.
+    pub const REVENUE_PER_NATION: &str =
+        "SELECT nname, SUM(ototal) FROM nation, customer, orders \
+         WHERE nation.nationkey = customer.nationkey \
+         AND customer.custkey = orders.custkey GROUP BY nname";
+
+    /// Large-order line revenue (a Q3 flavour): orders over a threshold
+    /// joined to their lineitems.
+    pub const BIG_ORDER_LINES: &str =
+        "SELECT orders.orderkey, SUM(price) FROM orders, lineitem \
+         WHERE orders.orderkey = lineitem.orderkey AND ototal > 4000.0 \
+         GROUP BY orders.orderkey";
+
+    /// Supplier activity: count of lineitems per supplier nation.
+    pub const LINES_PER_SUPPLIER_NATION: &str =
+        "SELECT nname, COUNT(*) FROM nation, supplier, lineitem \
+         WHERE nation.nationkey = supplier.nationkey \
+         AND supplier.suppkey = lineitem.suppkey GROUP BY nname";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_exec::evaluate_query;
+    use qt_query::parse_query;
+
+    fn union(stores: &BTreeMap<NodeId, DataStore>) -> DataStore {
+        let mut all = DataStore::new();
+        for s in stores.values() {
+            all.merge_from(s);
+        }
+        all
+    }
+
+    #[test]
+    fn federation_is_well_formed() {
+        let (cat, stores, rels) = tpch_federation(&TpchSpec::default());
+        assert_eq!(cat.dict.rel_by_name("lineitem"), Some(rels.lineitem));
+        assert_eq!(cat.relation_stats(rels.region).rows, 3);
+        assert!(cat.relation_stats(rels.lineitem).rows >= 2 * 200);
+        // Every partition placed; stores hold what placement says.
+        for rel in cat.dict.rel_ids() {
+            for part in cat.dict.parts_of(rel) {
+                assert!(!cat.placement.holders(part).is_empty(), "{part}");
+            }
+        }
+        for (node, store) in &stores {
+            for part in store.parts() {
+                assert!(cat.placement.holders(part).contains(node));
+            }
+        }
+    }
+
+    #[test]
+    fn canned_queries_parse_and_evaluate() {
+        let (cat, stores, _) = tpch_federation(&TpchSpec::default());
+        let all = union(&stores);
+        for sql in [
+            queries::REVENUE_PER_NATION,
+            queries::BIG_ORDER_LINES,
+            queries::LINES_PER_SUPPLIER_NATION,
+        ] {
+            let q = parse_query(&cat.dict, sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let rows = evaluate_query(&q, &all).unwrap();
+            assert!(!rows.is_empty(), "{sql} returned nothing");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tpch_federation(&TpchSpec::default());
+        let b = tpch_federation(&TpchSpec::default());
+        assert_eq!(a.0.placement, b.0.placement);
+        assert_eq!(
+            a.0.relation_stats(RelId(5)).rows,
+            b.0.relation_stats(RelId(5)).rows
+        );
+    }
+}

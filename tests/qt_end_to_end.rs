@@ -1,0 +1,99 @@
+//! Workspace-level end-to-end property test: on random materialized
+//! federations and random chain queries, the full QT trading loop produces
+//! plans whose execution matches the brute-force reference answer, and the
+//! simulator driver agrees with the direct driver.
+
+use proptest::prelude::*;
+use qt_bench::runners::seller_engines;
+use qt_catalog::NodeId;
+use qt_core::{run_qt_direct, run_qt_sim, QtConfig};
+use qt_exec::reference::approx_same_rows;
+use qt_exec::evaluate_query;
+use qt_workload::{build_federation, gen_join_query_with_cut, FederationSpec, QueryShape};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn qt_plans_compute_correct_answers(
+        seed in 0u64..1_000,
+        nodes in 2u32..8,
+        relations in 1usize..4,
+        parts in 1u16..3,
+        replication in 1u32..3,
+        cut in 1i64..99,
+        aggregate in any::<bool>(),
+        subcontracting in any::<bool>(),
+        k in 1usize..3,
+    ) {
+        let fed = build_federation(&FederationSpec {
+            nodes,
+            relations,
+            partitions_per_relation: parts,
+            replication,
+            rows_per_partition: 30,
+            seed,
+            with_data: true,
+            speed_spread: 1.0,
+            data_skew: 0.0,
+        });
+        let q = gen_join_query_with_cut(
+            &fed.catalog.dict, QueryShape::Chain, relations, aggregate, cut);
+        prop_assert!(q.validate(&fed.catalog.dict).is_ok());
+        let cfg = QtConfig {
+            max_partial_k: k,
+            enable_subcontracting: subcontracting,
+            ..QtConfig::default()
+        };
+        let mut sellers = seller_engines(&fed, &cfg);
+        let out = run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
+        let plan = out.plan.expect("every generated federation covers its data");
+        let got = plan.execute_on(&fed.catalog.dict, &fed.stores).unwrap();
+        let want = evaluate_query(&q, &fed.union_store()).unwrap();
+        prop_assert!(
+            approx_same_rows(&got, &want, 1e-9),
+            "seed {seed}: got {} rows, want {} rows for {}",
+            got.len(), want.len(), q.display_with(&fed.catalog.dict)
+        );
+        // Cost sanity.
+        prop_assert!(plan.est.additive_cost.is_finite() && plan.est.additive_cost >= 0.0);
+        prop_assert!(plan.est.response_time <= plan.est.additive_cost + 1e-9);
+    }
+
+    #[test]
+    fn sim_driver_agrees_with_direct_driver(
+        seed in 0u64..500,
+        nodes in 2u32..6,
+        relations in 1usize..3,
+    ) {
+        let fed = build_federation(&FederationSpec {
+            nodes,
+            relations,
+            partitions_per_relation: 2,
+            replication: 1,
+            rows_per_partition: 1_000,
+            seed,
+            with_data: false,
+            speed_spread: 1.0,
+            data_skew: 0.0,
+        });
+        let q = gen_join_query_with_cut(
+            &fed.catalog.dict, QueryShape::Chain, relations, false, 50);
+        let cfg = QtConfig::default();
+        let mut direct_sellers = seller_engines(&fed, &cfg);
+        let direct =
+            run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut direct_sellers, &cfg);
+        let sim_sellers = seller_engines(&fed, &cfg);
+        let (sim, _) = run_qt_sim(NodeId(0), fed.catalog.dict.clone(), &q, sim_sellers, &cfg);
+        prop_assert_eq!(direct.messages, sim.messages);
+        prop_assert_eq!(direct.iterations, sim.iterations);
+        match (&direct.plan, &sim.plan) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.est.additive_cost - b.est.additive_cost).abs() < 1e-9);
+                prop_assert_eq!(a.purchases.len(), b.purchases.len());
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "plan presence mismatch: {:?}", other.0.is_some()),
+        }
+    }
+}
