@@ -185,6 +185,8 @@ pub fn run_baseline(
         optimization_time: time,
         seller_effort: global_effort,
         buyer_considered: gen.considered,
+        offer_cache_hits: 0,
+        offer_cache_misses: 0,
         history: vec![IterationStats {
             round: 0,
             offers_received: offers.len(),

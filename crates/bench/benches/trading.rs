@@ -20,14 +20,19 @@ fn bench_full_trading_run(c: &mut Criterion) {
         data_skew: 0.0,
     });
     let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
-    let cfg = QtConfig::default();
-    c.bench_function("qt_direct_16_nodes_3way", |b| {
-        b.iter(|| {
-            let mut sellers = seller_engines(&fed, &cfg);
-            let out = run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
-            std::hint::black_box(out.plan.map(|p| p.est.additive_cost))
+    let mut group = c.benchmark_group("qt_direct_16_nodes_3way");
+    for parallel in [false, true] {
+        let cfg = QtConfig { parallel, ..QtConfig::default() };
+        group.bench_function(if parallel { "parallel" } else { "serial" }, |b| {
+            b.iter(|| {
+                let mut sellers = seller_engines(&fed, &cfg);
+                let out =
+                    run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
+                std::hint::black_box(out.plan.map(|p| p.est.additive_cost))
+            });
         });
-    });
+    }
+    group.finish();
 }
 
 fn bench_protocols(c: &mut Criterion) {

@@ -1,0 +1,212 @@
+//! Snapshot the trading-hot-path benchmarks into `BENCH_trading.json`.
+//!
+//! Measures the full QT direct-driver run (serial vs. parallel fan-out, 8
+//! and 16 sellers), buyer plan generation in isolation, and the warm-cache
+//! re-optimization path, then writes one JSON document with the host core
+//! count so numbers from different machines are comparable. On a 1-core
+//! container the parallel arm degenerates to a single worker — the speedup
+//! column is only meaningful where `host_cores > 1`.
+//!
+//! Budgets honor `QT_BENCH_WARMUP_MS` (default 50) and `QT_BENCH_MEASURE_MS`
+//! (default 300) per bench; output path honors `QT_BENCH_OUT` (default
+//! `BENCH_trading.json`).
+
+use qt_catalog::NodeId;
+use qt_core::plangen::PlanGenerator;
+use qt_core::{run_qt_direct, Offer, QtConfig, RfbItem, SellerEngine};
+use qt_cost::NodeResources;
+use qt_workload::{build_federation, gen_join_query, Federation, FederationSpec, QueryShape};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Sample {
+    name: String,
+    secs_per_iter: f64,
+    ops_per_sec: f64,
+    iterations: u64,
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms),
+    )
+}
+
+/// Best-of-batches timing, same statistic as the criterion shim.
+fn measure<O>(name: &str, mut f: impl FnMut() -> O) -> Sample {
+    let warmup = env_ms("QT_BENCH_WARMUP_MS", 50);
+    let budget = env_ms("QT_BENCH_MEASURE_MS", 300);
+
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < warmup || warm_iters == 0 {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let deadline = Instant::now() + budget;
+    let mut best = f64::INFINITY;
+    let mut total = 0u64;
+    while Instant::now() < deadline {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / batch as f64);
+        total += batch;
+    }
+    let s = Sample {
+        name: name.to_string(),
+        secs_per_iter: best,
+        ops_per_sec: 1.0 / best.max(1e-12),
+        iterations: total,
+    };
+    eprintln!("{:40} {:>12.1} ops/s  ({} iters)", s.name, s.ops_per_sec, s.iterations);
+    s
+}
+
+fn spec(nodes: u32) -> FederationSpec {
+    FederationSpec {
+        nodes,
+        relations: 3,
+        partitions_per_relation: 2,
+        replication: 2,
+        rows_per_partition: 100_000,
+        seed: 5,
+        with_data: false,
+        speed_spread: 1.0,
+        data_skew: 0.0,
+    }
+}
+
+fn engines(fed: &Federation, cfg: &QtConfig) -> BTreeMap<NodeId, SellerEngine> {
+    fed.catalog
+        .nodes
+        .iter()
+        .map(|&n| {
+            let mut e = SellerEngine::new(fed.catalog.holdings_of(n), cfg.clone());
+            if let Some(r) = fed.resources.get(&n) {
+                e.resources = r.clone();
+            }
+            (n, e)
+        })
+        .collect()
+}
+
+fn bench_trading(nodes: u32, parallel: bool) -> Sample {
+    let fed = build_federation(&spec(nodes));
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
+    let cfg = QtConfig { parallel, ..QtConfig::default() };
+    let label = format!(
+        "qt_direct/{nodes}_sellers/{}",
+        if parallel { "parallel" } else { "serial" }
+    );
+    measure(&label, || {
+        let mut sellers = engines(&fed, &cfg);
+        let out = run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
+        out.plan.map(|p| p.est.additive_cost)
+    })
+}
+
+/// Plan generation alone: pool every seller's round-0 offers, then time the
+/// buyer's answering-queries-using-views DP over that pool.
+fn bench_plangen() -> Sample {
+    let fed = build_federation(&spec(16));
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
+    let cfg = QtConfig::default();
+    let mut offers: Vec<Offer> = Vec::new();
+    for seller in engines(&fed, &cfg).values_mut() {
+        offers.extend(
+            seller
+                .respond(0, &[RfbItem { query: q.clone(), ref_value: f64::INFINITY }])
+                .offers,
+        );
+    }
+    let pg = PlanGenerator {
+        dict: &fed.catalog.dict,
+        query: &q,
+        config: &cfg,
+        buyer_resources: NodeResources::reference(),
+    };
+    let label = format!("plangen/16_sellers/{}_offers", offers.len());
+    measure(&label, || {
+        let gen = pg.generate(&offers);
+        gen.plan.map(|p| p.est.additive_cost)
+    })
+}
+
+/// Warm-cache path: persistent sellers, repeated optimization of the same
+/// query. Returns the sample plus the observed hit rate.
+fn bench_warm_cache(nodes: u32) -> (Sample, f64) {
+    let fed = build_federation(&spec(nodes));
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
+    let cfg = QtConfig::default();
+    let mut sellers = engines(&fed, &cfg);
+    // Cold run fills the caches.
+    run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let sample = measure(&format!("qt_direct/{nodes}_sellers/warm_cache"), || {
+        let out = run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
+        hits += out.offer_cache_hits;
+        misses += out.offer_cache_misses;
+        out.plan.map(|p| p.est.additive_cost)
+    });
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    (sample, rate)
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let qt_threads = std::env::var("QT_THREADS").ok();
+
+    let serial8 = bench_trading(8, false);
+    let par8 = bench_trading(8, true);
+    let serial16 = bench_trading(16, false);
+    let par16 = bench_trading(16, true);
+    let plangen = bench_plangen();
+    let (warm16, hit_rate) = bench_warm_cache(16);
+
+    let speedup8 = par8.ops_per_sec / serial8.ops_per_sec;
+    let speedup16 = par16.ops_per_sec / serial16.ops_per_sec;
+    let warm_speedup = warm16.ops_per_sec / serial16.ops_per_sec;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    match &qt_threads {
+        Some(v) => {
+            let _ = writeln!(json, "  \"qt_threads_env\": \"{v}\",");
+        }
+        None => {
+            let _ = writeln!(json, "  \"qt_threads_env\": null,");
+        }
+    }
+    json.push_str("  \"benches\": [\n");
+    let all = [&serial8, &par8, &serial16, &par16, &plangen, &warm16];
+    for (i, s) in all.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"secs_per_iter\": {:.9}, \"ops_per_sec\": {:.3}, \"iterations\": {}}}{}",
+            s.name,
+            s.secs_per_iter,
+            s.ops_per_sec,
+            s.iterations,
+            if i + 1 < all.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"parallel_speedup_8_sellers\": {speedup8:.3},");
+    let _ = writeln!(json, "  \"parallel_speedup_16_sellers\": {speedup16:.3},");
+    let _ = writeln!(json, "  \"warm_cache_speedup_16_sellers\": {warm_speedup:.3},");
+    let _ = writeln!(json, "  \"offer_cache_hit_rate\": {hit_rate:.4}");
+    json.push_str("}\n");
+
+    let out = std::env::var("QT_BENCH_OUT").unwrap_or_else(|_| "BENCH_trading.json".into());
+    std::fs::write(&out, &json).expect("write bench snapshot");
+    eprintln!("\nwrote {out}");
+    println!("{json}");
+}

@@ -55,6 +55,12 @@ pub struct QtConfig {
     pub query_msg_bytes: f64,
     /// Approximate bytes of one serialized offer in protocol messages.
     pub offer_msg_bytes: f64,
+    /// Fan seller offer generation out across OS threads: the direct driver
+    /// evaluates sellers concurrently and each seller evaluates its RFB items
+    /// concurrently. Deterministic — results merge in input order, so plans,
+    /// costs, and offer ids are bit-identical to a serial run. The worker
+    /// budget follows `QT_THREADS` / the host core count (see `qt-par`).
+    pub parallel: bool,
 }
 
 impl Default for QtConfig {
@@ -78,6 +84,7 @@ impl Default for QtConfig {
             cost_params: CostParams::reference(),
             query_msg_bytes: 256.0,
             offer_msg_bytes: 128.0,
+            parallel: true,
         }
     }
 }

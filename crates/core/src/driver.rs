@@ -31,6 +31,10 @@ pub struct QtOutcome {
     pub seller_effort: u64,
     /// Total buyer plan-generation effort.
     pub buyer_considered: u64,
+    /// RFB items sellers answered from their offer caches during this run.
+    pub offer_cache_hits: u64,
+    /// RFB items sellers had to evaluate fresh during this run.
+    pub offer_cache_misses: u64,
     /// Per-iteration statistics.
     pub history: Vec<IterationStats>,
 }
@@ -87,6 +91,8 @@ pub fn run_qt_direct(
     let mut seller_effort = 0u64;
     let mut prev_neg_msgs = 0u64;
     let mut prev_neg_rts = 0u64;
+    let cache_hits_before: u64 = sellers.values().map(|s| s.cache_hits).sum();
+    let cache_misses_before: u64 = sellers.values().map(|s| s.cache_misses).sum();
 
     let mut items = buyer.start();
     let mut hints: Vec<Offer> = Vec::new();
@@ -94,11 +100,22 @@ pub fn run_qt_direct(
         let rfb_bytes =
             (items.len() + hints.len()) as f64 * config.query_msg_bytes;
         let mut round_path = 0.0f64;
-        for (&node, engine) in sellers.iter_mut() {
-            let resp = engine.respond_with_hints(buyer.round, &items, &hints);
+        // Fan the round out: sellers evaluate concurrently (each node is an
+        // autonomous machine — this is exactly the real system's shape), then
+        // merge in ascending NodeId order. The merge order, the per-seller
+        // offer-id counters, and the per-item id stamping make the outcome
+        // bit-identical to `config.parallel = false`.
+        let round = buyer.round;
+        let workers = if config.parallel { qt_par::max_threads() } else { 1 };
+        let mut engines: Vec<(NodeId, &mut SellerEngine)> =
+            sellers.iter_mut().map(|(&n, e)| (n, e)).collect();
+        let responses = qt_par::par_map_mut(&mut engines, workers, |(_, engine)| {
+            engine.respond_with_hints(round, &items, &hints)
+        });
+        for ((node, _), resp) in engines.iter().zip(responses) {
             seller_effort += resp.effort;
             let compute = resp.effort as f64 * config.per_subplan_seconds;
-            if node == buyer_node {
+            if *node == buyer_node {
                 round_path = round_path.max(compute);
             } else {
                 let back = resp.offers.len() as f64 * config.offer_msg_bytes;
@@ -153,6 +170,10 @@ pub fn run_qt_direct(
         optimization_time: time,
         seller_effort,
         buyer_considered: buyer.total_considered(),
+        offer_cache_hits: sellers.values().map(|s| s.cache_hits).sum::<u64>()
+            - cache_hits_before,
+        offer_cache_misses: sellers.values().map(|s| s.cache_misses).sum::<u64>()
+            - cache_misses_before,
         history: buyer.history.clone(),
         plan: buyer.best,
     }
@@ -167,14 +188,16 @@ pub fn run_qt_direct(
 pub enum QtMsg {
     /// Kick off the optimization at the buyer.
     Start,
-    /// Request-For-Bids (B2).
+    /// Request-For-Bids (B2). Payloads are shared — the buyer broadcasts one
+    /// `Arc` to every seller instead of deep-copying the working set per
+    /// recipient.
     Rfb {
         /// Round number.
         round: u32,
         /// The queries out for bid.
-        items: Vec<RfbItem>,
+        items: Arc<Vec<RfbItem>>,
         /// Market hints for subcontracting sellers.
-        hints: Vec<Offer>,
+        hints: Arc<Vec<Offer>>,
     },
     /// A seller's offers for a round (possibly empty — also the
     /// round-completion signal).
@@ -286,10 +309,16 @@ impl BuyerSim {
         self.round_open = true;
         let bytes =
             (items.len() + hints.len()) as f64 * self.engine.config.query_msg_bytes;
-        for &s in &self.remote_sellers.clone() {
+        let items = Arc::new(items);
+        let hints = Arc::new(hints);
+        for &s in &self.remote_sellers {
             ctx.send(
                 s,
-                QtMsg::Rfb { round, items: items.clone(), hints: hints.clone() },
+                QtMsg::Rfb {
+                    round,
+                    items: Arc::clone(&items),
+                    hints: Arc::clone(&hints),
+                },
                 bytes,
                 "rfb",
             );
@@ -388,6 +417,8 @@ pub fn run_qt_sim_with_topology(
     topology: Topology,
 ) -> (QtOutcome, qt_net::Metrics) {
     let mut sim: Simulator<QtMsg, QtNode> = Simulator::new(topology);
+    let cache_hits_before: u64 = sellers.values().map(|s| s.cache_hits).sum();
+    let cache_misses_before: u64 = sellers.values().map(|s| s.cache_misses).sum();
     let local_seller = sellers.remove(&buyer_node);
     let remote: Vec<NodeId> = sellers.keys().copied().collect();
     let all_nodes: Vec<NodeId> = remote.clone();
@@ -408,11 +439,15 @@ pub fn run_qt_sim_with_topology(
     }
     sim.inject(0.0, buyer_node, buyer_node, QtMsg::Start, "start");
     sim.run(10_000_000);
-    let metrics = sim.metrics.clone();
+    let mut metrics = sim.metrics.clone();
     let mut seller_effort = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
     for node in &all_nodes {
         if let Some(QtNode::Seller(e)) = sim.handler(*node) {
             seller_effort += e.total_effort;
+            cache_hits += e.cache_hits;
+            cache_misses += e.cache_misses;
         }
     }
     let QtNode::Buyer(b) = sim
@@ -427,7 +462,13 @@ pub fn run_qt_sim_with_topology(
     let end_time = b.finish_time;
     if let Some(local) = &b.local_seller {
         seller_effort += local.total_effort;
+        cache_hits += local.cache_hits;
+        cache_misses += local.cache_misses;
     }
+    let offer_cache_hits = cache_hits - cache_hits_before;
+    let offer_cache_misses = cache_misses - cache_misses_before;
+    metrics.offer_cache_hits = offer_cache_hits;
+    metrics.offer_cache_misses = offer_cache_misses;
     let engine = &b.engine;
     let outcome = QtOutcome {
         plan: engine.best.clone(),
@@ -441,6 +482,8 @@ pub fn run_qt_sim_with_topology(
         optimization_time: end_time,
         seller_effort,
         buyer_considered: engine.total_considered(),
+        offer_cache_hits,
+        offer_cache_misses,
         history: engine.history.clone(),
     };
     (outcome, metrics)

@@ -30,6 +30,7 @@ pub mod dist_plan;
 pub mod driver;
 pub mod offer;
 pub mod plangen;
+pub mod relset;
 pub mod seller;
 
 pub use buyer::BuyerEngine;
@@ -37,4 +38,5 @@ pub use config::QtConfig;
 pub use dist_plan::{DistributedPlan, PlanEstimate, Purchase};
 pub use driver::{run_qt_direct, run_qt_sim, run_qt_sim_with_topology, QtOutcome};
 pub use offer::{Offer, OfferKind, RfbItem};
+pub use relset::RelSet;
 pub use seller::SellerEngine;

@@ -54,13 +54,10 @@ pub struct Offer {
 }
 
 impl Offer {
-    /// Stable fingerprint of the offered query (the buyer's value-book key).
+    /// Stable fingerprint of the offered query (the buyer's value-book key
+    /// and the seller's offer-cache key).
     pub fn query_key(query: &Query) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        query.hash(&mut h);
-        h.finish()
+        query.fingerprint()
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::config::QtConfig;
 use crate::dist_plan::{answer_schema, estimate_from, DistributedPlan, Purchase};
 use crate::offer::{Offer, OfferKind};
+use crate::relset::RelSet;
 use qt_cost::NodeResources;
 use qt_exec::{AggSpec, PhysPlan};
 use qt_query::{Col, CompOp, Operand, Query, SelectItem};
@@ -28,13 +29,52 @@ pub struct GenOutput {
     pub join_sites: Vec<(BTreeSet<RelId>, BTreeSet<RelId>)>,
 }
 
+/// The relation numbering of one generator invocation: index ↔ `RelId` for
+/// the target query's `FROM` list (ascending `RelId`), so subsets live in
+/// [`RelSet`] words throughout the search.
+struct RelSpace {
+    rels: Vec<RelId>,
+    index: BTreeMap<RelId, usize>,
+}
+
+impl RelSpace {
+    fn new(q: &Query) -> RelSpace {
+        let rels: Vec<RelId> = q.rel_ids().collect();
+        let index = rels.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        RelSpace { rels, index }
+    }
+
+    fn n(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Members of `set` as `RelId`s, ascending.
+    fn rel_ids(&self, set: RelSet) -> impl Iterator<Item = RelId> + '_ {
+        set.iter().map(move |i| self.rels[i])
+    }
+
+    /// Pack `rels` into a [`RelSet`]; `None` if any is outside the space.
+    fn set_of(&self, rels: impl IntoIterator<Item = RelId>) -> Option<RelSet> {
+        let mut s = RelSet::EMPTY;
+        for r in rels {
+            s.insert(*self.index.get(&r)?);
+        }
+        Some(s)
+    }
+
+    /// Expand to the boundary representation.
+    fn to_btree(&self, set: RelSet) -> BTreeSet<RelId> {
+        self.rel_ids(set).collect()
+    }
+}
+
 /// Plan skeleton built during search; materialized into [`PhysPlan`] at the
 /// end (slot assignment happens then).
 #[derive(Debug, Clone)]
 enum Skel {
     Buy(usize),
     Union(Vec<usize>),
-    Join { left: Box<Skel>, right: Box<Skel>, left_rels: BTreeSet<RelId>, right_rels: BTreeSet<RelId> },
+    Join { left: Box<Skel>, right: Box<Skel>, left_rels: RelSet, right_rels: RelSet },
 }
 
 impl Skel {
@@ -49,9 +89,9 @@ impl Skel {
         }
     }
 
-    fn join_sites(&self, out: &mut Vec<(BTreeSet<RelId>, BTreeSet<RelId>)>) {
+    fn join_sites(&self, out: &mut Vec<(RelSet, RelSet)>) {
         if let Skel::Join { left, right, left_rels, right_rels } = self {
-            out.push((left_rels.clone(), right_rels.clone()));
+            out.push((*left_rels, *right_rels));
             left.join_sites(out);
             right.join_sites(out);
         }
@@ -89,12 +129,13 @@ impl<'a> PlanGenerator<'a> {
 
     /// Measure of a coverage box: the product over relations of covered
     /// partition counts (within the requested sets).
-    fn box_measure(&self, q: &Query, rels: &BTreeSet<RelId>) -> u64 {
-        rels.iter()
+    fn box_measure(&self, q: &Query, rels: RelSet, space: &RelSpace) -> u64 {
+        space
+            .rel_ids(rels)
             .map(|r| {
                 q.relations
-                    .get(r)
-                    .map(|p| p.intersect(&self.query.relations[r]).len() as u64)
+                    .get(&r)
+                    .map(|p| p.intersect(&self.query.relations[&r]).len() as u64)
                     .unwrap_or(0)
             })
             .product()
@@ -113,19 +154,20 @@ impl<'a> PlanGenerator<'a> {
     fn greedy_cover(
         &self,
         offers: &[&(usize, Offer)],
-        rels: &BTreeSet<RelId>,
+        rels: RelSet,
+        space: &RelSpace,
         considered: &mut u64,
     ) -> Option<Vec<usize>> {
-        let full_measure: u64 = rels
-            .iter()
-            .map(|r| self.query.relations[r].len() as u64)
+        let full_measure: u64 = space
+            .rel_ids(rels)
+            .map(|r| self.query.relations[&r].len() as u64)
             .product();
         // Order by per-partition price (so large cheap fragments are laid
         // down first and singletons fill the gaps), then absolute score.
         let mut order: Vec<&&(usize, Offer)> = offers.iter().collect();
         order.sort_by(|a, b| {
-            let ma = self.box_measure(&a.1.query, rels).max(1) as f64;
-            let mb = self.box_measure(&b.1.query, rels).max(1) as f64;
+            let ma = self.box_measure(&a.1.query, rels, space).max(1) as f64;
+            let mb = self.box_measure(&b.1.query, rels, space).max(1) as f64;
             (self.score(&a.1) / ma)
                 .total_cmp(&(self.score(&b.1) / mb))
                 .then(self.score(&a.1).total_cmp(&self.score(&b.1)))
@@ -139,7 +181,7 @@ impl<'a> PlanGenerator<'a> {
             if chosen_queries.iter().any(|q| !Self::boxes_disjoint(q, &offer.query)) {
                 continue;
             }
-            measure += self.box_measure(&offer.query, rels);
+            measure += self.box_measure(&offer.query, rels, space);
             chosen.push(*idx);
             chosen_queries.push(&offer.query);
             if measure == full_measure {
@@ -156,17 +198,15 @@ impl<'a> PlanGenerator<'a> {
     pub fn generate(&self, offers: &[Offer]) -> GenOutput {
         let mut considered = 0u64;
         let q_core = self.query.strip_aggregation();
-        let rels: Vec<RelId> = self.query.rel_ids().collect();
-        let n = rels.len();
-        let rel_index: BTreeMap<RelId, usize> =
-            rels.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let space = RelSpace::new(self.query);
+        let n = space.n();
 
         // ---- Classify offers --------------------------------------------
         let mut whole: Vec<(usize, &Offer)> = Vec::new();
         let mut partial_agg: Vec<(usize, Offer)> = Vec::new();
         // Row fragments grouped by relation subset, deduped per coverage box.
-        let mut groups: BTreeMap<BTreeSet<RelId>, Vec<(usize, Offer)>> = BTreeMap::new();
-        let mut best_per_box: HashMap<(u64, Vec<u64>), (usize, f64)> = HashMap::new();
+        let mut groups: BTreeMap<RelSet, Vec<(usize, Offer)>> = BTreeMap::new();
+        let mut best_per_box: HashMap<(RelSet, Vec<u64>), (usize, f64)> = HashMap::new();
 
         for (i, o) in offers.iter().enumerate() {
             considered += 1;
@@ -183,13 +223,14 @@ impl<'a> PlanGenerator<'a> {
                 }
                 _ => {}
             }
-            let Some(subset) = self.usable_fragment(&q_core, o) else { continue };
+            let Some(subset) = self.usable_fragment(&q_core, o, &space) else { continue };
             // Dedup: keep the cheapest offer per exact coverage box.
-            let mask: u64 = subset.iter().map(|r| 1u64 << rel_index[r]).sum();
-            let box_key: Vec<u64> =
-                subset.iter().map(|r| o.query.relations[r].bits()).collect();
+            let box_key: Vec<u64> = space
+                .rel_ids(subset)
+                .map(|r| o.query.relations[&r].bits())
+                .collect();
             let score = self.score(o);
-            let key = (mask, box_key);
+            let key = (subset, box_key);
             match best_per_box.get(&key) {
                 Some((_, s)) if *s <= score => continue,
                 _ => {
@@ -197,24 +238,17 @@ impl<'a> PlanGenerator<'a> {
                 }
             }
         }
-        for ((mask, _), (i, _)) in best_per_box {
-            let subset: BTreeSet<RelId> = rels
-                .iter()
-                .enumerate()
-                .filter(|(b, _)| mask >> b & 1 == 1)
-                .map(|(_, &r)| r)
-                .collect();
+        for ((subset, _), (i, _)) in best_per_box {
             groups.entry(subset).or_default().push((i, offers[i].clone()));
         }
 
         // ---- Per-subset assemblies --------------------------------------
-        let mut table: HashMap<u64, Entry> = HashMap::new();
-        let mut by_size: Vec<Vec<u64>> = vec![Vec::new(); n + 1];
+        let mut table: HashMap<RelSet, Entry> = HashMap::new();
+        let mut by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
         let p = &self.config.cost_params;
-        for (subset, group) in &groups {
-            let mask: u64 = subset.iter().map(|r| 1u64 << rel_index[r]).sum();
+        for (&subset, group) in &groups {
             let refs: Vec<&(usize, Offer)> = group.iter().collect();
-            let Some(chosen) = self.greedy_cover(&refs, subset, &mut considered) else {
+            let Some(chosen) = self.greedy_cover(&refs, subset, &space, &mut considered) else {
                 continue;
             };
             let rows: f64 = chosen.iter().map(|&i| offers[i].props.rows).sum();
@@ -225,7 +259,7 @@ impl<'a> PlanGenerator<'a> {
                 cost += p.union(rows) * self.cpu();
                 Skel::Union(chosen)
             };
-            insert_entry(&mut table, &mut by_size, mask, Entry { skel, cost, rows });
+            insert_entry(&mut table, &mut by_size, subset, Entry { skel, cost, rows });
         }
 
         // ---- DP joins over subsets --------------------------------------
@@ -236,17 +270,15 @@ impl<'a> PlanGenerator<'a> {
                 let right_masks = by_size[s2].clone();
                 for &m1 in &left_masks {
                     for &m2 in &right_masks {
-                        if m1 & m2 != 0 || (s1 == s2 && m1 >= m2) {
+                        if !m1.is_disjoint(m2) || (s1 == s2 && m1 >= m2) {
                             continue;
                         }
                         considered += 1;
                         let (Some(l), Some(r)) = (table.get(&m1), table.get(&m2)) else {
                             continue;
                         };
-                        let left_rels = mask_rels(&rels, m1);
-                        let right_rels = mask_rels(&rels, m2);
                         let (eq_keys, residual) =
-                            self.connecting_preds(&q_core, &left_rels, &right_rels);
+                            self.connecting_preds(&q_core, m1, m2, &space);
                         let (out_rows, join_cost) = if !eq_keys.is_empty() {
                             (
                                 l.rows.max(r.rows),
@@ -265,13 +297,13 @@ impl<'a> PlanGenerator<'a> {
                             skel: Skel::Join {
                                 left: Box::new(l.skel.clone()),
                                 right: Box::new(r.skel.clone()),
-                                left_rels,
-                                right_rels,
+                                left_rels: m1,
+                                right_rels: m2,
                             },
                             cost,
                             rows: out_rows,
                         };
-                        insert_entry(&mut table, &mut by_size, m1 | m2, entry);
+                        insert_entry(&mut table, &mut by_size, m1.union(m2), entry);
                     }
                 }
             }
@@ -288,7 +320,7 @@ impl<'a> PlanGenerator<'a> {
         }
         let mut candidates: Vec<Candidate> = Vec::new();
 
-        let full_mask: u64 = if n == 0 { 0 } else { (1u64 << n) - 1 };
+        let full_mask = RelSet::full(n);
         if let Some(entry) = table.get(&full_mask) {
             // Finish the SPJ core at the buyer.
             let mut compute = 0.0;
@@ -318,9 +350,8 @@ impl<'a> PlanGenerator<'a> {
         }
 
         if !partial_agg.is_empty() {
-            let all_rels: BTreeSet<RelId> = rels.iter().copied().collect();
             let refs: Vec<&(usize, Offer)> = partial_agg.iter().collect();
-            if let Some(chosen) = self.greedy_cover(&refs, &all_rels, &mut considered) {
+            if let Some(chosen) = self.greedy_cover(&refs, full_mask, &space, &mut considered) {
                 let rows_in: f64 = chosen.iter().map(|&i| offers[i].props.rows).sum();
                 let mut cost: f64 = chosen.iter().map(|&i| self.score(&offers[i])).sum();
                 let mut compute = 0.0;
@@ -385,9 +416,14 @@ impl<'a> PlanGenerator<'a> {
             self.reaggregate_plan(unioned, &offers[chosen[0]].query)
         } else {
             let skel = best.skel.as_ref().expect("skeleton candidate");
-            skel.join_sites(&mut join_sites);
+            let mut sites: Vec<(RelSet, RelSet)> = Vec::new();
+            skel.join_sites(&mut sites);
+            join_sites = sites
+                .into_iter()
+                .map(|(l, r)| (space.to_btree(l), space.to_btree(r)))
+                .collect();
             let core_plan =
-                self.materialize_skel(skel, &q_core, offers, &mut purchases, &mut slot_of);
+                self.materialize_skel(skel, &q_core, &space, offers, &mut purchases, &mut slot_of);
             self.finish_plan(core_plan)
         };
 
@@ -436,15 +472,14 @@ impl<'a> PlanGenerator<'a> {
     /// Validate a row-fragment offer: it must be exactly the target's SPJ
     /// core restricted to a relation subset (arbitrary partition coverage).
     /// Returns the subset on success.
-    fn usable_fragment(&self, q_core: &Query, o: &Offer) -> Option<BTreeSet<RelId>> {
+    fn usable_fragment(&self, q_core: &Query, o: &Offer, space: &RelSpace) -> Option<RelSet> {
         if o.query.is_aggregate() {
             return None;
         }
-        let subset: BTreeSet<RelId> = o.query.rel_ids().collect();
-        if !subset.iter().all(|r| self.query.relations.contains_key(r)) {
-            return None;
-        }
-        let expected = q_core.restrict_to_rels(&subset);
+        // `set_of` fails exactly when the offer mentions a relation outside
+        // the target's FROM list.
+        let subset = space.set_of(o.query.rel_ids())?;
+        let expected = q_core.restrict_to_rels(&space.to_btree(subset));
         if o.query.select != expected.select || o.query.predicates != expected.predicates {
             return None;
         }
@@ -460,17 +495,21 @@ impl<'a> PlanGenerator<'a> {
     fn connecting_preds(
         &self,
         q_core: &Query,
-        left: &BTreeSet<RelId>,
-        right: &BTreeSet<RelId>,
+        left: RelSet,
+        right: RelSet,
+        space: &RelSpace,
     ) -> (Vec<(Col, Col)>, Vec<qt_query::Predicate>) {
+        let side = |set: RelSet, rel: RelId| {
+            space.index.get(&rel).is_some_and(|&i| set.contains(i))
+        };
         let mut eq = Vec::new();
         let mut residual = Vec::new();
         for p in q_core.join_predicates() {
             let Operand::Col(rc) = &p.right else { continue };
             let (a, b) = (p.left, *rc);
-            let pair = if left.contains(&a.rel) && right.contains(&b.rel) {
+            let pair = if side(left, a.rel) && side(right, b.rel) {
                 Some((a, b))
-            } else if left.contains(&b.rel) && right.contains(&a.rel) {
+            } else if side(left, b.rel) && side(right, a.rel) {
                 Some((b, a))
             } else {
                 None
@@ -490,6 +529,7 @@ impl<'a> PlanGenerator<'a> {
         &self,
         skel: &Skel,
         q_core: &Query,
+        space: &RelSpace,
         offers: &[Offer],
         purchases: &mut Vec<Purchase>,
         slot_of: &mut HashMap<usize, usize>,
@@ -510,9 +550,10 @@ impl<'a> PlanGenerator<'a> {
                 PhysPlan::Union { inputs }
             }
             Skel::Join { left, right, left_rels, right_rels } => {
-                let l = self.materialize_skel(left, q_core, offers, purchases, slot_of);
-                let r = self.materialize_skel(right, q_core, offers, purchases, slot_of);
-                let (eq_keys, residual) = self.connecting_preds(q_core, left_rels, right_rels);
+                let l = self.materialize_skel(left, q_core, space, offers, purchases, slot_of);
+                let r = self.materialize_skel(right, q_core, space, offers, purchases, slot_of);
+                let (eq_keys, residual) =
+                    self.connecting_preds(q_core, *left_rels, *right_rels, space);
                 let mut plan = if eq_keys.is_empty() {
                     PhysPlan::NlJoin {
                         left: Box::new(l),
@@ -643,18 +684,10 @@ fn buy_slot(
     })
 }
 
-fn mask_rels(rels: &[RelId], mask: u64) -> BTreeSet<RelId> {
-    rels.iter()
-        .enumerate()
-        .filter(|(i, _)| mask >> i & 1 == 1)
-        .map(|(_, &r)| r)
-        .collect()
-}
-
 fn insert_entry(
-    table: &mut HashMap<u64, Entry>,
-    by_size: &mut [Vec<u64>],
-    mask: u64,
+    table: &mut HashMap<RelSet, Entry>,
+    by_size: &mut [Vec<RelSet>],
+    mask: RelSet,
     entry: Entry,
 ) {
     match table.get(&mask) {
@@ -663,7 +696,7 @@ fn insert_entry(
             table.insert(mask, entry);
         }
         None => {
-            by_size[mask.count_ones() as usize].push(mask);
+            by_size[mask.len()].push(mask);
             table.insert(mask, entry);
         }
     }

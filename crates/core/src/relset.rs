@@ -1,0 +1,161 @@
+//! [`RelSet`] — a relation-subset bitmask for the plan generator's DP.
+//!
+//! The generator (B4) works over subsets of the target query's `FROM` list.
+//! It numbers the relations 0..n (ascending `RelId`) once per invocation and
+//! represents every subset as one machine word, so the hot loops — subset
+//! masks, DP table keys, disjointness/containment tests, join-site tracking —
+//! are single ALU ops instead of `BTreeSet<RelId>` allocations and tree
+//! walks. `BTreeSet<RelId>` survives only at the API boundary
+//! ([`GenOutput::join_sites`](crate::plangen::GenOutput) and
+//! [`Query::restrict_to_rels`](qt_query::Query::restrict_to_rels)).
+
+/// A set of relation *indices* (positions in the generator's relation
+/// numbering), packed into a `u64`. Supports queries of up to 64 relations —
+/// far beyond anything the DP can enumerate anyway.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RelSet(u64);
+
+impl RelSet {
+    /// The empty set.
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// The singleton `{i}`.
+    pub fn single(i: usize) -> RelSet {
+        debug_assert!(i < 64);
+        RelSet(1u64 << i)
+    }
+
+    /// The full set `{0, …, n-1}`.
+    pub fn full(n: usize) -> RelSet {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            RelSet(0)
+        } else {
+            RelSet(u64::MAX >> (64 - n))
+        }
+    }
+
+    /// From a raw bitmask.
+    pub fn from_bits(bits: u64) -> RelSet {
+        RelSet(bits)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Insert index `i`.
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < 64);
+        self.0 |= 1u64 << i;
+    }
+
+    /// Does the set contain index `i`?
+    pub fn contains(self, i: usize) -> bool {
+        i < 64 && self.0 >> i & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Do the sets share no member?
+    pub fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Member indices, ascending.
+    pub fn iter(self) -> RelSetIter {
+        RelSetIter(self.0)
+    }
+}
+
+impl std::fmt::Debug for RelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the member indices of a [`RelSet`], ascending.
+pub struct RelSetIter(u64);
+
+impl Iterator for RelSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RelSetIter {}
+
+impl FromIterator<usize> for RelSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> RelSet {
+        let mut s = RelSet::EMPTY;
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let a: RelSet = [0, 2, 5].into_iter().collect();
+        let b: RelSet = [1, 2].into_iter().collect();
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(2) && !a.contains(1));
+        assert_eq!(a.union(b), [0, 1, 2, 5].into_iter().collect());
+        assert_eq!(a.intersect(b), RelSet::single(2));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(RelSet::single(3)));
+        assert!(RelSet::single(2).is_subset(a));
+        assert!(!a.is_subset(b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(RelSet::full(0), RelSet::EMPTY);
+        assert_eq!(RelSet::full(3).bits(), 0b111);
+        assert_eq!(RelSet::full(64).len(), 64);
+        assert!(RelSet::EMPTY.is_empty());
+        assert_eq!(format!("{:?}", RelSet::full(2)), "{0, 1}");
+    }
+}

@@ -23,6 +23,15 @@ pub struct SellerResponse {
 /// Owns the node's private state: holdings (data + statistics), resources,
 /// materialized views, and strategy. Produces offers for RFBs; learns from
 /// award outcomes.
+///
+/// Replies are memoized per requested query ([`Query::fingerprint`] plus a
+/// hints digest when subcontracting is on): a persistent seller that is asked
+/// the same query again — the common case for recurring workloads — answers
+/// from the cache without re-running its local DP. Cached offers embed the
+/// strategy's asks, so anything that changes what a fresh computation would
+/// produce (resources, views, a strategy update after an award) invalidates
+/// the cache; direct mutation of the public fields must be followed by
+/// [`invalidate_offer_cache`](Self::invalidate_offer_cache).
 pub struct SellerEngine {
     /// This node's id.
     pub node: NodeId,
@@ -39,8 +48,13 @@ pub struct SellerEngine {
     /// Rounds in which this node is offline/unresponsive (failure injection
     /// for the availability experiments; simulator driver only).
     pub offline_rounds: std::collections::BTreeSet<u32>,
+    /// RFB items answered from the offer cache (cumulative).
+    pub cache_hits: u64,
+    /// RFB items that required a fresh evaluation (cumulative).
+    pub cache_misses: u64,
     config: QtConfig,
     next_offer: u64,
+    offer_cache: std::collections::HashMap<u64, Vec<Offer>>,
 }
 
 impl SellerEngine {
@@ -54,8 +68,11 @@ impl SellerEngine {
             holdings,
             total_effort: 0,
             offline_rounds: std::collections::BTreeSet::new(),
+            cache_hits: 0,
+            cache_misses: 0,
             config,
             next_offer: 0,
+            offer_cache: std::collections::HashMap::new(),
         }
     }
 
@@ -67,13 +84,22 @@ impl SellerEngine {
     /// Builder-style resources override.
     pub fn with_resources(mut self, r: NodeResources) -> Self {
         self.resources = r;
+        self.invalidate_offer_cache();
         self
     }
 
     /// Builder-style views.
     pub fn with_views(mut self, views: Vec<MaterializedView>) -> Self {
         self.views = views;
+        self.invalidate_offer_cache();
         self
+    }
+
+    /// Drop all memoized replies. Called automatically when resources, views,
+    /// or (via an award observation) the strategy change; call it manually
+    /// after mutating the public state fields directly.
+    pub fn invalidate_offer_cache(&mut self) {
+        self.offer_cache.clear();
     }
 
     fn optimizer(&self) -> LocalOptimizer<'_, NodeHoldings> {
@@ -100,8 +126,11 @@ impl SellerEngine {
         p
     }
 
+    /// Offers carry placeholder ids (0) until the merge step of
+    /// [`respond_with_hints`](Self::respond_with_hints) stamps them — item
+    /// evaluation runs on `&self` so items can be evaluated concurrently.
     fn make_offer(
-        &mut self,
+        &self,
         round: u32,
         query: Query,
         true_props: AnswerProperties,
@@ -109,7 +138,7 @@ impl SellerEngine {
     ) -> Offer {
         let ask = self.strategy.ask_for(&true_props);
         Offer {
-            id: self.fresh_id(),
+            id: 0,
             seller: self.node,
             query,
             true_cost: self.config.valuation.score(&true_props),
@@ -118,6 +147,29 @@ impl SellerEngine {
             round,
             subcontracts: vec![],
         }
+    }
+
+    /// The memoization key for one RFB item: the query fingerprint, mixed
+    /// with a digest of the hint book when subcontracting is on (composite
+    /// offers are assembled *from* the hints, so a reply is only reusable
+    /// while the hints match).
+    fn cache_key(&self, q: &Query, hints: &[Offer]) -> u64 {
+        let mut key = q.fingerprint();
+        if self.config.enable_subcontracting && !hints.is_empty() {
+            let mut digest = 0xcbf2_9ce4_8422_2325u64;
+            let mut mix = |v: u64| {
+                digest ^= v;
+                digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            for h in hints {
+                mix(h.seller.0 as u64);
+                mix(h.query.fingerprint());
+                mix(h.props.total_time.to_bits());
+                mix(h.props.price.to_bits());
+            }
+            key ^= digest;
+        }
+        key
     }
 
     /// Respond to an RFB: rewrite each requested query for local holdings,
@@ -130,21 +182,58 @@ impl SellerEngine {
     /// Like [`respond`](Self::respond), but with *market hints* — fragment
     /// offers the buyer has already seen, which subcontracting sellers may
     /// buy from third nodes to assemble composite offers (§3.5).
+    ///
+    /// Items are evaluated concurrently when `config.parallel` is set (the
+    /// evaluation phase is read-only), then merged serially in item order:
+    /// cache bookkeeping and offer-id assignment happen in the merge, so the
+    /// reply — ids included — is bit-identical to a serial run.
     pub fn respond_with_hints(
         &mut self,
         round: u32,
         items: &[RfbItem],
         hints: &[Offer],
     ) -> SellerResponse {
+        let workers = if self.config.parallel { qt_par::max_threads() } else { 1 };
+        let replies: Vec<(u64, Option<SellerResponse>)> =
+            qt_par::par_map_ref(items, workers, |item| {
+                let key = self.cache_key(&item.query, hints);
+                if self.offer_cache.contains_key(&key) {
+                    (key, None) // hit: merged from the cache below
+                } else {
+                    (key, Some(self.eval_item(round, &item.query, hints)))
+                }
+            });
         let mut resp = SellerResponse::default();
-        for item in items {
-            self.respond_one(round, &item.query, hints, &mut resp);
+        for (key, computed) in replies {
+            let offers = match computed {
+                None => {
+                    self.cache_hits += 1;
+                    self.offer_cache[&key].clone()
+                }
+                Some(r) => {
+                    self.cache_misses += 1;
+                    resp.effort += r.effort;
+                    self.offer_cache.insert(key, r.offers.clone());
+                    r.offers
+                }
+            };
+            for mut o in offers {
+                o.id = self.fresh_id();
+                o.round = round;
+                resp.offers.push(o);
+            }
         }
         self.total_effort += resp.effort;
         resp
     }
 
-    fn respond_one(&mut self, round: u32, q: &Query, hints: &[Offer], resp: &mut SellerResponse) {
+    fn eval_item(&self, round: u32, q: &Query, hints: &[Offer]) -> SellerResponse {
+        let mut resp = SellerResponse::default();
+        self.respond_one(round, q, hints, &mut resp);
+        resp
+    }
+
+    fn respond_one(&self, round: u32, q: &Query, hints: &[Offer], resp: &mut SellerResponse) {
         // S2.1: rewrite for local holdings (§3.4).
         if let Some(q_local) = rewrite_for_holdings(q, &self.holdings) {
             // S2.2: modified DP — optimal k-way partials become offers.
@@ -233,15 +322,8 @@ impl SellerEngine {
         // the query (even over data this node does not hold as base
         // relations) at the cost of a view scan plus residual work.
         if self.config.enable_views {
-            let view_offers: Vec<Offer> = self
-                .views
-                .iter()
-                .filter_map(|view| self.view_offer(round, q, view))
-                .collect();
-            for mut o in view_offers {
-                o.id = self.fresh_id();
-                resp.offers.push(o);
-            }
+            resp.offers
+                .extend(self.views.iter().filter_map(|view| self.view_offer(round, q, view)));
         }
     }
 
@@ -250,7 +332,7 @@ impl SellerEngine {
     /// lacks. Returns `None` unless every missing relation has a hint
     /// covering its full requested extent.
     fn subcontract_offer(
-        &mut self,
+        &self,
         round: u32,
         q: &Query,
         q_local: &Query,
@@ -324,7 +406,7 @@ impl SellerEngine {
         props.freshness = 0.9; // materialized data is one refresh behind
         let ask = self.strategy.ask_for(&props);
         Some(Offer {
-            id: 0, // re-assigned by caller
+            id: 0, // stamped in respond_with_hints' merge step
             seller: self.node,
             query: q.clone(),
             true_cost: self.config.valuation.score(&props),
@@ -336,8 +418,14 @@ impl SellerEngine {
     }
 
     /// Learn from the buyer's award: `won` per offer this seller made.
+    /// Cached replies embed asks priced under the pre-award strategy, so a
+    /// strategy update (adaptive markup) drops them.
     pub fn observe_award(&mut self, won: bool) {
+        let before = self.strategy.clone();
         self.strategy.observe_outcome(won);
+        if self.strategy != before {
+            self.invalidate_offer_cache();
+        }
     }
 }
 
@@ -537,5 +625,72 @@ mod tests {
         seller.strategy = qt_trade::SellerStrategy::adaptive_markup(1.2);
         seller.observe_award(false);
         assert!(seller.strategy.current_markup() < 1.2);
+    }
+
+    #[test]
+    fn repeated_rfb_hits_offer_cache() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        let first = seller.respond(0, &rfb(&q));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (0, 1));
+        let effort_after_first = seller.total_effort;
+        assert!(effort_after_first > 0);
+
+        let second = seller.respond(1, &rfb(&q));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (1, 1));
+        assert_eq!(second.effort, 0, "a cache hit costs no optimization effort");
+        assert_eq!(seller.total_effort, effort_after_first);
+        assert_eq!(first.offers.len(), second.offers.len());
+        for (a, b) in first.offers.iter().zip(&second.offers) {
+            assert_ne!(a.id, b.id, "replies always carry fresh offer ids");
+            assert_eq!(b.round, 1, "cached offers are restamped to the current round");
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.props, b.props);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn award_under_adaptive_strategy_invalidates_cache() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        seller.strategy = qt_trade::SellerStrategy::adaptive_markup(1.5);
+        let first = seller.respond(0, &rfb(&q));
+        // Losing moves the adaptive markup → cached asks are stale.
+        seller.observe_award(false);
+        let second = seller.respond(1, &rfb(&q));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (0, 2));
+        // Fresh evaluation re-priced the asks under the lowered markup.
+        let ask = |r: &SellerResponse| r.offers.iter().map(|o| o.props.total_time).sum::<f64>();
+        assert!(ask(&second) < ask(&first), "{} vs {}", ask(&second), ask(&first));
+    }
+
+    #[test]
+    fn award_under_truthful_strategy_keeps_cache() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        seller.respond(0, &rfb(&q));
+        // Truthful pricing is award-independent, so the cache survives.
+        seller.observe_award(true);
+        seller.observe_award(false);
+        seller.respond(1, &rfb(&q));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn resource_change_invalidates_cache() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        let first = seller.respond(0, &rfb(&q));
+        seller = seller.with_resources(NodeResources::uniform(4.0));
+        let second = seller.respond(1, &rfb(&q));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (0, 2));
+        // A 4× faster node quotes faster answers.
+        let t = |r: &SellerResponse| r.offers.iter().map(|o| o.props.total_time).sum::<f64>();
+        assert!(t(&second) < t(&first));
     }
 }

@@ -15,6 +15,11 @@ pub struct Metrics {
     pub compute_seconds: f64,
     /// Events processed (delivered messages, including self-sends).
     pub events: u64,
+    /// Seller offer-cache hits across all nodes (RFB items answered from the
+    /// memoized reply instead of re-running the local DP).
+    pub offer_cache_hits: u64,
+    /// Seller offer-cache misses across all nodes.
+    pub offer_cache_misses: u64,
 }
 
 impl Metrics {

@@ -205,6 +205,17 @@ impl Query {
         self.predicates.dedup();
     }
 
+    /// A 64-bit fingerprint of the canonical query structure: FNV-1a over the
+    /// `Hash` feed, independent of `RandomState` so equal queries map to the
+    /// same key in every hasher, process-wide. The trading layer keys seller
+    /// offer caches and buyer value books on it.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+
     /// The relations in `FROM`.
     pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
         self.relations.keys().copied()
@@ -401,6 +412,30 @@ impl Query {
     /// paper's rewrite appends (`office = 'Myconos'`).
     pub fn display_with<'a>(&'a self, dict: &'a SchemaDict) -> QueryDisplay<'a> {
         QueryDisplay { q: self, dict }
+    }
+}
+
+/// FNV-1a, the keyed-nowhere hasher behind [`Query::fingerprint`]. Unlike
+/// `DefaultHasher`, its output has no per-process random seed, so fingerprints
+/// are reproducible across threads and runs of the same build.
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
     }
 }
 
@@ -665,6 +700,30 @@ pub(crate) mod tests {
             s.finish()
         };
         assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn fingerprint_tracks_structural_equality() {
+        let dict = telecom_dict();
+        let q = motivating_query(&dict);
+        assert_eq!(q.fingerprint(), q.clone().fingerprint());
+        // Commuted predicate canonicalizes to the same fingerprint.
+        let p1 = Predicate::eq_cols(Col::new(cust(), 0), Col::new(inv(), 2));
+        let p2 = Predicate::eq_cols(Col::new(inv(), 2), Col::new(cust(), 0));
+        let sel = vec![SelectItem::Col(Col::new(cust(), 1))];
+        let a = Query::over_full(&dict, [cust(), inv()])
+            .with_predicates(vec![p1])
+            .with_select(sel.clone());
+        let b = Query::over_full(&dict, [cust(), inv()])
+            .with_predicates(vec![p2])
+            .with_select(sel);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any structural difference moves the fingerprint.
+        assert_ne!(
+            q.fingerprint(),
+            q.with_partset(cust(), PartSet::single(1)).fingerprint()
+        );
+        assert_ne!(a.fingerprint(), q.fingerprint());
     }
 
     #[test]
