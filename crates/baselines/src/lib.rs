@@ -115,10 +115,13 @@ pub fn run_baseline(
         if let Some(r) = resources.get(&node) {
             seller.resources = r.clone();
         }
-        let resp = seller.respond(0, &[qt_core::RfbItem {
-            query: query.clone(),
-            ref_value: f64::INFINITY,
-        }]);
+        let resp = seller.respond(
+            0,
+            &[qt_core::RfbItem {
+                query: query.clone(),
+                ref_value: f64::INFINITY,
+            }],
+        );
         effort += resp.effort;
         offers.extend(resp.offers);
     }
@@ -201,7 +204,7 @@ pub fn run_baseline(
 mod tests {
     use super::*;
     use qt_catalog::{
-        AttrType, CatalogBuilder, PartId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, CatalogBuilder, PartId, PartitionStats, Partitioning, RelationSchema,
     };
     use qt_query::parse_query;
 
@@ -217,10 +220,16 @@ mod tests {
             Partitioning::Single,
         );
         for i in 0..2u16 {
-            b.set_stats(PartId::new(r, i), PartitionStats::synthetic(10_000, &[5_000, 100]));
+            b.set_stats(
+                PartId::new(r, i),
+                PartitionStats::synthetic(10_000, &[5_000, 100]),
+            );
             b.place(PartId::new(r, i), NodeId(1 + i as u32));
         }
-        b.set_stats(PartId::new(s, 0), PartitionStats::synthetic(2_000, &[2_000, 50]));
+        b.set_stats(
+            PartId::new(s, 0),
+            PartitionStats::synthetic(2_000, &[2_000, 50]),
+        );
         b.place(PartId::new(s, 0), NodeId(3));
         b.add_node(NodeId(0));
         b.build()
@@ -230,7 +239,14 @@ mod tests {
     fn traddp_produces_a_plan_with_collection_messages() {
         let cat = catalog();
         let q = parse_query(&cat.dict, "SELECT b, c FROM r, s WHERE r.a = s.a").unwrap();
-        let out = run_baseline(BaselineKind::TradDp, &cat, &Default::default(), NodeId(0), &q, &QtConfig::default());
+        let out = run_baseline(
+            BaselineKind::TradDp,
+            &cat,
+            &Default::default(),
+            NodeId(0),
+            &q,
+            &QtConfig::default(),
+        );
         let plan = out.plan.expect("plan");
         assert!(plan.purchases.len() >= 2, "fragments from multiple nodes");
         // 2 messages per remote node (3 remote nodes) + dispatches.
@@ -245,13 +261,37 @@ mod tests {
         let cat = catalog();
         let q = parse_query(&cat.dict, "SELECT b, c FROM r, s WHERE r.a = s.a").unwrap();
         let cfg = QtConfig::default();
-        let dp = run_baseline(BaselineKind::TradDp, &cat, &Default::default(), NodeId(0), &q, &cfg);
-        let ship = run_baseline(BaselineKind::ShipAll, &cat, &Default::default(), NodeId(0), &q, &cfg);
+        let dp = run_baseline(
+            BaselineKind::TradDp,
+            &cat,
+            &Default::default(),
+            NodeId(0),
+            &q,
+            &cfg,
+        );
+        let ship = run_baseline(
+            BaselineKind::ShipAll,
+            &cat,
+            &Default::default(),
+            NodeId(0),
+            &q,
+            &cfg,
+        );
         let dp_cost = dp.plan.unwrap().est.additive_cost;
         let ship_cost = ship.plan.unwrap().est.additive_cost;
-        assert!(dp_cost <= ship_cost + 1e-9, "dp {dp_cost} vs ship {ship_cost}");
+        assert!(
+            dp_cost <= ship_cost + 1e-9,
+            "dp {dp_cost} vs ship {ship_cost}"
+        );
         // ShipAll plans only buy single-relation fragments.
-        let ship_out = run_baseline(BaselineKind::ShipAll, &cat, &Default::default(), NodeId(0), &q, &cfg);
+        let ship_out = run_baseline(
+            BaselineKind::ShipAll,
+            &cat,
+            &Default::default(),
+            NodeId(0),
+            &q,
+            &cfg,
+        );
         for p in ship_out.plan.unwrap().purchases {
             assert_eq!(p.offer.query.num_relations(), 1);
         }
@@ -270,7 +310,10 @@ mod tests {
                 ),
                 Partitioning::Single,
             );
-            b.set_stats(PartId::new(r, 0), PartitionStats::synthetic(1_000, &[500, 100]));
+            b.set_stats(
+                PartId::new(r, 0),
+                PartitionStats::synthetic(1_000, &[500, 100]),
+            );
             b.place(PartId::new(r, 0), NodeId(1)); // all on one node → big local DP
             rels.push(r);
         }
@@ -280,9 +323,28 @@ mod tests {
                    r0.k = r1.k AND r1.k = r2.k AND r2.k = r3.k AND r3.k = r4.k AND r4.k = r5.k";
         let q = parse_query(&cat.dict, sql).unwrap();
         let cfg = QtConfig::default();
-        let dp = run_baseline(BaselineKind::TradDp, &cat, &Default::default(), NodeId(0), &q, &cfg);
-        let idp = run_baseline(BaselineKind::TradIdp { k: 2, m: 5 }, &cat, &Default::default(), NodeId(0), &q, &cfg);
-        assert!(idp.seller_effort < dp.seller_effort, "IDP prunes: {} vs {}", idp.seller_effort, dp.seller_effort);
+        let dp = run_baseline(
+            BaselineKind::TradDp,
+            &cat,
+            &Default::default(),
+            NodeId(0),
+            &q,
+            &cfg,
+        );
+        let idp = run_baseline(
+            BaselineKind::TradIdp { k: 2, m: 5 },
+            &cat,
+            &Default::default(),
+            NodeId(0),
+            &q,
+            &cfg,
+        );
+        assert!(
+            idp.seller_effort < dp.seller_effort,
+            "IDP prunes: {} vs {}",
+            idp.seller_effort,
+            dp.seller_effort
+        );
         assert!(idp.plan.is_some());
         // IDP quality can be worse but never better than exhaustive DP
         // (both search the same space with the same cost model).

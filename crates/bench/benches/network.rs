@@ -23,12 +23,14 @@ fn bench_event_loop(c: &mut Criterion) {
     c.bench_function("sim_10k_events_ring", |b| {
         b.iter(|| {
             let nodes = 8u32;
-            let mut sim: Simulator<u32, Relay> =
-                Simulator::new(Topology::Uniform(NetLink::lan()));
+            let mut sim: Simulator<u32, Relay> = Simulator::new(Topology::Uniform(NetLink::lan()));
             for i in 0..nodes {
                 sim.add_node(
                     NodeId(i),
-                    Relay { next: NodeId((i + 1) % nodes), remaining: 10_000 / nodes },
+                    Relay {
+                        next: NodeId((i + 1) % nodes),
+                        remaining: 10_000 / nodes,
+                    },
                 );
             }
             sim.inject(0.0, NodeId(0), NodeId(0), 0, "start");

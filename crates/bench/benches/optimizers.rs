@@ -29,8 +29,7 @@ fn bench_enumerators(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(opt.optimize(&q).cost));
         });
         group.bench_with_input(BenchmarkId::new("IDP(2,5)", n), &n, |b, _| {
-            let opt =
-                LocalOptimizer::new(&fed.catalog).with_enumerator(JoinEnumerator::idp_2_5());
+            let opt = LocalOptimizer::new(&fed.catalog).with_enumerator(JoinEnumerator::idp_2_5());
             b.iter(|| std::hint::black_box(opt.optimize(&q).cost));
         });
     }
@@ -56,8 +55,14 @@ fn bench_plan_generator(c: &mut Criterion) {
     for &n in &fed.catalog.nodes {
         let mut s = SellerEngine::new(fed.catalog.holdings_of(n), cfg.clone());
         offers.extend(
-            s.respond(0, &[qt_core::RfbItem { query: q.clone(), ref_value: f64::INFINITY }])
-                .offers,
+            s.respond(
+                0,
+                &[qt_core::RfbItem {
+                    query: q.clone(),
+                    ref_value: f64::INFINITY,
+                }],
+            )
+            .offers,
         );
     }
     c.bench_function("plan_generator_round", |b| {

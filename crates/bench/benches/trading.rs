@@ -22,7 +22,10 @@ fn bench_full_trading_run(c: &mut Criterion) {
     let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
     let mut group = c.benchmark_group("qt_direct_16_nodes_3way");
     for parallel in [false, true] {
-        let cfg = QtConfig { parallel, ..QtConfig::default() };
+        let cfg = QtConfig {
+            parallel,
+            ..QtConfig::default()
+        };
         group.bench_function(if parallel { "parallel" } else { "serial" }, |b| {
             b.iter(|| {
                 let mut sellers = seller_engines(&fed, &cfg);

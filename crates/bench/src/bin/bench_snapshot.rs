@@ -15,6 +15,7 @@ use qt_catalog::NodeId;
 use qt_core::plangen::PlanGenerator;
 use qt_core::{run_qt_direct, Offer, QtConfig, RfbItem, SellerEngine};
 use qt_cost::NodeResources;
+use qt_optimizer::LocalOptimizer;
 use qt_workload::{build_federation, gen_join_query, Federation, FederationSpec, QueryShape};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -29,7 +30,10 @@ struct Sample {
 
 fn env_ms(var: &str, default_ms: u64) -> Duration {
     Duration::from_millis(
-        std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms),
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
     )
 }
 
@@ -64,7 +68,10 @@ fn measure<O>(name: &str, mut f: impl FnMut() -> O) -> Sample {
         ops_per_sec: 1.0 / best.max(1e-12),
         iterations: total,
     };
-    eprintln!("{:40} {:>12.1} ops/s  ({} iters)", s.name, s.ops_per_sec, s.iterations);
+    eprintln!(
+        "{:40} {:>12.1} ops/s  ({} iters)",
+        s.name, s.ops_per_sec, s.iterations
+    );
     s
 }
 
@@ -99,7 +106,10 @@ fn engines(fed: &Federation, cfg: &QtConfig) -> BTreeMap<NodeId, SellerEngine> {
 fn bench_trading(nodes: u32, parallel: bool) -> Sample {
     let fed = build_federation(&spec(nodes));
     let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
-    let cfg = QtConfig { parallel, ..QtConfig::default() };
+    let cfg = QtConfig {
+        parallel,
+        ..QtConfig::default()
+    };
     let label = format!(
         "qt_direct/{nodes}_sellers/{}",
         if parallel { "parallel" } else { "serial" }
@@ -121,7 +131,13 @@ fn bench_plangen() -> Sample {
     for seller in engines(&fed, &cfg).values_mut() {
         offers.extend(
             seller
-                .respond(0, &[RfbItem { query: q.clone(), ref_value: f64::INFINITY }])
+                .respond(
+                    0,
+                    &[RfbItem {
+                        query: q.clone(),
+                        ref_value: f64::INFINITY,
+                    }],
+                )
                 .offers,
         );
     }
@@ -159,8 +175,45 @@ fn bench_warm_cache(nodes: u32) -> (Sample, f64) {
     (sample, rate)
 }
 
+/// One-node federation holding every partition of an `n`-relation chain:
+/// isolates the seller-local DP (the per-offer hot path) from the trading
+/// protocol around it.
+fn dp_setup(rels: usize) -> (Federation, qt_query::Query) {
+    let fed = build_federation(&FederationSpec {
+        nodes: 1,
+        relations: rels,
+        partitions_per_relation: 2,
+        replication: 1,
+        rows_per_partition: 100_000,
+        seed: 7,
+        with_data: false,
+        speed_spread: 1.0,
+        data_skew: 0.0,
+    });
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, rels, false, 5);
+    (fed, q)
+}
+
+/// Exhaustive local DP over an `n`-relation chain (plan enumeration only).
+fn bench_local_dp(rels: usize) -> Sample {
+    let (fed, q) = dp_setup(rels);
+    let opt = LocalOptimizer::new(&fed.catalog);
+    measure(&format!("local_dp/{rels}_rels"), || opt.optimize(&q).cost)
+}
+
+/// The modified DP of §3.4: every ≤ k-way partial as an offerable result.
+fn bench_partial_results(rels: usize) -> Sample {
+    let (fed, q) = dp_setup(rels);
+    let opt = LocalOptimizer::new(&fed.catalog);
+    measure(&format!("partial_results/{rels}_rels"), || {
+        opt.partial_results(&q.strip_aggregation(), 2).0.len()
+    })
+}
+
 fn main() {
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let qt_threads = std::env::var("QT_THREADS").ok();
 
     let serial8 = bench_trading(8, false);
@@ -168,6 +221,9 @@ fn main() {
     let serial16 = bench_trading(16, false);
     let par16 = bench_trading(16, true);
     let plangen = bench_plangen();
+    let local_dp8 = bench_local_dp(8);
+    let local_dp10 = bench_local_dp(10);
+    let partials10 = bench_partial_results(10);
     let (warm16, hit_rate) = bench_warm_cache(16);
 
     let speedup8 = par8.ops_per_sec / serial8.ops_per_sec;
@@ -186,7 +242,17 @@ fn main() {
         }
     }
     json.push_str("  \"benches\": [\n");
-    let all = [&serial8, &par8, &serial16, &par16, &plangen, &warm16];
+    let all = [
+        &serial8,
+        &par8,
+        &serial16,
+        &par16,
+        &plangen,
+        &local_dp8,
+        &local_dp10,
+        &partials10,
+        &warm16,
+    ];
     for (i, s) in all.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -201,7 +267,10 @@ fn main() {
     json.push_str("  ],\n");
     let _ = writeln!(json, "  \"parallel_speedup_8_sellers\": {speedup8:.3},");
     let _ = writeln!(json, "  \"parallel_speedup_16_sellers\": {speedup16:.3},");
-    let _ = writeln!(json, "  \"warm_cache_speedup_16_sellers\": {warm_speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"warm_cache_speedup_16_sellers\": {warm_speedup:.3},"
+    );
     let _ = writeln!(json, "  \"offer_cache_hit_rate\": {hit_rate:.4}");
     json.push_str("}\n");
 

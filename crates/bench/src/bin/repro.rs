@@ -21,7 +21,10 @@ fn main() {
     let results = Path::new("results");
     let mut unknown = Vec::new();
     for sel in selected {
-        match registry.iter().find(|(id, _)| *id == sel.to_ascii_lowercase()) {
+        match registry
+            .iter()
+            .find(|(id, _)| *id == sel.to_ascii_lowercase())
+        {
             Some((id, run)) => {
                 eprintln!("running {id}...");
                 let started = std::time::Instant::now();
@@ -43,7 +46,11 @@ fn main() {
         eprintln!(
             "unknown experiment(s): {} (available: {})",
             unknown.join(", "),
-            registry.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+            registry
+                .iter()
+                .map(|(id, _)| *id)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(2);
     }

@@ -58,7 +58,14 @@ pub fn e2() -> Table {
     let mut t = Table::new(
         "E2",
         "plan cost / TradDP cost vs. number of joined relations; 16 nodes",
-        &["relations", "QT-DP", "QT-IDP", "QT-mixed-market", "TradIDP", "ShipAll"],
+        &[
+            "relations",
+            "QT-DP",
+            "QT-IDP",
+            "QT-mixed-market",
+            "TradIDP",
+            "ShipAll",
+        ],
     );
     for n in 2..=10usize {
         let fed = build_federation(&spec(6, n, 2, 2, 200 + n as u64));
@@ -84,12 +91,17 @@ pub fn e2() -> Table {
                 engine.strategy = SellerStrategy::fixed_markup(1.5);
             }
         }
-        let out = run_qt_direct(BUYER, fed.catalog.dict.clone(), &q, &mut sellers, &mixed_cfg);
+        let out = run_qt_direct(
+            BUYER,
+            fed.catalog.dict.clone(),
+            &q,
+            &mut sellers,
+            &mixed_cfg,
+        );
         let c = out
             .plan
             .map(|p| {
-                p.purchases.iter().map(|pu| pu.offer.true_cost).sum::<f64>()
-                    + p.est.buyer_compute
+                p.purchases.iter().map(|pu| pu.offer.true_cost).sum::<f64>() + p.est.buyer_compute
             })
             .unwrap_or(f64::NAN);
         row.push(f(c / base));
@@ -160,7 +172,13 @@ pub fn e5() -> Table {
     let mut t = Table::new(
         "E5",
         "plan cost and cost ratio vs. partitions per relation; 16 nodes, 3-relation chain",
-        &["partitions", "QT-DP cost", "TradDP cost", "ratio", "QT msgs"],
+        &[
+            "partitions",
+            "QT-DP cost",
+            "TradDP cost",
+            "ratio",
+            "QT msgs",
+        ],
     );
     for &p in &[1u16, 2, 4, 8, 16] {
         let fed = build_federation(&spec(16, 3, p, 1, 500 + p as u64));
@@ -186,11 +204,21 @@ pub fn e6() -> Table {
     let mut t = Table::new(
         "E6",
         "per-iteration best cost and working-set size; k=1 partial cap forces iterations",
-        &["iteration", "queries asked", "offers", "best cost", "improvement %"],
+        &[
+            "iteration",
+            "queries asked",
+            "offers",
+            "best cost",
+            "improvement %",
+        ],
     );
     let fed = build_federation(&spec(6, 5, 1, 2, 600));
     let q = gen_join_query_with_cut(&fed.catalog.dict, QueryShape::Chain, 5, false, 8);
-    let cfg = QtConfig { max_partial_k: 1, max_iterations: 8, ..QtConfig::default() };
+    let cfg = QtConfig {
+        max_partial_k: 1,
+        max_iterations: 8,
+        ..QtConfig::default()
+    };
     let mut sellers = seller_engines(&fed, &cfg);
     let out = run_qt_direct(BUYER, fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
     let first = out.history.first().map(|h| h.best_cost).unwrap_or(f64::NAN);
@@ -211,7 +239,13 @@ pub fn e7() -> Table {
     let mut t = Table::new(
         "E7",
         "negotiation protocol: messages, time, buyer cost; 16 nodes, replication 2",
-        &["protocol", "messages", "sim time", "buyer cost", "seller surplus"],
+        &[
+            "protocol",
+            "messages",
+            "sim time",
+            "buyer cost",
+            "seller surplus",
+        ],
     );
     for proto in [
         ProtocolKind::SealedBid,
@@ -249,7 +283,12 @@ pub fn e8() -> Table {
     let mut t = Table::new(
         "E8",
         "seller markup vs. buyer cost and seller surplus (Vickrey keeps truthful honest)",
-        &["strategy", "buyer cost", "seller surplus", "cost vs truthful"],
+        &[
+            "strategy",
+            "buyer cost",
+            "seller surplus",
+            "cost vs truthful",
+        ],
     );
     let fed = build_federation(&spec(16, 3, 2, 3, 800));
     let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, false, 8);
@@ -261,7 +300,10 @@ pub fn e8() -> Table {
         ("markup 2.0", SellerStrategy::fixed_markup(2.0)),
         ("adaptive 1.5", SellerStrategy::adaptive_markup(1.5)),
     ] {
-        let cfg = QtConfig { seller_strategy: strat, ..QtConfig::default() };
+        let cfg = QtConfig {
+            seller_strategy: strat,
+            ..QtConfig::default()
+        };
         let out = run_algo(Algo::QtDp, &fed, BUYER, &q, &cfg);
         let plan = out.plan.expect("plan");
         let surplus: f64 = plan
@@ -297,7 +339,10 @@ pub fn e9() -> Table {
         let trad = run_algo(Algo::TradDp, &fed, BUYER, &q, &cfg);
         t.push(vec![
             r.to_string(),
-            f(qt.plan.as_ref().map(|p| p.est.additive_cost).unwrap_or(f64::NAN)),
+            f(qt.plan
+                .as_ref()
+                .map(|p| p.est.additive_cost)
+                .unwrap_or(f64::NAN)),
             f(qt.optimization_time),
             qt.messages.to_string(),
             f(trad.plan.map(|p| p.est.additive_cost).unwrap_or(f64::NAN)),
@@ -311,7 +356,13 @@ pub fn e10() -> Table {
     let mut t = Table::new(
         "E10",
         "subcontracting (extension): composite offers on a scattered 4-relation chain",
-        &["subcontracting", "plan cost", "iterations", "messages", "composite offers used"],
+        &[
+            "subcontracting",
+            "plan cost",
+            "iterations",
+            "messages",
+            "composite offers used",
+        ],
     );
     // Every relation on a different node: no single node can join anything
     // without subcontracting.
@@ -335,8 +386,11 @@ pub fn e10() -> Table {
         };
         let out = run_algo_with_cfg(&fed, &q, &cfg);
         let plan = out.plan.expect("plan");
-        let composites =
-            plan.purchases.iter().filter(|p| !p.offer.subcontracts.is_empty()).count();
+        let composites = plan
+            .purchases
+            .iter()
+            .filter(|p| !p.offer.subcontracts.is_empty())
+            .count();
         t.push(vec![
             enabled.to_string(),
             f(plan.est.additive_cost),
@@ -353,7 +407,13 @@ pub fn e11() -> Table {
     let mut t = Table::new(
         "E11",
         "buyer predicates analyser ablation (k=1 partial cap); off = one-shot Contract-Net",
-        &["analyser", "plan cost", "iterations", "messages", "sim time"],
+        &[
+            "analyser",
+            "plan cost",
+            "iterations",
+            "messages",
+            "sim time",
+        ],
     );
     let fed = build_federation(&spec(6, 5, 1, 2, 600));
     let q = gen_join_query_with_cut(&fed.catalog.dict, QueryShape::Chain, 5, false, 8);
@@ -386,7 +446,10 @@ pub fn e12() -> Table {
     let fed = build_federation(&spec(6, 5, 1, 2, 600));
     let q = gen_join_query_with_cut(&fed.catalog.dict, QueryShape::Chain, 5, false, 8);
     for k in 1..=4usize {
-        let cfg = QtConfig { max_partial_k: k, ..QtConfig::default() };
+        let cfg = QtConfig {
+            max_partial_k: k,
+            ..QtConfig::default()
+        };
         let out = run_algo_with_cfg(&fed, &q, &cfg);
         let plan = out.plan.expect("plan");
         t.push(vec![
@@ -422,7 +485,12 @@ pub fn e13() -> Table {
     let mut t = Table::new(
         "E13",
         "buyer staleness weight vs. chosen source (stale view vs. fresh computation)",
-        &["w_staleness", "plan cost", "plan freshness", "bought from view"],
+        &[
+            "w_staleness",
+            "plan cost",
+            "plan freshness",
+            "bought from view",
+        ],
     );
     let (catalog, _) = telecom_federation(&TelecomSpec {
         offices: 3,
@@ -440,13 +508,21 @@ pub fn e13() -> Table {
     let view = MaterializedView::new("exact", q.clone());
     for w in [0.0f64, 0.5, 2.0, 10.0] {
         let cfg = QtConfig {
-            valuation: Valuation { w_staleness: w, ..Valuation::response_time() },
+            valuation: Valuation {
+                w_staleness: w,
+                ..Valuation::response_time()
+            },
             ..QtConfig::default()
         };
         let mut sellers: std::collections::BTreeMap<_, _> = catalog
             .nodes
             .iter()
-            .map(|&n| (n, qt_core::SellerEngine::new(catalog.holdings_of(n), cfg.clone())))
+            .map(|&n| {
+                (
+                    n,
+                    qt_core::SellerEngine::new(catalog.holdings_of(n), cfg.clone()),
+                )
+            })
             .collect();
         sellers.get_mut(&NodeId(1)).expect("corfu").views = vec![view.clone()];
         let out = run_qt_direct(BUYER, catalog.dict.clone(), &q, &mut sellers, &cfg);
@@ -503,14 +579,8 @@ pub fn e14() -> Table {
     ];
     for (label, topo) in topologies {
         let sellers = seller_engines(&fed, &cfg);
-        let (out, _) = run_qt_sim_with_topology(
-            BUYER,
-            fed.catalog.dict.clone(),
-            &q,
-            sellers,
-            &cfg,
-            topo,
-        );
+        let (out, _) =
+            run_qt_sim_with_topology(BUYER, fed.catalog.dict.clone(), &q, sellers, &cfg, topo);
         let plan = out.plan.expect("plan");
         t.push(vec![
             label.into(),
@@ -533,19 +603,27 @@ pub fn e15() -> Table {
     let mut t = Table::new(
         "E15",
         "market availability: fraction of sellers offline vs. plan success/cost; repl 3",
-        &["offline nodes", "plan found", "plan cost", "sim time", "timeouts fired"],
+        &[
+            "offline nodes",
+            "plan found",
+            "plan cost",
+            "sim time",
+            "timeouts fired",
+        ],
     );
     let fed = build_federation(&spec(12, 3, 2, 3, 1500));
     let q = gen_join_query_with_cut(&fed.catalog.dict, QueryShape::Chain, 3, false, 40);
     for offline in [0u32, 2, 4, 6, 8, 10] {
-        let cfg = QtConfig { seller_timeout: 1.0, ..QtConfig::default() };
+        let cfg = QtConfig {
+            seller_timeout: 1.0,
+            ..QtConfig::default()
+        };
         let mut sellers = seller_engines(&fed, &cfg);
         // Deterministically take the highest-numbered nodes offline.
         for engine in sellers.values_mut().rev().take(offline as usize) {
             engine.offline_rounds = (0..16).collect();
         }
-        let (out, metrics) =
-            run_qt_sim(BUYER, fed.catalog.dict.clone(), &q, sellers, &cfg);
+        let (out, metrics) = run_qt_sim(BUYER, fed.catalog.dict.clone(), &q, sellers, &cfg);
         t.push(vec![
             offline.to_string(),
             out.plan.is_some().to_string(),
@@ -569,7 +647,14 @@ pub fn e16() -> Table {
     let mut t = Table::new(
         "E16",
         "cardinality q-error on skewed data: equi-depth histograms vs. min/max interpolation",
-        &["filter", "actual rows", "est (hist)", "est (minmax)", "q-err hist", "q-err minmax"],
+        &[
+            "filter",
+            "actual rows",
+            "est (hist)",
+            "est (minmax)",
+            "q-err hist",
+            "q-err minmax",
+        ],
     );
     let fed = build_federation(&FederationSpec {
         nodes: 4,
@@ -593,8 +678,14 @@ pub fn e16() -> Table {
     for cut in [2i64, 5, 10, 25, 50, 90] {
         let q = gen_join_query_with_cut(&fed.catalog.dict, QueryShape::Chain, 1, false, cut);
         let actual = evaluate_query(&q, &all).expect("reference").len().max(1) as f64;
-        let with_hist = CardinalityEstimator::new(&fed.catalog).estimate(&q).rows.max(1.0);
-        let without = CardinalityEstimator::new(&stripped).estimate(&q).rows.max(1.0);
+        let with_hist = CardinalityEstimator::new(&fed.catalog)
+            .estimate(&q)
+            .rows
+            .max(1.0);
+        let without = CardinalityEstimator::new(&stripped)
+            .estimate(&q)
+            .rows
+            .max(1.0);
         let qerr = |est: f64| (est / actual).max(actual / est);
         t.push(vec![
             format!("b < {cut}"),
@@ -652,12 +743,18 @@ pub fn e17() -> Table {
         let true_cost_of = |offer: &qt_core::Offer, cfg: &QtConfig| -> f64 {
             let mut seller = SellerEngine::new(
                 fed.catalog.holdings_of(offer.seller),
-                QtConfig { seller_strategy: qt_trade::SellerStrategy::Truthful, ..cfg.clone() },
+                QtConfig {
+                    seller_strategy: qt_trade::SellerStrategy::Truthful,
+                    ..cfg.clone()
+                },
             );
             seller.resources = live[&offer.seller].clone();
             let resp = seller.respond(
                 0,
-                &[qt_core::RfbItem { query: offer.query.clone(), ref_value: f64::INFINITY }],
+                &[qt_core::RfbItem {
+                    query: offer.query.clone(),
+                    ref_value: f64::INFINITY,
+                }],
             );
             resp.offers
                 .iter()
@@ -666,7 +763,10 @@ pub fn e17() -> Table {
                 .fold(f64::INFINITY, f64::min)
         };
         let true_plan_cost = |plan: &qt_core::DistributedPlan, cfg: &QtConfig| -> f64 {
-            plan.purchases.iter().map(|p| true_cost_of(&p.offer, cfg)).sum::<f64>()
+            plan.purchases
+                .iter()
+                .map(|p| true_cost_of(&p.offer, cfg))
+                .sum::<f64>()
                 + plan.est.buyer_compute
         };
 
@@ -686,12 +786,10 @@ pub fn e17() -> Table {
         let qt_cost = true_plan_cost(&qt.plan.expect("plan"), &cfg);
 
         // Classical: plans against the stale catalog, pays live prices.
-        let stale_out =
-            run_baseline(BaselineKind::TradDp, &fed.catalog, &stale, BUYER, &q, &cfg);
+        let stale_out = run_baseline(BaselineKind::TradDp, &fed.catalog, &stale, BUYER, &q, &cfg);
         let stale_cost = true_plan_cost(&stale_out.plan.expect("plan"), &cfg);
         // Fresh oracle: classical with live knowledge (lower bound).
-        let fresh_out =
-            run_baseline(BaselineKind::TradDp, &fed.catalog, &live, BUYER, &q, &cfg);
+        let fresh_out = run_baseline(BaselineKind::TradDp, &fed.catalog, &live, BUYER, &q, &cfg);
         let fresh_cost = true_plan_cost(&fresh_out.plan.expect("plan"), &cfg);
 
         t.push(vec![

@@ -37,7 +37,13 @@ impl Algo {
 
     /// All algorithms, in table order.
     pub fn all() -> [Algo; 5] {
-        [Algo::QtDp, Algo::QtIdp, Algo::TradDp, Algo::TradIdp, Algo::ShipAll]
+        [
+            Algo::QtDp,
+            Algo::QtIdp,
+            Algo::TradDp,
+            Algo::TradIdp,
+            Algo::ShipAll,
+        ]
     }
 }
 
@@ -77,11 +83,22 @@ pub fn run_algo(
                 ..base.clone()
             };
             let mut sellers = seller_engines(fed, &cfg);
-            run_qt_direct(buyer_node, fed.catalog.dict.clone(), query, &mut sellers, &cfg)
+            run_qt_direct(
+                buyer_node,
+                fed.catalog.dict.clone(),
+                query,
+                &mut sellers,
+                &cfg,
+            )
         }
-        Algo::TradDp => {
-            run_baseline(BaselineKind::TradDp, &fed.catalog, &fed.resources, buyer_node, query, base)
-        }
+        Algo::TradDp => run_baseline(
+            BaselineKind::TradDp,
+            &fed.catalog,
+            &fed.resources,
+            buyer_node,
+            query,
+            base,
+        ),
         Algo::TradIdp => run_baseline(
             BaselineKind::TradIdp { k: 2, m: 5 },
             &fed.catalog,
@@ -124,8 +141,6 @@ mod tests {
         let cfg = QtConfig::default();
         let dp = run_algo(Algo::TradDp, &fed, NodeId(0), &q, &cfg);
         let ship = run_algo(Algo::ShipAll, &fed, NodeId(0), &q, &cfg);
-        assert!(
-            dp.plan.unwrap().est.additive_cost <= ship.plan.unwrap().est.additive_cost + 1e-9
-        );
+        assert!(dp.plan.unwrap().est.additive_cost <= ship.plan.unwrap().est.additive_cost + 1e-9);
     }
 }

@@ -57,10 +57,16 @@ impl CatalogBuilder {
         | Partitioning::Range { attr, .. }
         | Partitioning::Hash { attr, .. } = &partitioning
         {
-            assert!(*attr < schema.arity(), "partitioning attribute out of range");
+            assert!(
+                *attr < schema.arity(),
+                "partitioning attribute out of range"
+            );
         }
         let id = RelId(self.dict.relations.len() as u32);
-        self.dict.relations.push(RelationMeta { schema, partitioning });
+        self.dict.relations.push(RelationMeta {
+            schema,
+            partitioning,
+        });
         id
     }
 
@@ -104,7 +110,10 @@ impl CatalogBuilder {
                 }
                 let arity = self.dict.rel(rel).schema.arity();
                 if self.stats[&part].cols.len() != arity {
-                    return Err(CatalogError::ArityMismatch { part, expected: arity });
+                    return Err(CatalogError::ArityMismatch {
+                        part,
+                        expected: arity,
+                    });
                 }
             }
         }
@@ -142,10 +151,7 @@ mod tests {
         let mut b = CatalogBuilder::new();
         let r = b.add_relation(schema(), Partitioning::Single);
         b.place(PartId::new(r, 0), NodeId(0));
-        assert!(matches!(
-            b.try_build(),
-            Err(CatalogError::MissingStats(_))
-        ));
+        assert!(matches!(b.try_build(), Err(CatalogError::MissingStats(_))));
     }
 
     #[test]

@@ -44,10 +44,17 @@ mod tests {
     #[test]
     fn messages_are_descriptive() {
         let p = PartId::new(RelId(1), 2);
-        assert!(CatalogError::MissingStats(p).to_string().contains("rel1.p2"));
-        assert!(CatalogError::UnplacedPartition(p).to_string().contains("no node"));
-        assert!(CatalogError::ArityMismatch { part: p, expected: 3 }
+        assert!(CatalogError::MissingStats(p)
             .to_string()
-            .contains("3 columns"));
+            .contains("rel1.p2"));
+        assert!(CatalogError::UnplacedPartition(p)
+            .to_string()
+            .contains("no node"));
+        assert!(CatalogError::ArityMismatch {
+            part: p,
+            expected: 3
+        }
+        .to_string()
+        .contains("3 columns"));
     }
 }

@@ -82,9 +82,11 @@ impl Restriction {
                 let v = &row[*attr];
                 lo.as_ref().is_none_or(|l| v >= l) && hi.as_ref().is_none_or(|h| v < h)
             }
-            Restriction::Hash { attr, modulus, residue } => {
-                value_bucket(&row[*attr], *modulus) == *residue
-            }
+            Restriction::Hash {
+                attr,
+                modulus,
+                residue,
+            } => value_bucket(&row[*attr], *modulus) == *residue,
         }
     }
 
@@ -104,12 +106,26 @@ impl Restriction {
         match (self, other) {
             (Restriction::All, _) | (_, Restriction::All) => false,
             (
-                Restriction::In { attr: a, values: va },
-                Restriction::In { attr: b, values: vb },
+                Restriction::In {
+                    attr: a,
+                    values: va,
+                },
+                Restriction::In {
+                    attr: b,
+                    values: vb,
+                },
             ) => a == b && va.iter().all(|v| !vb.contains(v)),
             (
-                Restriction::Range { attr: a, lo: alo, hi: ahi },
-                Restriction::Range { attr: b, lo: blo, hi: bhi },
+                Restriction::Range {
+                    attr: a,
+                    lo: alo,
+                    hi: ahi,
+                },
+                Restriction::Range {
+                    attr: b,
+                    lo: blo,
+                    hi: bhi,
+                },
             ) => {
                 a == b
                     && (match (ahi, blo) {
@@ -120,23 +136,24 @@ impl Restriction {
                         _ => false,
                     })
             }
-            (
-                Restriction::In { attr: a, values },
-                Restriction::Range { attr: b, lo, hi },
-            )
-            | (
-                Restriction::Range { attr: b, lo, hi },
-                Restriction::In { attr: a, values },
-            ) => {
+            (Restriction::In { attr: a, values }, Restriction::Range { attr: b, lo, hi })
+            | (Restriction::Range { attr: b, lo, hi }, Restriction::In { attr: a, values }) => {
                 a == b
                     && values.iter().all(|v| {
-                        !(lo.as_ref().is_none_or(|l| v >= l)
-                            && hi.as_ref().is_none_or(|h| v < h))
+                        !(lo.as_ref().is_none_or(|l| v >= l) && hi.as_ref().is_none_or(|h| v < h))
                     })
             }
             (
-                Restriction::Hash { attr: a, modulus: am, residue: ar },
-                Restriction::Hash { attr: b, modulus: bm, residue: br },
+                Restriction::Hash {
+                    attr: a,
+                    modulus: am,
+                    residue: ar,
+                },
+                Restriction::Hash {
+                    attr: b,
+                    modulus: bm,
+                    residue: br,
+                },
             ) => a == b && am == bm && ar != br,
             _ => false,
         }
@@ -182,7 +199,11 @@ impl fmt::Display for RestrictionDisplay<'_> {
                     (None, None) => write!(f, "TRUE"),
                 }
             }
-            Restriction::Hash { attr, modulus, residue } => {
+            Restriction::Hash {
+                attr,
+                modulus,
+                residue,
+            } => {
                 let name = &self.schema.attr(*attr).name;
                 write!(f, "hash({name}) % {modulus} = {residue}")
             }
@@ -274,9 +295,7 @@ impl Partitioning {
                 let v = &row[*attr];
                 Some(bounds.iter().position(|b| v < b).unwrap_or(bounds.len()) as u16)
             }
-            Partitioning::Hash { attr, parts } => {
-                Some(value_bucket(&row[*attr], *parts) as u16)
-            }
+            Partitioning::Hash { attr, parts } => Some(value_bucket(&row[*attr], *parts) as u16),
         }
     }
 
@@ -375,7 +394,11 @@ mod tests {
             let row = [Value::Int(id), Value::str("")];
             let part = p.partition_of(&row).unwrap();
             for i in 0..p.num_partitions() {
-                assert_eq!(p.restriction(i).matches_row(&row), i == part, "id={id} i={i}");
+                assert_eq!(
+                    p.restriction(i).matches_row(&row),
+                    i == part,
+                    "id={id} i={i}"
+                );
             }
         }
     }
@@ -394,9 +417,18 @@ mod tests {
 
     #[test]
     fn disjointness_in_in() {
-        let a = Restriction::In { attr: 1, values: vec![Value::str("a")] };
-        let b = Restriction::In { attr: 1, values: vec![Value::str("b")] };
-        let c = Restriction::In { attr: 1, values: vec![Value::str("a"), Value::str("c")] };
+        let a = Restriction::In {
+            attr: 1,
+            values: vec![Value::str("a")],
+        };
+        let b = Restriction::In {
+            attr: 1,
+            values: vec![Value::str("b")],
+        };
+        let c = Restriction::In {
+            attr: 1,
+            values: vec![Value::str("a"), Value::str("c")],
+        };
         assert!(a.disjoint_with(&b));
         assert!(!a.disjoint_with(&c));
         assert!(!a.disjoint_with(&Restriction::All));
@@ -404,9 +436,21 @@ mod tests {
 
     #[test]
     fn disjointness_range_range() {
-        let lo = Restriction::Range { attr: 0, lo: None, hi: Some(Value::Int(10)) };
-        let hi = Restriction::Range { attr: 0, lo: Some(Value::Int(10)), hi: None };
-        let mid = Restriction::Range { attr: 0, lo: Some(Value::Int(5)), hi: Some(Value::Int(15)) };
+        let lo = Restriction::Range {
+            attr: 0,
+            lo: None,
+            hi: Some(Value::Int(10)),
+        };
+        let hi = Restriction::Range {
+            attr: 0,
+            lo: Some(Value::Int(10)),
+            hi: None,
+        };
+        let mid = Restriction::Range {
+            attr: 0,
+            lo: Some(Value::Int(5)),
+            hi: Some(Value::Int(15)),
+        };
         assert!(lo.disjoint_with(&hi));
         assert!(!lo.disjoint_with(&mid));
         assert!(!hi.disjoint_with(&mid));
@@ -414,9 +458,19 @@ mod tests {
 
     #[test]
     fn disjointness_in_range() {
-        let r = Restriction::Range { attr: 0, lo: Some(Value::Int(0)), hi: Some(Value::Int(10)) };
-        let inside = Restriction::In { attr: 0, values: vec![Value::Int(5)] };
-        let outside = Restriction::In { attr: 0, values: vec![Value::Int(10), Value::Int(11)] };
+        let r = Restriction::Range {
+            attr: 0,
+            lo: Some(Value::Int(0)),
+            hi: Some(Value::Int(10)),
+        };
+        let inside = Restriction::In {
+            attr: 0,
+            values: vec![Value::Int(5)],
+        };
+        let outside = Restriction::In {
+            attr: 0,
+            values: vec![Value::Int(10), Value::Int(11)],
+        };
         assert!(!r.disjoint_with(&inside));
         assert!(r.disjoint_with(&outside));
         assert!(outside.disjoint_with(&r));
@@ -424,9 +478,21 @@ mod tests {
 
     #[test]
     fn hash_disjointness() {
-        let a = Restriction::Hash { attr: 0, modulus: 4, residue: 0 };
-        let b = Restriction::Hash { attr: 0, modulus: 4, residue: 1 };
-        let c = Restriction::Hash { attr: 0, modulus: 8, residue: 1 };
+        let a = Restriction::Hash {
+            attr: 0,
+            modulus: 4,
+            residue: 0,
+        };
+        let b = Restriction::Hash {
+            attr: 0,
+            modulus: 4,
+            residue: 1,
+        };
+        let c = Restriction::Hash {
+            attr: 0,
+            modulus: 8,
+            residue: 1,
+        };
         assert!(a.disjoint_with(&b));
         assert!(!a.disjoint_with(&c)); // different modulus: conservative "maybe"
     }
@@ -434,30 +500,45 @@ mod tests {
     #[test]
     fn display_forms() {
         let s = schema();
-        let eq = Restriction::In { attr: 1, values: vec![Value::str("Myconos")] };
+        let eq = Restriction::In {
+            attr: 1,
+            values: vec![Value::str("Myconos")],
+        };
         assert_eq!(eq.display_with(&s).to_string(), "office = 'Myconos'");
         let many = Restriction::In {
             attr: 1,
             values: vec![Value::str("a"), Value::str("b")],
         };
         assert_eq!(many.display_with(&s).to_string(), "office IN ('a', 'b')");
-        let r = Restriction::Range { attr: 0, lo: Some(Value::Int(1)), hi: Some(Value::Int(5)) };
+        let r = Restriction::Range {
+            attr: 0,
+            lo: Some(Value::Int(1)),
+            hi: Some(Value::Int(5)),
+        };
         assert_eq!(r.display_with(&s).to_string(), "1 <= custid AND custid < 5");
         assert_eq!(Restriction::All.display_with(&s).to_string(), "TRUE");
     }
 
     #[test]
     fn validation_rejects_bad_schemes() {
-        assert!(Partitioning::List { attr: 0, groups: vec![] }.validate().is_err());
+        assert!(Partitioning::List {
+            attr: 0,
+            groups: vec![]
+        }
+        .validate()
+        .is_err());
         assert!(Partitioning::List {
             attr: 0,
             groups: vec![vec![Value::Int(1)], vec![Value::Int(1)]]
         }
         .validate()
         .is_err());
-        assert!(Partitioning::Range { attr: 0, bounds: vec![Value::Int(2), Value::Int(1)] }
-            .validate()
-            .is_err());
+        assert!(Partitioning::Range {
+            attr: 0,
+            bounds: vec![Value::Int(2), Value::Int(1)]
+        }
+        .validate()
+        .is_err());
         assert!(Partitioning::Hash { attr: 0, parts: 0 }.validate().is_err());
     }
 

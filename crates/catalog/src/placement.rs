@@ -151,7 +151,11 @@ impl Catalog {
         for part in self.placement.parts_on(node) {
             held.insert(part, self.stats(part).clone());
         }
-        NodeHoldings { node, dict: Arc::clone(&self.dict), held }
+        NodeHoldings {
+            node,
+            dict: Arc::clone(&self.dict),
+            held,
+        }
     }
 }
 
@@ -224,8 +228,14 @@ mod tests {
                 groups: vec![vec![Value::str("Athens")], vec![Value::str("Myconos")]],
             },
         );
-        b.set_stats(PartId::new(cust, 0), PartitionStats::synthetic(1000, &[1000, 1]));
-        b.set_stats(PartId::new(cust, 1), PartitionStats::synthetic(500, &[500, 1]));
+        b.set_stats(
+            PartId::new(cust, 0),
+            PartitionStats::synthetic(1000, &[1000, 1]),
+        );
+        b.set_stats(
+            PartId::new(cust, 1),
+            PartitionStats::synthetic(500, &[500, 1]),
+        );
         b.place(PartId::new(cust, 0), NodeId(0));
         b.place(PartId::new(cust, 1), NodeId(1));
         b.place(PartId::new(cust, 1), NodeId(0)); // replica

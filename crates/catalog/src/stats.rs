@@ -41,7 +41,11 @@ impl Histogram {
                 continue;
             }
             counts.push((end - start) as u64);
-            bounds.push(if b == buckets { values[n - 1] } else { values[end] });
+            bounds.push(if b == buckets {
+                values[n - 1]
+            } else {
+                values[end]
+            });
             start = end;
         }
         Some(Histogram { bounds, counts })
@@ -78,9 +82,7 @@ impl Histogram {
             }
         }
         // The last bucket is closed on the right: count its upper boundary.
-        if let (Some(&last_hi), Some(&last_count)) =
-            (self.bounds.last(), self.counts.last())
-        {
+        if let (Some(&last_hi), Some(&last_count)) = (self.bounds.last(), self.counts.last()) {
             let b_lo = self.bounds[self.bounds.len() - 2];
             if (last_hi - b_lo).abs() < f64::MIN_POSITIVE && lo <= last_hi && last_hi < hi {
                 // Already handled by the degenerate case above.
@@ -110,7 +112,13 @@ pub struct ColumnStats {
 impl ColumnStats {
     /// Stats for an empty column.
     pub fn empty() -> Self {
-        ColumnStats { ndv: 0, min: None, max: None, avg_width: 8, histogram: None }
+        ColumnStats {
+            ndv: 0,
+            min: None,
+            max: None,
+            avg_width: 8,
+            histogram: None,
+        }
     }
 
     /// Selectivity of `col = v` under the uniform-distribution assumption.
@@ -156,7 +164,10 @@ impl ColumnStats {
         // then selects nothing.
         let domain_hi = maxf + width / self.ndv.max(1) as f64;
         let lof = lo.and_then(|v| v.as_f64()).unwrap_or(minf).max(minf);
-        let hif = hi.and_then(|v| v.as_f64()).unwrap_or(domain_hi).min(domain_hi);
+        let hif = hi
+            .and_then(|v| v.as_f64())
+            .unwrap_or(domain_hi)
+            .min(domain_hi);
         ((hif - lof) / width).clamp(0.0, 1.0)
     }
 
@@ -217,7 +228,10 @@ impl ColumnStats {
             ndv: distinct.len() as u64,
             min,
             max,
-            avg_width: total_width.checked_div(n).unwrap_or(8).max(if n == 0 { 8 } else { 1 }),
+            avg_width: total_width
+                .checked_div(n)
+                .unwrap_or(8)
+                .max(if n == 0 { 8 } else { 1 }),
             histogram: Histogram::equi_depth(numeric, 16),
         }
     }
@@ -235,7 +249,10 @@ pub struct PartitionStats {
 impl PartitionStats {
     /// Stats for an empty partition of arity `arity`.
     pub fn empty(arity: usize) -> Self {
-        PartitionStats { rows: 0, cols: vec![ColumnStats::empty(); arity] }
+        PartitionStats {
+            rows: 0,
+            cols: vec![ColumnStats::empty(); arity],
+        }
     }
 
     /// Uniformly synthesized stats: `rows` rows, each column with `ndv`
@@ -430,7 +447,10 @@ mod histogram_tests {
         assert!(stats.histogram.is_some());
         // True selectivity of `col < 100` is 0.9.
         let with_hist = stats.range_selectivity(None, Some(&Value::Int(100)));
-        assert!((with_hist - 0.9).abs() < 0.1, "histogram estimate {with_hist}");
+        assert!(
+            (with_hist - 0.9).abs() < 0.1,
+            "histogram estimate {with_hist}"
+        );
         // Linear interpolation would claim ~100/10000 = 1%.
         let mut no_hist = stats.clone();
         no_hist.histogram = None;

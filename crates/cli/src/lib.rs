@@ -47,9 +47,7 @@ impl Args {
     pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         let mut args = Args::default();
         while let Some(flag) = argv.next() {
-            let mut value = || {
-                argv.next().ok_or_else(|| format!("{flag} needs a value"))
-            };
+            let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
             match flag.as_str() {
                 "--demo" => {
                     args.demo = match value()?.as_str() {
@@ -74,7 +72,8 @@ impl Args {
 }
 
 fn num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("{flag}: invalid number '{s}'"))
+    s.parse()
+        .map_err(|_| format!("{flag}: invalid number '{s}'"))
 }
 
 #[cfg(test)]
@@ -94,8 +93,9 @@ mod tests {
 
     #[test]
     fn synthetic_with_sizes() {
-        let a = parse("--demo synthetic --nodes 8 --relations 4 --partitions 3 --replicas 2 --seed 7")
-            .unwrap();
+        let a =
+            parse("--demo synthetic --nodes 8 --relations 4 --partitions 3 --replicas 2 --seed 7")
+                .unwrap();
         assert_eq!(a.demo, Demo::Synthetic);
         assert_eq!(a.nodes, 8);
         assert_eq!(a.relations, 4);

@@ -16,8 +16,10 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("qtsh: {e}");
-            eprintln!("usage: qtsh [--demo telecom|synthetic] [--nodes N] [--relations R] \
-                       [--partitions P] [--replicas K] [--seed S]");
+            eprintln!(
+                "usage: qtsh [--demo telecom|synthetic] [--nodes N] [--relations R] \
+                       [--partitions P] [--replicas K] [--seed S]"
+            );
             std::process::exit(2);
         }
     };

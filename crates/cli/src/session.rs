@@ -182,7 +182,11 @@ impl Session {
             let _ = writeln!(
                 out,
                 "{node}{marker}: {}",
-                if parts.is_empty() { "no data".into() } else { parts.join(", ") }
+                if parts.is_empty() {
+                    "no data".into()
+                } else {
+                    parts.join(", ")
+                }
             );
         }
         out.trim_end().to_string()
@@ -197,7 +201,12 @@ impl Session {
             .catalog
             .nodes
             .iter()
-            .map(|&n| (n, SellerEngine::new(self.catalog.holdings_of(n), self.config.clone())))
+            .map(|&n| {
+                (
+                    n,
+                    SellerEngine::new(self.catalog.holdings_of(n), self.config.clone()),
+                )
+            })
             .collect();
         let out = run_qt_direct(
             self.buyer,
@@ -281,7 +290,9 @@ mod tests {
     #[test]
     fn schema_lists_relations() {
         let mut s = session();
-        let Eval::Output(o) = s.eval("\\schema") else { panic!() };
+        let Eval::Output(o) = s.eval("\\schema") else {
+            panic!()
+        };
         assert!(o.contains("customer"), "{o}");
         assert!(o.contains("invoiceline"), "{o}");
     }
@@ -289,7 +300,9 @@ mod tests {
     #[test]
     fn nodes_marks_buyer() {
         let mut s = session();
-        let Eval::Output(o) = s.eval("\\nodes") else { panic!() };
+        let Eval::Output(o) = s.eval("\\nodes") else {
+            panic!()
+        };
         assert!(o.contains("node0 (buyer)"), "{o}");
     }
 
@@ -309,7 +322,9 @@ mod tests {
     #[test]
     fn explain_does_not_execute() {
         let mut s = session();
-        let Eval::Output(o) = s.eval("\\explain SELECT custname FROM customer") else { panic!() };
+        let Eval::Output(o) = s.eval("\\explain SELECT custname FROM customer") else {
+            panic!()
+        };
         assert!(o.contains("DistributedPlan"), "{o}");
         assert!(!o.contains("row(s):"), "{o}");
     }
@@ -317,7 +332,9 @@ mod tests {
     #[test]
     fn analyze_shows_operator_rows() {
         let mut s = session();
-        let Eval::Output(o) = s.eval("\\analyze SELECT custname FROM customer") else { panic!() };
+        let Eval::Output(o) = s.eval("\\analyze SELECT custname FROM customer") else {
+            panic!()
+        };
         assert!(o.contains("assembly row counts:"), "{o}");
         assert!(o.contains("rows"), "{o}");
         assert!(o.contains("row(s) total"), "{o}");
@@ -326,7 +343,9 @@ mod tests {
     #[test]
     fn parse_errors_are_reported() {
         let mut s = session();
-        let Eval::Output(o) = s.eval("SELECT nothing FROM nowhere") else { panic!() };
+        let Eval::Output(o) = s.eval("SELECT nothing FROM nowhere") else {
+            panic!()
+        };
         assert!(o.contains("parse error"), "{o}");
     }
 

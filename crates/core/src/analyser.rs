@@ -18,8 +18,8 @@
 
 use crate::offer::Offer;
 use crate::plangen::GenOutput;
-use qt_query::{PartSet, Query};
 use qt_catalog::{RelId, SchemaDict};
+use qt_query::{PartSet, Query};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Derive next-round queries from this round's generator output and offers.
@@ -88,7 +88,7 @@ mod tests {
     use crate::plangen::PlanGenerator;
     use crate::seller::SellerEngine;
     use qt_catalog::{
-        AttrType, Catalog, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats,
+        AttrType, Catalog, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning,
         RelationSchema,
     };
     use qt_cost::NodeResources;
@@ -112,10 +112,16 @@ mod tests {
             Partitioning::Single,
         );
         for i in 0..2u16 {
-            b.set_stats(PartId::new(r, i), PartitionStats::synthetic(1_000, &[500, 100]));
+            b.set_stats(
+                PartId::new(r, i),
+                PartitionStats::synthetic(1_000, &[500, 100]),
+            );
             b.place(PartId::new(r, i), NodeId(i as u32));
         }
-        b.set_stats(PartId::new(s, 0), PartitionStats::synthetic(500, &[500, 50]));
+        b.set_stats(
+            PartId::new(s, 0),
+            PartitionStats::synthetic(500, &[500, 50]),
+        );
         b.place(PartId::new(s, 0), NodeId(2));
         b.set_stats(PartId::new(t, 0), PartitionStats::synthetic(50, &[50, 50]));
         b.place(PartId::new(t, 0), NodeId(3));
@@ -131,7 +137,10 @@ mod tests {
         )
         .unwrap();
         let cfg = QtConfig::default();
-        let items = vec![RfbItem { query: q.clone(), ref_value: f64::INFINITY }];
+        let items = vec![RfbItem {
+            query: q.clone(),
+            ref_value: f64::INFINITY,
+        }];
         let mut offers = Vec::new();
         for node in 0..4 {
             let mut seller = SellerEngine::new(cat.holdings_of(NodeId(node)), cfg.clone());
@@ -164,7 +173,9 @@ mod tests {
                 .get(&qt_catalog::RelId(0))
                 .is_some_and(|p| p.len() == 1)),
             "expected a partition-tightened join query: {:#?}",
-            new.iter().map(|n| n.display_with(&cat.dict).to_string()).collect::<Vec<_>>()
+            new.iter()
+                .map(|n| n.display_with(&cat.dict).to_string())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -110,7 +110,8 @@ impl BuyerEngine {
         for o in &offers {
             // B1 learning: observe the market's asks.
             let key = Offer::query_key(&o.query);
-            self.value_book.observe(key, self.config.valuation.score(&o.props));
+            self.value_book
+                .observe(key, self.config.valuation.score(&o.props));
         }
         self.round_offers += offers.len();
         self.offers.extend(offers);
@@ -147,9 +148,7 @@ impl BuyerEngine {
                 }
                 let bids: Vec<Bid> = competing
                     .iter()
-                    .map(|o| {
-                        Bid::new(o.seller, self.config.valuation.score(&o.props), o.true_cost)
-                    })
+                    .map(|o| Bid::new(o.seller, self.config.valuation.score(&o.props), o.true_cost))
                     .collect();
                 // The buyer's walk-away value (step B1's strategic estimate,
                 // with headroom). If every ask exceeds it the purchase
@@ -173,8 +172,16 @@ impl BuyerEngine {
             plan.est = estimate_from(&plan.purchases, buyer_compute, rows);
         }
 
-        let new_cost = gen.plan.as_ref().map(|p| p.est.additive_cost).unwrap_or(f64::INFINITY);
-        let old_cost = self.best.as_ref().map(|p| p.est.additive_cost).unwrap_or(f64::INFINITY);
+        let new_cost = gen
+            .plan
+            .as_ref()
+            .map(|p| p.est.additive_cost)
+            .unwrap_or(f64::INFINITY);
+        let old_cost = self
+            .best
+            .as_ref()
+            .map(|p| p.est.additive_cost)
+            .unwrap_or(f64::INFINITY);
         let improved = new_cost < old_cost - 1e-12;
         if improved {
             self.best = gen.plan.clone().or_else(|| self.best.take());
@@ -184,7 +191,11 @@ impl BuyerEngine {
             round: self.round,
             offers_received: self.round_offers,
             queries_asked: self.pending_items.len(),
-            best_cost: self.best.as_ref().map(|p| p.est.additive_cost).unwrap_or(f64::INFINITY),
+            best_cost: self
+                .best
+                .as_ref()
+                .map(|p| p.est.additive_cost)
+                .unwrap_or(f64::INFINITY),
             considered: gen.considered,
         });
         self.round_offers = 0;
@@ -212,7 +223,10 @@ impl BuyerEngine {
             .map(|q| {
                 self.asked.insert(q.clone());
                 let ref_value = self.value_book.estimate(Offer::query_key(&q));
-                RfbItem { query: q, ref_value }
+                RfbItem {
+                    query: q,
+                    ref_value,
+                }
             })
             .collect();
         self.round += 1;
@@ -224,10 +238,7 @@ impl BuyerEngine {
     /// rebuild the best plan from the *already accumulated* offer pool,
     /// excluding offers from `failed` sellers — no new trading round needed.
     /// Returns `None` when the surviving offers no longer cover the query.
-    pub fn replan_excluding(
-        &self,
-        failed: &BTreeSet<NodeId>,
-    ) -> Option<DistributedPlan> {
+    pub fn replan_excluding(&self, failed: &BTreeSet<NodeId>) -> Option<DistributedPlan> {
         let surviving: Vec<Offer> = self
             .offers
             .iter()
@@ -252,8 +263,7 @@ impl BuyerEngine {
         let q_core = self.query.strip_aggregation();
         let mut out = Vec::new();
         for rel in self.query.rel_ids() {
-            let expected =
-                q_core.restrict_to_rels(&std::collections::BTreeSet::from([rel]));
+            let expected = q_core.restrict_to_rels(&std::collections::BTreeSet::from([rel]));
             if let Some(best) = self
                 .offers
                 .iter()
@@ -280,7 +290,7 @@ mod tests {
     // and the integration tests; here we pin the small state-machine rules.
 
     use qt_catalog::{
-        AttrType, CatalogBuilder, PartId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, CatalogBuilder, PartId, PartitionStats, Partitioning, RelationSchema,
     };
     use qt_query::parse_query;
 

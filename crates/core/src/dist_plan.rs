@@ -63,7 +63,10 @@ pub fn answer_schema(q: &Query) -> Vec<Col> {
                 let base = arg
                     .or(q.group_by.first().copied())
                     .unwrap_or(Col::new(*q.relations.keys().next().expect("FROM"), 0));
-                Col::new(base.rel, qt_exec::plan::AGG_ATTR_BASE + i * 10_000 + base.attr)
+                Col::new(
+                    base.rel,
+                    qt_exec::plan::AGG_ATTR_BASE + i * 10_000 + base.attr,
+                )
             }
         })
         .collect()
@@ -172,7 +175,10 @@ pub fn naive_plan(dict: &SchemaDict, q: &Query) -> PhysPlan {
         let arity = dict.rel(rel).schema.arity();
         let scans: Vec<PhysPlan> = parts
             .iter()
-            .map(|idx| PhysPlan::Scan { part: qt_catalog::PartId::new(rel, idx), arity })
+            .map(|idx| PhysPlan::Scan {
+                part: qt_catalog::PartId::new(rel, idx),
+                arity,
+            })
             .collect();
         let leaf = if scans.len() == 1 {
             scans.into_iter().next().expect("one scan")
@@ -190,14 +196,20 @@ pub fn naive_plan(dict: &SchemaDict, q: &Query) -> PhysPlan {
     }
     let mut plan = plan.expect("query has relations");
     if !q.predicates.is_empty() {
-        plan = PhysPlan::Filter { input: Box::new(plan), predicates: q.predicates.clone() };
+        plan = PhysPlan::Filter {
+            input: Box::new(plan),
+            predicates: q.predicates.clone(),
+        };
     }
     if q.is_aggregate() {
         let aggs: Vec<AggSpec> = q
             .select
             .iter()
             .filter_map(|s| match s {
-                SelectItem::Agg { func, arg } => Some(AggSpec { func: *func, arg: *arg }),
+                SelectItem::Agg { func, arg } => Some(AggSpec {
+                    func: *func,
+                    arg: *arg,
+                }),
                 SelectItem::Col(_) => None,
             })
             .collect();
@@ -220,10 +232,16 @@ pub fn naive_plan(dict: &SchemaDict, q: &Query) -> PhysPlan {
                 }
             })
             .collect();
-        plan = PhysPlan::Project { input: Box::new(plan), cols };
+        plan = PhysPlan::Project {
+            input: Box::new(plan),
+            cols,
+        };
     } else {
         if !q.order_by.is_empty() {
-            plan = PhysPlan::Sort { input: Box::new(plan), keys: q.order_by.clone() };
+            plan = PhysPlan::Sort {
+                input: Box::new(plan),
+                keys: q.order_by.clone(),
+            };
         }
         let cols: Vec<Col> = q
             .select
@@ -233,7 +251,10 @@ pub fn naive_plan(dict: &SchemaDict, q: &Query) -> PhysPlan {
                 SelectItem::Agg { .. } => unreachable!(),
             })
             .collect();
-        plan = PhysPlan::Project { input: Box::new(plan), cols };
+        plan = PhysPlan::Project {
+            input: Box::new(plan),
+            cols,
+        };
     }
     plan
 }
@@ -258,7 +279,7 @@ mod tests {
     use super::*;
     use crate::offer::OfferKind;
     use qt_catalog::{
-        AttrType, Catalog, CatalogBuilder, PartId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, Catalog, CatalogBuilder, PartId, PartitionStats, Partitioning, RelationSchema,
         Value,
     };
     use qt_exec::evaluate_query;
@@ -286,12 +307,16 @@ mod tests {
         store.load_relation(
             &cat.dict,
             r,
-            (0..8).map(|i| vec![Value::Int(i % 4), Value::Int(i)]).collect(),
+            (0..8)
+                .map(|i| vec![Value::Int(i % 4), Value::Int(i)])
+                .collect(),
         );
         store.load_relation(
             &cat.dict,
             s,
-            (0..4).map(|i| vec![Value::Int(i), Value::Int(i % 2)]).collect(),
+            (0..4)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 2)])
+                .collect(),
         );
         (cat, store)
     }

@@ -97,8 +97,7 @@ pub fn run_qt_direct(
     let mut items = buyer.start();
     let mut hints: Vec<Offer> = Vec::new();
     loop {
-        let rfb_bytes =
-            (items.len() + hints.len()) as f64 * config.query_msg_bytes;
+        let rfb_bytes = (items.len() + hints.len()) as f64 * config.query_msg_bytes;
         let mut round_path = 0.0f64;
         // Fan the round out: sellers evaluate concurrently (each node is an
         // autonomous machine — this is exactly the real system's shape), then
@@ -106,7 +105,11 @@ pub fn run_qt_direct(
         // offer-id counters, and the per-item id stamping make the outcome
         // bit-identical to `config.parallel = false`.
         let round = buyer.round;
-        let workers = if config.parallel { qt_par::max_threads() } else { 1 };
+        let workers = if config.parallel {
+            qt_par::max_threads()
+        } else {
+            1
+        };
         let mut engines: Vec<(NodeId, &mut SellerEngine)> =
             sellers.iter_mut().map(|(&n, e)| (n, e)).collect();
         let responses = qt_par::par_map_mut(&mut engines, workers, |(_, engine)| {
@@ -170,8 +173,7 @@ pub fn run_qt_direct(
         optimization_time: time,
         seller_effort,
         buyer_considered: buyer.total_considered(),
-        offer_cache_hits: sellers.values().map(|s| s.cache_hits).sum::<u64>()
-            - cache_hits_before,
+        offer_cache_hits: sellers.values().map(|s| s.cache_hits).sum::<u64>() - cache_hits_before,
         offer_cache_misses: sellers.values().map(|s| s.cache_misses).sum::<u64>()
             - cache_misses_before,
         history: buyer.history.clone(),
@@ -246,7 +248,14 @@ pub struct BuyerSim {
 impl Handler<QtMsg> for QtNode {
     fn on_message(&mut self, ctx: &mut Ctx<QtMsg>, from: NodeId, msg: QtMsg) {
         match (self, msg) {
-            (QtNode::Seller(engine), QtMsg::Rfb { round, items, hints }) => {
+            (
+                QtNode::Seller(engine),
+                QtMsg::Rfb {
+                    round,
+                    items,
+                    hints,
+                },
+            ) => {
                 if engine.offline_rounds.contains(&round) {
                     // Autonomy: the node simply does not answer.
                     return;
@@ -254,7 +263,15 @@ impl Handler<QtMsg> for QtNode {
                 let resp = engine.respond_with_hints(round, &items, &hints);
                 ctx.charge_compute(resp.effort as f64 * engine_cfg(engine).per_subplan_seconds);
                 let bytes = resp.offers.len() as f64 * engine_cfg(engine).offer_msg_bytes;
-                ctx.send(from, QtMsg::Offers { round, offers: resp.offers }, bytes, "offers");
+                ctx.send(
+                    from,
+                    QtMsg::Offers {
+                        round,
+                        offers: resp.offers,
+                    },
+                    bytes,
+                    "offers",
+                );
             }
             (QtNode::Seller(engine), QtMsg::Award) => engine.observe_award(true),
             (QtNode::Seller(_), _) => {}
@@ -300,15 +317,12 @@ impl BuyerSim {
         // The buyer's own data competes without network messages.
         if let Some(local) = &mut self.local_seller {
             let resp = local.respond_with_hints(round, &items, &hints);
-            ctx.charge_compute(
-                resp.effort as f64 * self.engine.config.per_subplan_seconds,
-            );
+            ctx.charge_compute(resp.effort as f64 * self.engine.config.per_subplan_seconds);
             self.engine.receive_offers(resp.offers);
         }
         self.awaiting = self.remote_sellers.len();
         self.round_open = true;
-        let bytes =
-            (items.len() + hints.len()) as f64 * self.engine.config.query_msg_bytes;
+        let bytes = (items.len() + hints.len()) as f64 * self.engine.config.query_msg_bytes;
         let items = Arc::new(items);
         let hints = Arc::new(hints);
         for &s in &self.remote_sellers {
@@ -337,7 +351,12 @@ impl BuyerSim {
     fn finish_round(&mut self, ctx: &mut Ctx<QtMsg>) {
         self.round_open = false;
         let outcome = self.engine.close_round();
-        let considered = self.engine.history.last().map(|h| h.considered).unwrap_or(0);
+        let considered = self
+            .engine
+            .history
+            .last()
+            .map(|h| h.considered)
+            .unwrap_or(0);
         ctx.charge_compute(considered as f64 * self.engine.config.per_offer_seconds);
         // Nested-negotiation traffic.
         let neg_msgs = self.engine.negotiation_messages - self.prev_neg_msgs;
@@ -450,10 +469,7 @@ pub fn run_qt_sim_with_topology(
             cache_misses += e.cache_misses;
         }
     }
-    let QtNode::Buyer(b) = sim
-        .handler(buyer_node)
-        .expect("buyer registered")
-    else {
+    let QtNode::Buyer(b) = sim.handler(buyer_node).expect("buyer registered") else {
         panic!("buyer node is not a buyer");
     };
     assert!(b.done, "simulation drained without finishing trading");
@@ -475,9 +491,7 @@ pub fn run_qt_sim_with_topology(
         iterations: engine.round + 1,
         // Exclude the kick-off event and local timers from protocol
         // message counts.
-        messages: metrics.messages
-            - metrics.kind_count("start")
-            - metrics.kind_count("timeout"),
+        messages: metrics.messages - metrics.kind_count("start") - metrics.kind_count("timeout"),
         bytes: metrics.bytes,
         optimization_time: end_time,
         seller_effort,

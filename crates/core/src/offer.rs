@@ -65,7 +65,7 @@ impl Offer {
 mod tests {
     use super::*;
     use qt_catalog::{
-        AttrType, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning, RelationSchema,
     };
     use qt_query::{parse_query, PartSet, SelectItem};
 

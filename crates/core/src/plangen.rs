@@ -11,10 +11,10 @@ use crate::config::QtConfig;
 use crate::dist_plan::{answer_schema, estimate_from, DistributedPlan, Purchase};
 use crate::offer::{Offer, OfferKind};
 use crate::relset::RelSet;
+use qt_catalog::{RelId, SchemaDict};
 use qt_cost::NodeResources;
 use qt_exec::{AggSpec, PhysPlan};
 use qt_query::{Col, CompOp, Operand, Query, SelectItem};
-use qt_catalog::{RelId, SchemaDict};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// What the generator returns.
@@ -74,7 +74,12 @@ impl RelSpace {
 enum Skel {
     Buy(usize),
     Union(Vec<usize>),
-    Join { left: Box<Skel>, right: Box<Skel>, left_rels: RelSet, right_rels: RelSet },
+    Join {
+        left: Box<Skel>,
+        right: Box<Skel>,
+        left_rels: RelSet,
+        right_rels: RelSet,
+    },
 }
 
 impl Skel {
@@ -90,7 +95,13 @@ impl Skel {
     }
 
     fn join_sites(&self, out: &mut Vec<(RelSet, RelSet)>) {
-        if let Skel::Join { left, right, left_rels, right_rels } = self {
+        if let Skel::Join {
+            left,
+            right,
+            left_rels,
+            right_rels,
+        } = self
+        {
             out.push((*left_rels, *right_rels));
             left.join_sites(out);
             right.join_sites(out);
@@ -144,9 +155,9 @@ impl<'a> PlanGenerator<'a> {
     /// Are two fragment queries provably disjoint? (Some relation's
     /// partition sets are disjoint.)
     fn boxes_disjoint(a: &Query, b: &Query) -> bool {
-        a.relations.iter().any(|(rel, pa)| {
-            b.relations.get(rel).is_some_and(|pb| pa.is_disjoint(pb))
-        })
+        a.relations
+            .iter()
+            .any(|(rel, pa)| b.relations.get(rel).is_some_and(|pb| pa.is_disjoint(pb)))
     }
 
     /// Greedy disjoint cover: pick offers (cheapest first) whose boxes are
@@ -178,7 +189,10 @@ impl<'a> PlanGenerator<'a> {
         let mut measure = 0u64;
         for (idx, offer) in order.iter().copied() {
             *considered += 1;
-            if chosen_queries.iter().any(|q| !Self::boxes_disjoint(q, &offer.query)) {
+            if chosen_queries
+                .iter()
+                .any(|q| !Self::boxes_disjoint(q, &offer.query))
+            {
                 continue;
             }
             measure += self.box_measure(&offer.query, rels, space);
@@ -223,7 +237,9 @@ impl<'a> PlanGenerator<'a> {
                 }
                 _ => {}
             }
-            let Some(subset) = self.usable_fragment(&q_core, o, &space) else { continue };
+            let Some(subset) = self.usable_fragment(&q_core, o, &space) else {
+                continue;
+            };
             // Dedup: keep the cheapest offer per exact coverage box.
             let box_key: Vec<u64> = space
                 .rel_ids(subset)
@@ -239,7 +255,10 @@ impl<'a> PlanGenerator<'a> {
             }
         }
         for ((subset, _), (i, _)) in best_per_box {
-            groups.entry(subset).or_default().push((i, offers[i].clone()));
+            groups
+                .entry(subset)
+                .or_default()
+                .push((i, offers[i].clone()));
         }
 
         // ---- Per-subset assemblies --------------------------------------
@@ -277,13 +296,15 @@ impl<'a> PlanGenerator<'a> {
                         let (Some(l), Some(r)) = (table.get(&m1), table.get(&m2)) else {
                             continue;
                         };
-                        let (eq_keys, residual) =
-                            self.connecting_preds(&q_core, m1, m2, &space);
+                        let (eq_keys, residual) = self.connecting_preds(&q_core, m1, m2, &space);
                         let (out_rows, join_cost) = if !eq_keys.is_empty() {
                             (
                                 l.rows.max(r.rows),
-                                p.hash_join(l.rows.min(r.rows), l.rows.max(r.rows), l.rows.max(r.rows))
-                                    * self.cpu(),
+                                p.hash_join(
+                                    l.rows.min(r.rows),
+                                    l.rows.max(r.rows),
+                                    l.rows.max(r.rows),
+                                ) * self.cpu(),
                             )
                         } else {
                             let out = l.rows * r.rows;
@@ -311,7 +332,7 @@ impl<'a> PlanGenerator<'a> {
 
         // ---- Candidates --------------------------------------------------
         struct Candidate {
-            skel: Option<Skel>,           // None = whole-answer buy
+            skel: Option<Skel>, // None = whole-answer buy
             whole_offer: Option<usize>,
             partial_agg: Option<Vec<usize>>,
             cost: f64,
@@ -332,7 +353,7 @@ impl<'a> PlanGenerator<'a> {
                 compute += p.sort(entry.rows) * self.cpu();
             }
             compute += p.filter(rows) * self.cpu(); // final projection
-            // entry.cost already contains union/join compute; split it out:
+                                                    // entry.cost already contains union/join compute; split it out:
             let purchase_cost: f64 = {
                 let mut used = Vec::new();
                 entry.skel.offers(&mut used);
@@ -390,7 +411,11 @@ impl<'a> PlanGenerator<'a> {
             .into_iter()
             .min_by(|a, b| a.cost.total_cmp(&b.cost))
         else {
-            return GenOutput { plan: None, considered, join_sites: Vec::new() };
+            return GenOutput {
+                plan: None,
+                considered,
+                join_sites: Vec::new(),
+            };
         };
 
         // ---- Materialize -------------------------------------------------
@@ -399,13 +424,19 @@ impl<'a> PlanGenerator<'a> {
         let mut join_sites = Vec::new();
         let assembly: PhysPlan = if let Some(i) = best.whole_offer {
             let slot = buy_slot(self, i, offers, &mut purchases, &mut slot_of);
-            PhysPlan::Input { slot, schema: answer_schema(&offers[i].query) }
+            PhysPlan::Input {
+                slot,
+                schema: answer_schema(&offers[i].query),
+            }
         } else if let Some(chosen) = &best.partial_agg {
             let inputs: Vec<PhysPlan> = chosen
                 .iter()
                 .map(|&i| {
                     let slot = buy_slot(self, i, offers, &mut purchases, &mut slot_of);
-                    PhysPlan::Input { slot, schema: answer_schema(&offers[i].query) }
+                    PhysPlan::Input {
+                        slot,
+                        schema: answer_schema(&offers[i].query),
+                    }
                 })
                 .collect();
             let unioned = if inputs.len() == 1 {
@@ -499,9 +530,8 @@ impl<'a> PlanGenerator<'a> {
         right: RelSet,
         space: &RelSpace,
     ) -> (Vec<(Col, Col)>, Vec<qt_query::Predicate>) {
-        let side = |set: RelSet, rel: RelId| {
-            space.index.get(&rel).is_some_and(|&i| set.contains(i))
-        };
+        let side =
+            |set: RelSet, rel: RelId| space.index.get(&rel).is_some_and(|&i| set.contains(i));
         let mut eq = Vec::new();
         let mut residual = Vec::new();
         for p in q_core.join_predicates() {
@@ -537,19 +567,30 @@ impl<'a> PlanGenerator<'a> {
         match skel {
             Skel::Buy(i) => {
                 let slot = buy_slot(self, *i, offers, purchases, slot_of);
-                PhysPlan::Input { slot, schema: answer_schema(&offers[*i].query) }
+                PhysPlan::Input {
+                    slot,
+                    schema: answer_schema(&offers[*i].query),
+                }
             }
             Skel::Union(v) => {
                 let inputs: Vec<PhysPlan> = v
                     .iter()
                     .map(|&i| {
                         let slot = buy_slot(self, i, offers, purchases, slot_of);
-                        PhysPlan::Input { slot, schema: answer_schema(&offers[i].query) }
+                        PhysPlan::Input {
+                            slot,
+                            schema: answer_schema(&offers[i].query),
+                        }
                     })
                     .collect();
                 PhysPlan::Union { inputs }
             }
-            Skel::Join { left, right, left_rels, right_rels } => {
+            Skel::Join {
+                left,
+                right,
+                left_rels,
+                right_rels,
+            } => {
                 let l = self.materialize_skel(left, q_core, space, offers, purchases, slot_of);
                 let r = self.materialize_skel(right, q_core, space, offers, purchases, slot_of);
                 let (eq_keys, residual) =
@@ -569,7 +610,10 @@ impl<'a> PlanGenerator<'a> {
                     }
                 };
                 if !eq_keys.is_empty() && !residual.is_empty() {
-                    plan = PhysPlan::Filter { input: Box::new(plan), predicates: residual };
+                    plan = PhysPlan::Filter {
+                        input: Box::new(plan),
+                        predicates: residual,
+                    };
                 }
                 plan
             }
@@ -584,7 +628,10 @@ impl<'a> PlanGenerator<'a> {
                 .select
                 .iter()
                 .filter_map(|s| match s {
-                    SelectItem::Agg { func, arg } => Some(AggSpec { func: *func, arg: *arg }),
+                    SelectItem::Agg { func, arg } => Some(AggSpec {
+                        func: *func,
+                        arg: *arg,
+                    }),
                     SelectItem::Col(_) => None,
                 })
                 .collect();
@@ -607,11 +654,17 @@ impl<'a> PlanGenerator<'a> {
                     }
                 })
                 .collect();
-            PhysPlan::Project { input: Box::new(agged), cols }
+            PhysPlan::Project {
+                input: Box::new(agged),
+                cols,
+            }
         } else {
             let mut plan = core;
             if !q.order_by.is_empty() {
-                plan = PhysPlan::Sort { input: Box::new(plan), keys: q.order_by.clone() };
+                plan = PhysPlan::Sort {
+                    input: Box::new(plan),
+                    keys: q.order_by.clone(),
+                };
             }
             let cols: Vec<Col> = q
                 .select
@@ -621,7 +674,10 @@ impl<'a> PlanGenerator<'a> {
                     SelectItem::Agg { .. } => unreachable!("aggregate handled above"),
                 })
                 .collect();
-            PhysPlan::Project { input: Box::new(plan), cols }
+            PhysPlan::Project {
+                input: Box::new(plan),
+                cols,
+            }
         }
     }
 
@@ -660,9 +716,11 @@ impl<'a> PlanGenerator<'a> {
                 }
             })
             .collect();
-        PhysPlan::Project { input: Box::new(agged), cols }
+        PhysPlan::Project {
+            input: Box::new(agged),
+            cols,
+        }
     }
-
 }
 
 /// Register offer `i` as a purchase (idempotent) and return its input slot.

@@ -193,7 +193,11 @@ impl SellerEngine {
         items: &[RfbItem],
         hints: &[Offer],
     ) -> SellerResponse {
-        let workers = if self.config.parallel { qt_par::max_threads() } else { 1 };
+        let workers = if self.config.parallel {
+            qt_par::max_threads()
+        } else {
+            1
+        };
         let replies: Vec<(u64, Option<SellerResponse>)> =
             qt_par::par_map_ref(items, workers, |item| {
                 let key = self.cache_key(&item.query, hints);
@@ -236,13 +240,15 @@ impl SellerEngine {
     fn respond_one(&self, round: u32, q: &Query, hints: &[Offer], resp: &mut SellerResponse) {
         // S2.1: rewrite for local holdings (§3.4).
         if let Some(q_local) = rewrite_for_holdings(q, &self.holdings) {
+            // One optimizer serves every offer evaluated for this item.
+            let optimizer = self.optimizer();
             // S2.2: modified DP — optimal k-way partials become offers.
-            let (partials, effort) =
-                self.optimizer().partial_results(&q_local, self.config.max_partial_k);
+            let (partials, effort) = optimizer.partial_results(&q_local, self.config.max_partial_k);
             resp.effort += effort;
             for p in &partials {
                 let props = self.delivery_props(p.cost, p.rows, p.width);
-                resp.offers.push(self.make_offer(round, p.query.clone(), props, OfferKind::Rows));
+                resp.offers
+                    .push(self.make_offer(round, p.query.clone(), props, OfferKind::Rows));
             }
             // Per-partition sub-offers for multi-partition single-relation
             // fragments: replicas overlap across sellers, and the buyer can
@@ -258,10 +264,11 @@ impl SellerEngine {
                 }
                 for idx in parts.iter() {
                     let sub = p.query.with_partset(rel, qt_query::PartSet::single(idx));
-                    let o = self.optimizer().optimize(&sub);
+                    let o = optimizer.optimize(&sub);
                     resp.effort += o.effort;
                     let props = self.delivery_props(o.cost, o.rows, o.width);
-                    resp.offers.push(self.make_offer(round, sub, props, OfferKind::Rows));
+                    resp.offers
+                        .push(self.make_offer(round, sub, props, OfferKind::Rows));
                 }
             }
 
@@ -278,15 +285,11 @@ impl SellerEngine {
                 for (rel, parts) in &q_local.relations {
                     agg_q.relations.insert(*rel, *parts);
                 }
-                let o = self.optimizer().optimize(&agg_q);
+                let o = optimizer.optimize(&agg_q);
                 resp.effort += o.effort;
                 let props = self.delivery_props(o.cost, o.rows, o.width);
-                resp.offers.push(self.make_offer(
-                    round,
-                    agg_q,
-                    props,
-                    OfferKind::PartialAggregate,
-                ));
+                resp.offers
+                    .push(self.make_offer(round, agg_q, props, OfferKind::PartialAggregate));
             }
 
             // Sorted delivery: when the query wants an ordering and this
@@ -297,10 +300,11 @@ impl SellerEngine {
                 && !q.order_by.is_empty()
                 && qt_query::rewrite::can_answer_exactly(q, &self.holdings)
             {
-                let o = self.optimizer().optimize(q);
+                let o = optimizer.optimize(q);
                 resp.effort += o.effort;
                 let props = self.delivery_props(o.cost, o.rows, o.width);
-                resp.offers.push(self.make_offer(round, q.clone(), props, OfferKind::Rows));
+                resp.offers
+                    .push(self.make_offer(round, q.clone(), props, OfferKind::Rows));
             }
 
             // §3.5 subcontracting: when this node lacks some relations, it
@@ -310,7 +314,8 @@ impl SellerEngine {
                 && !hints.is_empty()
                 && q_local.num_relations() < q.num_relations()
             {
-                if let Some((offer, effort)) = self.subcontract_offer(round, q, &q_local, hints)
+                if let Some((offer, effort)) =
+                    self.subcontract_offer(round, q, &q_local, hints, &optimizer)
                 {
                     resp.effort += effort;
                     resp.offers.push(offer);
@@ -322,8 +327,11 @@ impl SellerEngine {
         // the query (even over data this node does not hold as base
         // relations) at the cost of a view scan plus residual work.
         if self.config.enable_views {
-            resp.offers
-                .extend(self.views.iter().filter_map(|view| self.view_offer(round, q, view)));
+            resp.offers.extend(
+                self.views
+                    .iter()
+                    .filter_map(|view| self.view_offer(round, q, view)),
+            );
         }
     }
 
@@ -337,6 +345,7 @@ impl SellerEngine {
         q: &Query,
         q_local: &Query,
         hints: &[Offer],
+        optimizer: &LocalOptimizer<'_, NodeHoldings>,
     ) -> Option<(Offer, u64)> {
         let q_core = q.strip_aggregation();
         let mut subs: Vec<(NodeId, Query)> = Vec::new();
@@ -348,8 +357,7 @@ impl SellerEngine {
             if q_local.relations.contains_key(&rel) {
                 continue;
             }
-            let expected =
-                q_core.restrict_to_rels(&std::collections::BTreeSet::from([rel]));
+            let expected = q_core.restrict_to_rels(&std::collections::BTreeSet::from([rel]));
             let hint = hints
                 .iter()
                 .filter(|h| h.query == expected && h.seller != self.node)
@@ -371,13 +379,16 @@ impl SellerEngine {
         }
         // Cost: local fragment computed in parallel with sub-deliveries,
         // then joined locally and shipped out.
-        let own = self.optimizer().optimize(q_local);
+        let own = optimizer.optimize(q_local);
         let p = &self.config.cost_params;
         let est = CardinalityEstimator::new(&self.holdings);
         let composite_est = est.estimate(&composite);
         let out_rows = composite_est.rows.max(1.0);
-        let join_cost = p.hash_join(own.rows.min(sub_rows.max(1.0)), own.rows.max(sub_rows), out_rows)
-            * self.resources.cpu_factor();
+        let join_cost = p.hash_join(
+            own.rows.min(sub_rows.max(1.0)),
+            own.rows.max(sub_rows),
+            out_rows,
+        ) * self.resources.cpu_factor();
         let width = composite_est.width;
         let local_path = own.cost.max(sub_delivery) + join_cost;
         let mut props = self.delivery_props(local_path, out_rows, width);
@@ -433,7 +444,7 @@ impl SellerEngine {
 mod tests {
     use super::*;
     use qt_catalog::{
-        AttrType, Catalog, CatalogBuilder, PartId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, Catalog, CatalogBuilder, PartId, PartitionStats, Partitioning, RelationSchema,
         Value,
     };
     use qt_query::{parse_query, PartSet};
@@ -498,7 +509,10 @@ mod tests {
     }
 
     fn rfb(q: &Query) -> Vec<RfbItem> {
-        vec![RfbItem { query: q.clone(), ref_value: f64::INFINITY }]
+        vec![RfbItem {
+            query: q.clone(),
+            ref_value: f64::INFINITY,
+        }]
     }
 
     #[test]
@@ -512,14 +526,23 @@ mod tests {
         // partial aggregate.
         let kinds: Vec<OfferKind> = resp.offers.iter().map(|o| o.kind).collect();
         assert!(kinds.contains(&OfferKind::PartialAggregate));
-        assert!(resp.offers.iter().filter(|o| o.kind == OfferKind::Rows).count() >= 3);
+        assert!(
+            resp.offers
+                .iter()
+                .filter(|o| o.kind == OfferKind::Rows)
+                .count()
+                >= 3
+        );
         // The partial aggregate is restricted to the Myconos partition.
         let agg = resp
             .offers
             .iter()
             .find(|o| o.kind == OfferKind::PartialAggregate)
             .unwrap();
-        assert_eq!(agg.query.relations[&qt_catalog::RelId(0)], PartSet::single(2));
+        assert_eq!(
+            agg.query.relations[&qt_catalog::RelId(0)],
+            PartSet::single(2)
+        );
         assert!(agg.query.is_aggregate());
         // Offers are priced: positive time, positive rows.
         for o in &resp.offers {
@@ -562,7 +585,10 @@ mod tests {
         let g = greedy.respond(0, &rfb(&q));
         for (a, b) in h.offers.iter().zip(&g.offers) {
             assert!(b.props.total_time > a.props.total_time * 1.9);
-            assert!((a.true_cost - b.true_cost).abs() < 1e-9, "true cost unchanged");
+            assert!(
+                (a.true_cost - b.true_cost).abs() < 1e-9,
+                "true cost unchanged"
+            );
         }
     }
 
@@ -580,8 +606,11 @@ mod tests {
         let mut seller = SellerEngine::new(cat.holdings_of(NodeId(1)), QtConfig::default())
             .with_views(vec![MaterializedView::new("charges_by_cust", finer)]);
         let resp = seller.respond(0, &rfb(&q));
-        let view_offers: Vec<&Offer> =
-            resp.offers.iter().filter(|o| o.kind == OfferKind::FromView).collect();
+        let view_offers: Vec<&Offer> = resp
+            .offers
+            .iter()
+            .filter(|o| o.kind == OfferKind::FromView)
+            .collect();
         assert_eq!(view_offers.len(), 1);
         let vo = view_offers[0];
         assert_eq!(vo.query, q, "view offer promises the full query");
@@ -598,7 +627,10 @@ mod tests {
              WHERE customer.custid = invoiceline.custid GROUP BY office, custname",
         )
         .unwrap();
-        let cfg = QtConfig { enable_views: false, ..QtConfig::default() };
+        let cfg = QtConfig {
+            enable_views: false,
+            ..QtConfig::default()
+        };
         let mut seller = SellerEngine::new(cat.holdings_of(NodeId(1)), cfg)
             .with_views(vec![MaterializedView::new("v", finer)]);
         let resp = seller.respond(0, &rfb(&q));
@@ -644,7 +676,10 @@ mod tests {
         assert_eq!(first.offers.len(), second.offers.len());
         for (a, b) in first.offers.iter().zip(&second.offers) {
             assert_ne!(a.id, b.id, "replies always carry fresh offer ids");
-            assert_eq!(b.round, 1, "cached offers are restamped to the current round");
+            assert_eq!(
+                b.round, 1,
+                "cached offers are restamped to the current round"
+            );
             assert_eq!(a.query, b.query);
             assert_eq!(a.props, b.props);
             assert_eq!(a.kind, b.kind);
@@ -664,7 +699,12 @@ mod tests {
         assert_eq!((seller.cache_hits, seller.cache_misses), (0, 2));
         // Fresh evaluation re-priced the asks under the lowered markup.
         let ask = |r: &SellerResponse| r.offers.iter().map(|o| o.props.total_time).sum::<f64>();
-        assert!(ask(&second) < ask(&first), "{} vs {}", ask(&second), ask(&first));
+        assert!(
+            ask(&second) < ask(&first),
+            "{} vs {}",
+            ask(&second),
+            ask(&first)
+        );
     }
 
     #[test]

@@ -49,17 +49,32 @@ fn force_workers() {
 }
 
 fn run(fed: &Federation, seed: u64, parallel: bool) -> QtOutcome {
-    let cfg = QtConfig { parallel, ..QtConfig::default() };
+    let cfg = QtConfig {
+        parallel,
+        ..QtConfig::default()
+    };
     let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, seed);
     let mut sellers = engines(fed, &cfg);
     run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg)
 }
 
 fn assert_identical(serial: &QtOutcome, parallel: &QtOutcome, ctx: &str) {
-    assert_eq!(serial.iterations, parallel.iterations, "iterations differ ({ctx})");
-    assert_eq!(serial.messages, parallel.messages, "messages differ ({ctx})");
-    assert_eq!(serial.seller_effort, parallel.seller_effort, "effort differs ({ctx})");
-    assert_eq!(serial.buyer_considered, parallel.buyer_considered, "considered differs ({ctx})");
+    assert_eq!(
+        serial.iterations, parallel.iterations,
+        "iterations differ ({ctx})"
+    );
+    assert_eq!(
+        serial.messages, parallel.messages,
+        "messages differ ({ctx})"
+    );
+    assert_eq!(
+        serial.seller_effort, parallel.seller_effort,
+        "effort differs ({ctx})"
+    );
+    assert_eq!(
+        serial.buyer_considered, parallel.buyer_considered,
+        "considered differs ({ctx})"
+    );
     // The Debug rendering covers the whole plan: purchase offer ids, sellers,
     // skeleton, and cost estimate — any nondeterminism shows up here.
     assert_eq!(
@@ -88,7 +103,10 @@ fn parallel_fan_out_matches_serial_for_4_8_16_sellers() {
             let fed = build_federation(&spec(nodes, seed));
             let serial = run(&fed, seed, false);
             let parallel = run(&fed, seed, true);
-            assert!(serial.plan.is_some(), "no plan for nodes={nodes} seed={seed}");
+            assert!(
+                serial.plan.is_some(),
+                "no plan for nodes={nodes} seed={seed}"
+            );
             assert_identical(&serial, &parallel, &format!("nodes={nodes} seed={seed}"));
         }
     }
@@ -127,8 +145,14 @@ fn repeated_runs_hit_the_offer_cache() {
     // from the memoized replies at zero seller effort.
     let second = run_qt_direct(NodeId(0), fed.catalog.dict.clone(), &q, &mut sellers, &cfg);
     assert!(second.offer_cache_hits > 0, "warm run must hit the cache");
-    assert_eq!(second.offer_cache_misses, 0, "nothing changed, nothing re-evaluated");
-    assert_eq!(second.seller_effort, 0, "cache hits cost no optimization effort");
+    assert_eq!(
+        second.offer_cache_misses, 0,
+        "nothing changed, nothing re-evaluated"
+    );
+    assert_eq!(
+        second.seller_effort, 0,
+        "cache hits cost no optimization effort"
+    );
 
     // Hit rate is observable and the warm plan is cost-identical (offer ids
     // advance, so compare the estimate, not the full Debug rendering).

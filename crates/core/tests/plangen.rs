@@ -3,8 +3,7 @@
 //! whole-answer shortcut.
 
 use qt_catalog::{
-    AttrType, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelId,
-    RelationSchema,
+    AttrType, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning, RelId, RelationSchema,
 };
 use qt_core::plangen::PlanGenerator;
 use qt_core::{Offer, OfferKind, QtConfig};
@@ -24,7 +23,10 @@ fn dict() -> Arc<qt_catalog::SchemaDict> {
         Partitioning::Single,
     );
     for i in 0..4 {
-        b.set_stats(PartId::new(r, i), PartitionStats::synthetic(100, &[100, 10]));
+        b.set_stats(
+            PartId::new(r, i),
+            PartitionStats::synthetic(100, &[100, 10]),
+        );
         b.place(PartId::new(r, i), NodeId(1));
     }
     b.set_stats(PartId::new(s, 0), PartitionStats::synthetic(50, &[50, 5]));
@@ -38,15 +40,8 @@ fn join_query(d: &qt_catalog::SchemaDict) -> Query {
 
 /// Hand-build a fragment offer for `subset` with the given partition sets
 /// and time.
-fn frag(
-    id: u64,
-    seller: u32,
-    q: &Query,
-    rel_parts: &[(RelId, PartSet)],
-    time: f64,
-) -> Offer {
-    let subset: std::collections::BTreeSet<RelId> =
-        rel_parts.iter().map(|(r, _)| *r).collect();
+fn frag(id: u64, seller: u32, q: &Query, rel_parts: &[(RelId, PartSet)], time: f64) -> Offer {
+    let subset: std::collections::BTreeSet<RelId> = rel_parts.iter().map(|(r, _)| *r).collect();
     let mut fq = q.strip_aggregation().restrict_to_rels(&subset);
     for (rel, parts) in rel_parts {
         fq.relations.insert(*rel, *parts);
@@ -63,8 +58,17 @@ fn frag(
     }
 }
 
-fn generator<'a>(d: &'a qt_catalog::SchemaDict, q: &'a Query, cfg: &'a QtConfig) -> PlanGenerator<'a> {
-    PlanGenerator { dict: d, query: q, config: cfg, buyer_resources: NodeResources::reference() }
+fn generator<'a>(
+    d: &'a qt_catalog::SchemaDict,
+    q: &'a Query,
+    cfg: &'a QtConfig,
+) -> PlanGenerator<'a> {
+    PlanGenerator {
+        dict: d,
+        query: q,
+        config: cfg,
+        buyer_resources: NodeResources::reference(),
+    }
 }
 
 #[test]
@@ -84,7 +88,13 @@ fn incomplete_coverage_means_no_plan() {
     let cfg = QtConfig::default();
     // Only 3 of r's 4 partitions are covered; s is fully covered.
     let offers = vec![
-        frag(1, 1, &q, &[(RelId(0), PartSet::from_indices([0, 1, 2]))], 1.0),
+        frag(
+            1,
+            1,
+            &q,
+            &[(RelId(0), PartSet::from_indices([0, 1, 2]))],
+            1.0,
+        ),
         frag(2, 2, &q, &[(RelId(1), PartSet::all(1))], 1.0),
     ];
     let gen = generator(&d, &q, &cfg).generate(&offers);
@@ -104,7 +114,11 @@ fn disjoint_fragments_union_and_join() {
     let gen = generator(&d, &q, &cfg).generate(&offers);
     let plan = gen.plan.expect("cover exists");
     assert_eq!(plan.purchases.len(), 3);
-    assert_eq!(gen.join_sites.len(), 1, "one buyer-side join between r and s");
+    assert_eq!(
+        gen.join_sites.len(),
+        1,
+        "one buyer-side join between r and s"
+    );
     // The assembly joins a union of the two r fragments with s.
     let pretty = plan.assembly.pretty();
     assert!(pretty.contains("HashJoin"), "{pretty}");
@@ -119,8 +133,20 @@ fn overlapping_fragments_resolved_by_singletons() {
     // Two overlapping big fragments cannot tile; the per-partition
     // singletons (as real sellers emit) make the cover possible.
     let mut offers = vec![
-        frag(1, 1, &q, &[(RelId(0), PartSet::from_indices([0, 1, 2]))], 1.5),
-        frag(2, 3, &q, &[(RelId(0), PartSet::from_indices([1, 2, 3]))], 1.5),
+        frag(
+            1,
+            1,
+            &q,
+            &[(RelId(0), PartSet::from_indices([0, 1, 2]))],
+            1.5,
+        ),
+        frag(
+            2,
+            3,
+            &q,
+            &[(RelId(0), PartSet::from_indices([1, 2, 3]))],
+            1.5,
+        ),
         frag(9, 2, &q, &[(RelId(1), PartSet::all(1))], 1.0),
     ];
     for (i, idx) in [0u16, 1, 2, 3].iter().enumerate() {
@@ -221,11 +247,7 @@ fn foreign_offers_are_ignored() {
 #[test]
 fn partial_aggregates_require_matching_shape() {
     let d = dict();
-    let q = parse_query(
-        &d,
-        "SELECT b, SUM(c) FROM r, s WHERE r.a = s.a GROUP BY b",
-    )
-    .unwrap();
+    let q = parse_query(&d, "SELECT b, SUM(c) FROM r, s WHERE r.a = s.a GROUP BY b").unwrap();
     let cfg = QtConfig::default();
     // A valid partial-aggregate pair covering r's partitions {0,1} and {2,3}.
     let mk_agg = |id: u64, parts: PartSet, time: f64| Offer {
@@ -245,7 +267,10 @@ fn partial_aggregates_require_matching_shape() {
     let gen = generator(&d, &q, &cfg).generate(&offers);
     let plan = gen.plan.expect("partial aggregates tile");
     assert_eq!(plan.purchases.len(), 2);
-    assert!(plan.assembly.pretty().contains("HashAggregate"), "re-aggregation present");
+    assert!(
+        plan.assembly.pretty().contains("HashAggregate"),
+        "re-aggregation present"
+    );
 
     // An AVG query cannot be assembled from *partial-coverage* aggregates
     // (a full-coverage one is simply the exact answer and stays usable).
@@ -268,7 +293,10 @@ fn partial_aggregates_require_matching_shape() {
     assert!(gen.plan.is_none(), "AVG partials are not re-aggregable");
     let full = vec![mk_avg(5, PartSet::all(4))];
     let gen = generator(&d, &avg_q, &cfg).generate(&full);
-    assert!(gen.plan.is_some(), "a full-coverage aggregate is the exact answer");
+    assert!(
+        gen.plan.is_some(),
+        "a full-coverage aggregate is the exact answer"
+    );
 }
 
 #[test]

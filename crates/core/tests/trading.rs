@@ -3,7 +3,7 @@
 //! stores, and compare against the reference evaluator.
 
 use qt_catalog::{
-    AttrType, Catalog, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelId,
+    AttrType, Catalog, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning, RelId,
     RelationSchema, Value,
 };
 use qt_core::{run_qt_direct, run_qt_sim, QtConfig, SellerEngine};
@@ -108,10 +108,16 @@ fn telecom() -> (Catalog, BTreeMap<NodeId, DataStore>) {
             Partitioning::Single,
         );
         for i in 0..3 {
-            pb.set_stats(PartId::new(RelId(0), i), PartitionStats::synthetic(1, &[1, 1, 1]));
+            pb.set_stats(
+                PartId::new(RelId(0), i),
+                PartitionStats::synthetic(1, &[1, 1, 1]),
+            );
             pb.place(PartId::new(RelId(0), i), NodeId(0));
         }
-        pb.set_stats(PartId::new(RelId(1), 0), PartitionStats::synthetic(1, &[1, 1, 1, 1]));
+        pb.set_stats(
+            PartId::new(RelId(1), 0),
+            PartitionStats::synthetic(1, &[1, 1, 1, 1]),
+        );
         pb.place(PartId::new(RelId(1), 0), NodeId(0));
         pb.build().dict
     };
@@ -174,7 +180,12 @@ fn motivating_query_optimizes_and_executes_correctly() {
 
     let got = plan.execute_on(&cat.dict, &stores).unwrap();
     let want = evaluate_query(&q, &union_store(&stores)).unwrap();
-    assert!(approx_same_rows(&got, &want, 1e-9), "got {:?}\nwant {:?}", got, want);
+    assert!(
+        approx_same_rows(&got, &want, 1e-9),
+        "got {:?}\nwant {:?}",
+        got,
+        want
+    );
     // Three office groups in the answer.
     assert_eq!(got.len(), 3);
 }
@@ -274,8 +285,14 @@ fn view_offer_wins_when_it_is_cheapest() {
         RelationSchema::new("s", vec![("k", AttrType::Int), ("x", AttrType::Float)]),
         Partitioning::Single,
     );
-    b.set_stats(PartId::new(r, 0), PartitionStats::synthetic(100_000, &[100_000, 3]));
-    b.set_stats(PartId::new(s, 0), PartitionStats::synthetic(200_000, &[100_000, 1_000]));
+    b.set_stats(
+        PartId::new(r, 0),
+        PartitionStats::synthetic(100_000, &[100_000, 3]),
+    );
+    b.set_stats(
+        PartId::new(s, 0),
+        PartitionStats::synthetic(200_000, &[100_000, 1_000]),
+    );
     b.place(PartId::new(r, 0), NodeId(1));
     b.place(PartId::new(s, 0), NodeId(1));
     b.add_node(NodeId(0));
@@ -287,8 +304,7 @@ fn view_offer_wins_when_it_is_cheapest() {
     .unwrap();
     let cfg = QtConfig::default();
     let mut sellers = engines(&cat, &cfg);
-    sellers.get_mut(&NodeId(1)).unwrap().views =
-        vec![MaterializedView::new("exact", q.clone())];
+    sellers.get_mut(&NodeId(1)).unwrap().views = vec![MaterializedView::new("exact", q.clone())];
     let out = run_qt_direct(NodeId(0), cat.dict.clone(), &q, &mut sellers, &cfg);
     let plan = out.plan.expect("plan found");
     assert_eq!(plan.purchases.len(), 1);
@@ -329,7 +345,10 @@ fn iterations_improve_when_partials_are_capped() {
             );
         }
         for (i, _) in names.iter().enumerate() {
-            pb.set_stats(PartId::new(RelId(i as u32), 0), PartitionStats::synthetic(1, &[1, 1]));
+            pb.set_stats(
+                PartId::new(RelId(i as u32), 0),
+                PartitionStats::synthetic(1, &[1, 1]),
+            );
             pb.place(PartId::new(RelId(i as u32), 0), NodeId(0));
         }
         pb.build().dict
@@ -357,7 +376,10 @@ fn iterations_improve_when_partials_are_capped() {
          WHERE r.k = s.k AND s.k = t.k AND t.k = u.k",
     )
     .unwrap();
-    let cfg = QtConfig { max_partial_k: 1, ..QtConfig::default() };
+    let cfg = QtConfig {
+        max_partial_k: 1,
+        ..QtConfig::default()
+    };
     let mut sellers = engines(&cat, &cfg);
     let out = run_qt_direct(NodeId(0), cat.dict.clone(), &q, &mut sellers, &cfg);
     let plan = out.plan.expect("plan found");
@@ -403,7 +425,10 @@ fn protocol_choice_changes_message_counts_not_correctness() {
         ProtocolKind::English { decrement: 0.1 },
         ProtocolKind::Bargaining { max_rounds: 4 },
     ] {
-        let cfg = QtConfig { protocol: proto, ..QtConfig::default() };
+        let cfg = QtConfig {
+            protocol: proto,
+            ..QtConfig::default()
+        };
         let mut sellers = engines(&cat, &cfg);
         let out = run_qt_direct(NodeId(0), cat.dict.clone(), &q, &mut sellers, &cfg);
         let plan = out.plan.expect("plan found");
@@ -467,7 +492,10 @@ fn subcontracting_produces_composite_offers_and_stays_correct() {
             );
         }
         for i in 0..3u32 {
-            pb.set_stats(PartId::new(RelId(i), 0), PartitionStats::synthetic(1, &[1, 1]));
+            pb.set_stats(
+                PartId::new(RelId(i), 0),
+                PartitionStats::synthetic(1, &[1, 1]),
+            );
             pb.place(PartId::new(RelId(i), 0), NodeId(0));
         }
         pb.build().dict
@@ -494,11 +522,17 @@ fn subcontracting_produces_composite_offers_and_stays_correct() {
         "SELECT r.v, t.v FROM r, s, t WHERE r.k = s.k AND s.k = t.k",
     )
     .unwrap();
-    let cfg = QtConfig { enable_subcontracting: true, ..QtConfig::default() };
+    let cfg = QtConfig {
+        enable_subcontracting: true,
+        ..QtConfig::default()
+    };
     let mut sellers = engines(&cat, &cfg);
     let out = run_qt_direct(NodeId(0), cat.dict.clone(), &q, &mut sellers, &cfg);
     let plan = out.plan.expect("plan found");
-    assert!(out.iterations >= 2, "subcontracting needs hints from round 0");
+    assert!(
+        out.iterations >= 2,
+        "subcontracting needs hints from round 0"
+    );
     let got = plan.execute_on(&cat.dict, &stores).unwrap();
     let want = evaluate_query(&q, &union_store(&stores)).unwrap();
     assert!(approx_same_rows(&got, &want, 1e-9));
@@ -513,14 +547,23 @@ fn subcontracting_produces_composite_offers_and_stays_correct() {
         .restrict_to_rels(&[RelId(2)].into_iter().collect());
     let mut node3 = SellerEngine::new(cat.holdings_of(NodeId(3)), cfg.clone());
     let hint = node3
-        .respond(0, &[qt_core::RfbItem { query: t_frag, ref_value: f64::INFINITY }])
+        .respond(
+            0,
+            &[qt_core::RfbItem {
+                query: t_frag,
+                ref_value: f64::INFINITY,
+            }],
+        )
         .offers
         .into_iter()
         .next()
         .expect("node 3 offers its fragment");
     let resp = node2.respond_with_hints(
         1,
-        &[qt_core::RfbItem { query: site, ref_value: f64::INFINITY }],
+        &[qt_core::RfbItem {
+            query: site,
+            ref_value: f64::INFINITY,
+        }],
         &[hint],
     );
     assert!(
@@ -545,7 +588,10 @@ fn sorted_delivery_offer_skips_buyer_sort() {
             RelationSchema::new("r", vec![("k", AttrType::Int), ("v", AttrType::Int)]),
             Partitioning::Single,
         );
-        pb.set_stats(PartId::new(RelId(0), 0), PartitionStats::synthetic(1, &[1, 1]));
+        pb.set_stats(
+            PartId::new(RelId(0), 0),
+            PartitionStats::synthetic(1, &[1, 1]),
+        );
         pb.place(PartId::new(RelId(0), 0), NodeId(0));
         pb.build().dict
     };
@@ -553,7 +599,9 @@ fn sorted_delivery_offer_skips_buyer_sort() {
     loader.load_relation(
         &dict_probe,
         r,
-        (0..25).map(|j| vec![Value::Int((j * 7) % 25), Value::Int(j)]).collect(),
+        (0..25)
+            .map(|j| vec![Value::Int((j * 7) % 25), Value::Int(j)])
+            .collect(),
     );
     let part = PartId::new(r, 0);
     b.set_stats(part, loader.stats_of(&dict_probe, part).unwrap());
@@ -570,10 +618,16 @@ fn sorted_delivery_offer_skips_buyer_sort() {
     let plan = out.plan.expect("plan found");
     // The whole sorted answer is one purchase of the query itself.
     assert_eq!(plan.purchases.len(), 1);
-    assert_eq!(plan.purchases[0].offer.query, q, "sorted exact-answer offer wins");
+    assert_eq!(
+        plan.purchases[0].offer.query, q,
+        "sorted exact-answer offer wins"
+    );
     let got = plan.execute_on(&cat.dict, &stores).unwrap();
     let want = evaluate_query(&q, &union_store(&stores)).unwrap();
-    assert_eq!(got, want, "exact order must match, not just the row multiset");
+    assert_eq!(
+        got, want,
+        "exact order must match, not just the row multiset"
+    );
     let keys: Vec<i64> = got.iter().map(|row| row[0].as_int().unwrap()).collect();
     let mut sorted = keys.clone();
     sorted.sort();
@@ -594,7 +648,10 @@ fn offline_sellers_are_survived_by_timeout() {
     .unwrap()
     .with_partset(RelId(0), qt_query::PartSet::from_indices([2]));
 
-    let cfg = QtConfig { seller_timeout: 2.0, ..QtConfig::default() };
+    let cfg = QtConfig {
+        seller_timeout: 2.0,
+        ..QtConfig::default()
+    };
     let mut sellers = engines(&cat, &cfg);
     for engine in sellers.values_mut() {
         if engine.node == NodeId(1) {
@@ -622,7 +679,10 @@ fn sole_holder_offline_means_no_plan() {
         "SELECT custname FROM customer WHERE office = 'Corfu'",
     )
     .unwrap();
-    let cfg = QtConfig { seller_timeout: 1.0, ..QtConfig::default() };
+    let cfg = QtConfig {
+        seller_timeout: 1.0,
+        ..QtConfig::default()
+    };
     let mut sellers = engines(&cat, &cfg);
     sellers.get_mut(&NodeId(1)).unwrap().offline_rounds = (0..16).collect();
     let (out, _) = qt_core::run_qt_sim(NodeId(0), cat.dict.clone(), &q, sellers, &cfg);
@@ -640,7 +700,10 @@ fn straggler_offers_still_enrich_later_rounds() {
          WHERE customer.custid = invoiceline.custid AND charge > 150.0",
     )
     .unwrap();
-    let cfg = QtConfig { seller_timeout: 2.0, ..QtConfig::default() };
+    let cfg = QtConfig {
+        seller_timeout: 2.0,
+        ..QtConfig::default()
+    };
     let mut sellers = engines(&cat, &cfg);
     sellers.get_mut(&NodeId(1)).unwrap().offline_rounds = [0u32].into_iter().collect();
     let (out, _) = qt_core::run_qt_sim(NodeId(0), cat.dict.clone(), &q, sellers, &cfg);
@@ -688,8 +751,13 @@ fn replanning_from_the_offer_pool_survives_seller_failure() {
 
     // Fail Myconos.
     let failed: BTreeSet<NodeId> = [NodeId(2)].into_iter().collect();
-    let recovered = buyer.replan_excluding(&failed).expect("replica coverage survives");
-    assert!(recovered.purchases.iter().all(|p| p.offer.seller != NodeId(2)));
+    let recovered = buyer
+        .replan_excluding(&failed)
+        .expect("replica coverage survives");
+    assert!(recovered
+        .purchases
+        .iter()
+        .all(|p| p.offer.seller != NodeId(2)));
 
     // Execute against stores WITHOUT node 2 — the recovered plan works.
     let mut surviving_stores = stores.clone();
@@ -745,7 +813,10 @@ fn two_tier_topology_speeds_up_local_markets() {
         .0
     };
     assert!(lan.optimization_time < wan.optimization_time);
-    assert_eq!(lan.messages, wan.messages, "topology changes time, not traffic");
+    assert_eq!(
+        lan.messages, wan.messages,
+        "topology changes time, not traffic"
+    );
     let (a, b) = (lan.plan.unwrap(), wan.plan.unwrap());
     assert!((a.est.additive_cost - b.est.additive_cost).abs() < 1e-9);
 }
@@ -775,5 +846,8 @@ fn buyer_hints_surface_cheapest_full_fragments() {
     // fragment exists for it.
     assert_eq!(hints.len(), 1, "{hints:#?}");
     assert!(hints[0].query.relations.contains_key(&RelId(1)));
-    assert!(matches!(buyer.close_round(), RoundOutcome::Done | RoundOutcome::Continue(_)));
+    assert!(matches!(
+        buyer.close_round(),
+        RoundOutcome::Done | RoundOutcome::Continue(_)
+    ));
 }

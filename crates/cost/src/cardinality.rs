@@ -77,7 +77,23 @@ pub struct CardinalityEstimator<'a, S: StatsSource> {
 impl<'a, S: StatsSource> CardinalityEstimator<'a, S> {
     /// New estimator over `source`.
     pub fn new(source: &'a S) -> Self {
-        CardinalityEstimator { source, default_part_rows: 10_000 }
+        CardinalityEstimator {
+            source,
+            default_part_rows: 10_000,
+        }
+    }
+
+    /// Statistics of one partition, synthesizing the default profile for
+    /// partitions this source does not know (the paper's "predefined
+    /// constant" initial estimate).
+    pub fn part_stats_of(&self, pid: PartId, arity: usize) -> PartitionStats {
+        match self.source.part_stats(pid) {
+            Some(s) => s.clone(),
+            None => PartitionStats::synthetic(
+                self.default_part_rows,
+                &vec![self.default_part_rows; arity],
+            ),
+        }
     }
 
     /// Merged statistics of the `parts` subset of `rel`, falling back to a
@@ -87,14 +103,7 @@ impl<'a, S: StatsSource> CardinalityEstimator<'a, S> {
         let arity = dict.rel(rel).schema.arity();
         let mut acc: Option<PartitionStats> = None;
         for idx in parts.iter() {
-            let pid = PartId::new(rel, idx);
-            let stats = match self.source.part_stats(pid) {
-                Some(s) => s.clone(),
-                None => PartitionStats::synthetic(
-                    self.default_part_rows,
-                    &vec![self.default_part_rows; arity],
-                ),
-            };
+            let stats = self.part_stats_of(PartId::new(rel, idx), arity);
             acc = Some(match acc {
                 None => stats,
                 Some(a) => a.merge(&stats),
@@ -125,9 +134,7 @@ impl<'a, S: StatsSource> CardinalityEstimator<'a, S> {
         let mut sel = 1.0f64;
         for p in query.selections_of(rel) {
             sel *= match &p.right {
-                Operand::Const(v) => {
-                    Self::const_selectivity(&profile.cols, p.left.attr, p.op, v)
-                }
+                Operand::Const(v) => Self::const_selectivity(&profile.cols, p.left.attr, p.op, v),
                 Operand::Col(c) => {
                     // Same-relation column comparison.
                     let ndv = profile.cols[p.left.attr]
@@ -151,22 +158,18 @@ impl<'a, S: StatsSource> CardinalityEstimator<'a, S> {
 
     /// Selectivity of a join predicate given the per-relation profiles.
     fn join_selectivity(profiles: &BTreeMap<RelId, RelProfile>, p: &Predicate) -> f64 {
-        let Operand::Col(rc) = &p.right else { return 1.0 };
+        let Operand::Col(rc) = &p.right else {
+            return 1.0;
+        };
         let l_ndv = profiles
             .get(&p.left.rel)
             .map(|pr| pr.cols[p.left.attr].ndv)
-            .unwrap_or(1)
-            .max(1) as f64;
+            .unwrap_or(1);
         let r_ndv = profiles
             .get(&rc.rel)
             .map(|pr| pr.cols[rc.attr].ndv)
-            .unwrap_or(1)
-            .max(1) as f64;
-        match p.op {
-            CompOp::Eq => 1.0 / l_ndv.max(r_ndv),
-            CompOp::Ne => 1.0 - 1.0 / l_ndv.max(r_ndv),
-            _ => 1.0 / 3.0,
-        }
+            .unwrap_or(1);
+        join_selectivity_from_ndv(l_ndv, r_ndv, p.op)
     }
 
     /// Estimated row count of the join over `rels ⊆ query.relations`,
@@ -214,14 +217,28 @@ impl<'a, S: StatsSource> CardinalityEstimator<'a, S> {
                 let groups: f64 = query
                     .group_by
                     .iter()
-                    .map(|c| {
-                        self.selected_profile(query, c.rel).cols[c.attr].ndv.max(1) as f64
-                    })
+                    .map(|c| self.selected_profile(query, c.rel).cols[c.attr].ndv.max(1) as f64)
                     .product();
                 rows = rows.min(groups).max(if rows > 0.0 { 1.0 } else { 0.0 });
             }
         }
-        CardEstimate { rows, width: self.output_width(query) }
+        CardEstimate {
+            rows,
+            width: self.output_width(query),
+        }
+    }
+}
+
+/// The `1/max(ndv)` equi-join selectivity formula, shared by the plain
+/// estimator and the subset memo (`crate::memo`) so both produce
+/// bit-identical estimates.
+pub(crate) fn join_selectivity_from_ndv(l_ndv: u64, r_ndv: u64, op: CompOp) -> f64 {
+    let l = l_ndv.max(1) as f64;
+    let r = r_ndv.max(1) as f64;
+    match op {
+        CompOp::Eq => 1.0 / l.max(r),
+        CompOp::Ne => 1.0 - 1.0 / l.max(r),
+        _ => 1.0 / 3.0,
     }
 }
 
@@ -229,7 +246,7 @@ impl<'a, S: StatsSource> CardinalityEstimator<'a, S> {
 mod tests {
     use super::*;
     use qt_catalog::{
-        AttrType, Catalog, CatalogBuilder, NodeId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, Catalog, CatalogBuilder, NodeId, PartitionStats, Partitioning, RelationSchema,
     };
     use qt_query::{Col, Query, SelectItem};
 
@@ -245,10 +262,16 @@ mod tests {
             Partitioning::Single,
         );
         for i in 0..2 {
-            b.set_stats(PartId::new(r, i), PartitionStats::synthetic(5_000, &[5_000, 100]));
+            b.set_stats(
+                PartId::new(r, i),
+                PartitionStats::synthetic(5_000, &[5_000, 100]),
+            );
             b.place(PartId::new(r, i), NodeId(0));
         }
-        b.set_stats(PartId::new(s, 0), PartitionStats::synthetic(1_000, &[1_000, 10]));
+        b.set_stats(
+            PartId::new(s, 0),
+            PartitionStats::synthetic(1_000, &[1_000, 10]),
+        );
         b.place(PartId::new(s, 0), NodeId(0));
         b.build()
     }
@@ -284,7 +307,11 @@ mod tests {
         let c = catalog();
         let e = CardinalityEstimator::new(&c);
         let q = Query::over_full(&c.dict, [rid()])
-            .with_predicates(vec![Predicate::with_const(Col::new(rid(), 1), CompOp::Eq, 5i64)])
+            .with_predicates(vec![Predicate::with_const(
+                Col::new(rid(), 1),
+                CompOp::Eq,
+                5i64,
+            )])
             .with_select(vec![SelectItem::Col(Col::new(rid(), 0))]);
         let est = e.estimate(&q);
         // 10k rows, b has ndv 100 → ~100 rows.
@@ -296,7 +323,10 @@ mod tests {
         let c = catalog();
         let e = CardinalityEstimator::new(&c);
         let q = Query::over_full(&c.dict, [rid(), sid()])
-            .with_predicates(vec![Predicate::eq_cols(Col::new(rid(), 0), Col::new(sid(), 0))])
+            .with_predicates(vec![Predicate::eq_cols(
+                Col::new(rid(), 0),
+                Col::new(sid(), 0),
+            )])
             .with_select(vec![SelectItem::Col(Col::new(rid(), 1))]);
         let est = e.estimate(&q);
         // 10k × 1k / max(ndv(r.a), ndv(s.a)); merged ndv(r.a) is a
@@ -320,14 +350,19 @@ mod tests {
         let q = Query::over_full(&c.dict, [rid()])
             .with_select(vec![
                 SelectItem::Col(Col::new(rid(), 1)),
-                SelectItem::Agg { func: qt_query::AggFunc::Count, arg: None },
+                SelectItem::Agg {
+                    func: qt_query::AggFunc::Count,
+                    arg: None,
+                },
             ])
             .with_group_by(vec![Col::new(rid(), 1)]);
         let est = e.estimate(&q);
         assert!(est.rows <= 100.0 + 1e-9, "{}", est.rows);
         // Scalar aggregate → exactly one row.
-        let scalar = Query::over_full(&c.dict, [rid()])
-            .with_select(vec![SelectItem::Agg { func: qt_query::AggFunc::Count, arg: None }]);
+        let scalar = Query::over_full(&c.dict, [rid()]).with_select(vec![SelectItem::Agg {
+            func: qt_query::AggFunc::Count,
+            arg: None,
+        }]);
         assert_eq!(e.estimate(&scalar).rows, 1.0);
     }
 
@@ -359,7 +394,11 @@ mod tests {
         let e = CardinalityEstimator::new(&c);
         // b uniform over [0, 99]; b < 50 → about half.
         let q = Query::over_full(&c.dict, [rid()])
-            .with_predicates(vec![Predicate::with_const(Col::new(rid(), 1), CompOp::Lt, 50i64)])
+            .with_predicates(vec![Predicate::with_const(
+                Col::new(rid(), 1),
+                CompOp::Lt,
+                50i64,
+            )])
             .with_select(vec![SelectItem::Col(Col::new(rid(), 0))]);
         let est = e.estimate(&q);
         assert!(est.rows > 3_000.0 && est.rows < 7_000.0, "{}", est.rows);

@@ -19,12 +19,14 @@
 //!   [`qt_query::Query`] fragments.
 
 pub mod cardinality;
+pub mod memo;
 pub mod network;
 pub mod params;
 pub mod properties;
 pub mod resources;
 
 pub use cardinality::{CardEstimate, CardinalityEstimator, RelProfile, StatsSource};
+pub use memo::SubsetCardMemo;
 pub use network::NetLink;
 pub use params::CostParams;
 pub use properties::{AnswerProperties, Valuation};

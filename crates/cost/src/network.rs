@@ -13,13 +13,19 @@ pub struct NetLink {
 impl NetLink {
     /// A LAN-ish default: 1 ms latency, 10 MB/s.
     pub fn lan() -> Self {
-        NetLink { latency: 0.001, bandwidth: 10e6 }
+        NetLink {
+            latency: 0.001,
+            bandwidth: 10e6,
+        }
     }
 
     /// A WAN-ish default: 25 ms latency, 1 MB/s — the regime of the paper's
     /// geographically distributed regional offices.
     pub fn wan() -> Self {
-        NetLink { latency: 0.025, bandwidth: 1e6 }
+        NetLink {
+            latency: 0.025,
+            bandwidth: 1e6,
+        }
     }
 
     /// Time to deliver a message/result of `bytes` bytes.
@@ -45,7 +51,10 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_with_bytes() {
-        let l = NetLink { latency: 0.01, bandwidth: 1000.0 };
+        let l = NetLink {
+            latency: 0.01,
+            bandwidth: 1000.0,
+        };
         assert!((l.transfer_time(0.0) - 0.01).abs() < 1e-12);
         assert!((l.transfer_time(2000.0) - 2.01).abs() < 1e-12);
     }

@@ -49,7 +49,11 @@ impl AnswerProperties {
         AnswerProperties {
             total_time,
             first_row_time: total_time.min(total_time * 0.1 + 0.001),
-            rows_per_sec: if total_time > 0.0 { rows / total_time } else { f64::INFINITY },
+            rows_per_sec: if total_time > 0.0 {
+                rows / total_time
+            } else {
+                f64::INFINITY
+            },
             rows,
             bytes,
             freshness: 1.0,
@@ -86,7 +90,11 @@ impl Add for AnswerProperties {
         AnswerProperties {
             total_time,
             first_row_time: self.first_row_time.min(other.first_row_time),
-            rows_per_sec: if total_time > 0.0 { rows / total_time } else { f64::INFINITY },
+            rows_per_sec: if total_time > 0.0 {
+                rows / total_time
+            } else {
+                f64::INFINITY
+            },
             rows,
             bytes: self.bytes + other.bytes,
             freshness: self.freshness.min(other.freshness),

@@ -19,12 +19,20 @@ pub struct NodeResources {
 impl NodeResources {
     /// The reference node: unit speed, idle.
     pub fn reference() -> Self {
-        NodeResources { cpu_speed: 1.0, io_speed: 1.0, load: 1.0 }
+        NodeResources {
+            cpu_speed: 1.0,
+            io_speed: 1.0,
+            load: 1.0,
+        }
     }
 
     /// A node `s`× the reference speed (CPU and I/O), idle.
     pub fn uniform(s: f64) -> Self {
-        NodeResources { cpu_speed: s, io_speed: s, load: 1.0 }
+        NodeResources {
+            cpu_speed: s,
+            io_speed: s,
+            load: 1.0,
+        }
     }
 
     /// Effective multiplier on CPU work.
@@ -64,7 +72,11 @@ mod tests {
 
     #[test]
     fn factors_combine_speed_and_load() {
-        let r = NodeResources { cpu_speed: 2.0, io_speed: 4.0, load: 3.0 };
+        let r = NodeResources {
+            cpu_speed: 2.0,
+            io_speed: 4.0,
+            load: 3.0,
+        };
         assert!((r.cpu_factor() - 1.5).abs() < 1e-12);
         assert!((r.io_factor() - 0.75).abs() < 1e-12);
     }
@@ -79,10 +91,26 @@ mod tests {
     #[test]
     fn validation() {
         assert!(NodeResources::reference().validate().is_ok());
-        assert!(NodeResources { cpu_speed: 0.0, io_speed: 1.0, load: 1.0 }.validate().is_err());
-        assert!(NodeResources { cpu_speed: 1.0, io_speed: -1.0, load: 1.0 }.validate().is_err());
-        assert!(NodeResources { cpu_speed: 1.0, io_speed: 1.0, load: f64::NAN }
-            .validate()
-            .is_err());
+        assert!(NodeResources {
+            cpu_speed: 0.0,
+            io_speed: 1.0,
+            load: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(NodeResources {
+            cpu_speed: 1.0,
+            io_speed: -1.0,
+            load: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(NodeResources {
+            cpu_speed: 1.0,
+            io_speed: 1.0,
+            load: f64::NAN
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -1,0 +1,276 @@
+//! Arena-backed plan nodes for zero-clone DP enumeration.
+//!
+//! The local optimizer's DP considers hundreds of thousands of join
+//! candidates for a 10-relation query, and Pareto pruning throws most of
+//! them away. Building each candidate as a boxed [`PhysPlan`] tree means
+//! deep-cloning both child sub-trees per candidate — O(plan size) work per
+//! consideration. A [`PlanArena`] makes a candidate O(1): nodes live in one
+//! flat `Vec`, children are [`PlanId`] indices, and a new join is a single
+//! push referencing the two memoized child ids. Dropped candidates leave a
+//! dead slot behind; the arena is per-enumeration scratch, freed wholesale.
+//!
+//! Boxed [`PhysPlan`] trees are materialized only at the optimizer's output
+//! boundary ([`PlanArena::materialize`]), for exactly the plans that
+//! survive — `materialize(push(n))` round-trips bit-identically to building
+//! the tree directly.
+//!
+//! Only the operators the join enumerator emits have arena forms; the
+//! boundary layers (aggregation, final sort/projection, input slots) are
+//! built as boxed trees on top of the materialized winner.
+
+use crate::plan::PhysPlan;
+use qt_catalog::PartId;
+use qt_query::{Col, Predicate};
+
+/// Index of a node in a [`PlanArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanId(u32);
+
+impl PlanId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One plan node whose children are arena ids instead of boxes.
+///
+/// Variants mirror the enumeration subset of [`PhysPlan`]; see that type
+/// for field semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArenaPlan {
+    /// See [`PhysPlan::Scan`].
+    Scan {
+        /// The partition to scan.
+        part: PartId,
+        /// Arity of the relation.
+        arity: usize,
+    },
+    /// See [`PhysPlan::Filter`].
+    Filter {
+        /// Input node.
+        input: PlanId,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// See [`PhysPlan::HashJoin`].
+    HashJoin {
+        /// Build side.
+        left: PlanId,
+        /// Probe side.
+        right: PlanId,
+        /// Build-side join keys.
+        left_keys: Vec<Col>,
+        /// Probe-side join keys.
+        right_keys: Vec<Col>,
+    },
+    /// See [`PhysPlan::MergeJoin`].
+    MergeJoin {
+        /// Left input, sorted on `left_keys`.
+        left: PlanId,
+        /// Right input, sorted on `right_keys`.
+        right: PlanId,
+        /// Left-side join keys.
+        left_keys: Vec<Col>,
+        /// Right-side join keys.
+        right_keys: Vec<Col>,
+    },
+    /// See [`PhysPlan::NlJoin`].
+    NlJoin {
+        /// Outer side.
+        left: PlanId,
+        /// Inner side.
+        right: PlanId,
+        /// Join predicates on the concatenated row.
+        predicates: Vec<Predicate>,
+    },
+    /// See [`PhysPlan::Union`].
+    Union {
+        /// Input nodes (at least one).
+        inputs: Vec<PlanId>,
+    },
+    /// See [`PhysPlan::Sort`].
+    Sort {
+        /// Input node.
+        input: PlanId,
+        /// Sort keys, major first.
+        keys: Vec<Col>,
+    },
+}
+
+/// Flat storage for one enumeration's candidate plans.
+#[derive(Debug, Default)]
+pub struct PlanArena {
+    nodes: Vec<ArenaPlan>,
+}
+
+impl PlanArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PlanArena::default()
+    }
+
+    /// An empty arena with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        PlanArena {
+            nodes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append a node, returning its id. Children must already be in the
+    /// arena (ids only ever reference earlier pushes).
+    pub fn push(&mut self, node: ArenaPlan) -> PlanId {
+        let id = PlanId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// The node behind `id`.
+    pub fn get(&self, id: PlanId) -> &ArenaPlan {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes ever pushed (live and pruned alike).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Build the boxed [`PhysPlan`] tree rooted at `id`. Shared sub-plans
+    /// are duplicated, exactly as tree-building enumeration would have.
+    pub fn materialize(&self, id: PlanId) -> PhysPlan {
+        match self.get(id) {
+            ArenaPlan::Scan { part, arity } => PhysPlan::Scan {
+                part: *part,
+                arity: *arity,
+            },
+            ArenaPlan::Filter { input, predicates } => PhysPlan::Filter {
+                input: Box::new(self.materialize(*input)),
+                predicates: predicates.clone(),
+            },
+            ArenaPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => PhysPlan::HashJoin {
+                left: Box::new(self.materialize(*left)),
+                right: Box::new(self.materialize(*right)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+            },
+            ArenaPlan::MergeJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => PhysPlan::MergeJoin {
+                left: Box::new(self.materialize(*left)),
+                right: Box::new(self.materialize(*right)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+            },
+            ArenaPlan::NlJoin {
+                left,
+                right,
+                predicates,
+            } => PhysPlan::NlJoin {
+                left: Box::new(self.materialize(*left)),
+                right: Box::new(self.materialize(*right)),
+                predicates: predicates.clone(),
+            },
+            ArenaPlan::Union { inputs } => PhysPlan::Union {
+                inputs: inputs.iter().map(|i| self.materialize(*i)).collect(),
+            },
+            ArenaPlan::Sort { input, keys } => PhysPlan::Sort {
+                input: Box::new(self.materialize(*input)),
+                keys: keys.clone(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_catalog::RelId;
+
+    fn scan(arena: &mut PlanArena, rel: u32, arity: usize) -> PlanId {
+        arena.push(ArenaPlan::Scan {
+            part: PartId::new(RelId(rel), 0),
+            arity,
+        })
+    }
+
+    #[test]
+    fn materialize_round_trips_a_join_tree() {
+        let mut a = PlanArena::new();
+        let r = scan(&mut a, 0, 2);
+        let s = scan(&mut a, 1, 2);
+        let sorted = a.push(ArenaPlan::Sort {
+            input: s,
+            keys: vec![Col::new(RelId(1), 0)],
+        });
+        let join = a.push(ArenaPlan::MergeJoin {
+            left: r,
+            right: sorted,
+            left_keys: vec![Col::new(RelId(0), 0)],
+            right_keys: vec![Col::new(RelId(1), 0)],
+        });
+        let got = a.materialize(join);
+        let want = PhysPlan::MergeJoin {
+            left: Box::new(PhysPlan::Scan {
+                part: PartId::new(RelId(0), 0),
+                arity: 2,
+            }),
+            right: Box::new(PhysPlan::Sort {
+                input: Box::new(PhysPlan::Scan {
+                    part: PartId::new(RelId(1), 0),
+                    arity: 2,
+                }),
+                keys: vec![Col::new(RelId(1), 0)],
+            }),
+            left_keys: vec![Col::new(RelId(0), 0)],
+            right_keys: vec![Col::new(RelId(1), 0)],
+        };
+        assert_eq!(got, want);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn shared_children_are_duplicated_on_materialize() {
+        let mut a = PlanArena::new();
+        let r = scan(&mut a, 0, 1);
+        let join = a.push(ArenaPlan::NlJoin {
+            left: r,
+            right: r,
+            predicates: vec![],
+        });
+        let t = a.materialize(join);
+        let PhysPlan::NlJoin { left, right, .. } = t else {
+            panic!("nl join")
+        };
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn union_and_filter_materialize() {
+        let mut a = PlanArena::new();
+        let p0 = scan(&mut a, 0, 1);
+        let p1 = scan(&mut a, 0, 1);
+        let u = a.push(ArenaPlan::Union {
+            inputs: vec![p0, p1],
+        });
+        let f = a.push(ArenaPlan::Filter {
+            input: u,
+            predicates: vec![],
+        });
+        let t = a.materialize(f);
+        assert_eq!(t.node_count(), 4);
+        assert!(!a.is_empty());
+    }
+}

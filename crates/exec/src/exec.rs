@@ -95,9 +95,7 @@ impl AggState {
             // `+ 0.0` maps a possible `-0.0` accumulator to `+0.0`, matching
             // the reference evaluator under the total value order.
             AggState::Sum(acc, _) => Value::Float(acc + 0.0),
-            AggState::Avg(acc, n) => {
-                Value::Float(if n == 0 { 0.0 } else { acc / n as f64 })
-            }
+            AggState::Avg(acc, n) => Value::Float(if n == 0 { 0.0 } else { acc / n as f64 }),
             AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Int(0)),
         }
     }
@@ -115,9 +113,10 @@ pub fn execute(
             .rows_of(*part)
             .map(|r| r.to_vec())
             .ok_or(ExecError::MissingPartition(*part)),
-        PhysPlan::Input { slot, .. } => {
-            inputs.get(*slot).cloned().ok_or(ExecError::MissingInput(*slot))
-        }
+        PhysPlan::Input { slot, .. } => inputs
+            .get(*slot)
+            .cloned()
+            .ok_or(ExecError::MissingInput(*slot)),
         PhysPlan::Filter { input, predicates } => {
             let schema = input.schema();
             let rows = execute(input, source, inputs)?;
@@ -141,7 +140,12 @@ pub fn execute(
                 .map(|row| positions.iter().map(|&i| row[i].clone()).collect())
                 .collect())
         }
-        PhysPlan::HashJoin { left, right, left_keys, right_keys } => {
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
             let lschema = left.schema();
             let rschema = right.schema();
             let lpos: Vec<usize> = left_keys
@@ -172,7 +176,12 @@ pub fn execute(
             }
             Ok(out)
         }
-        PhysPlan::MergeJoin { left, right, left_keys, right_keys } => {
+        PhysPlan::MergeJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
             let lschema = left.schema();
             let rschema = right.schema();
             let lpos: Vec<usize> = left_keys
@@ -218,7 +227,11 @@ pub fn execute(
             }
             Ok(out)
         }
-        PhysPlan::NlJoin { left, right, predicates } => {
+        PhysPlan::NlJoin {
+            left,
+            right,
+            predicates,
+        } => {
             let schema = plan.schema();
             let lrows = execute(left, source, inputs)?;
             let rrows = execute(right, source, inputs)?;
@@ -259,7 +272,11 @@ pub fn execute(
             });
             Ok(rows)
         }
-        PhysPlan::HashAggregate { input, group_by, aggs } => {
+        PhysPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let schema = input.schema();
             let key_pos: Vec<usize> = group_by
                 .iter()
@@ -285,7 +302,10 @@ pub fn execute(
             }
             // Scalar aggregate over zero rows still yields one row.
             if group_by.is_empty() && groups.is_empty() {
-                groups.insert(Vec::new(), aggs.iter().map(|a| AggState::new(a.func)).collect());
+                groups.insert(
+                    Vec::new(),
+                    aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                );
                 order.push(Vec::new());
             }
             let mut out = Vec::new();
@@ -308,9 +328,10 @@ pub fn agg_specs(query: &qt_query::Query) -> Vec<AggSpec> {
         .select
         .iter()
         .filter_map(|s| match s {
-            qt_query::SelectItem::Agg { func, arg } => {
-                Some(AggSpec { func: *func, arg: *arg })
-            }
+            qt_query::SelectItem::Agg { func, arg } => Some(AggSpec {
+                func: *func,
+                arg: *arg,
+            }),
             qt_query::SelectItem::Col(_) => None,
         })
         .collect()
@@ -362,10 +383,16 @@ mod tests {
     }
 
     fn scan_r() -> PhysPlan {
-        PhysPlan::Scan { part: PartId::new(r(), 0), arity: 2 }
+        PhysPlan::Scan {
+            part: PartId::new(r(), 0),
+            arity: 2,
+        }
     }
     fn scan_s() -> PhysPlan {
-        PhysPlan::Scan { part: PartId::new(s(), 0), arity: 2 }
+        PhysPlan::Scan {
+            part: PartId::new(s(), 0),
+            arity: 2,
+        }
     }
 
     #[test]
@@ -376,7 +403,10 @@ mod tests {
 
     #[test]
     fn missing_partition_errors() {
-        let bad = PhysPlan::Scan { part: PartId::new(RelId(9), 0), arity: 1 };
+        let bad = PhysPlan::Scan {
+            part: PartId::new(RelId(9), 0),
+            arity: 1,
+        };
         assert_eq!(
             execute(&bad, &store(), &[]),
             Err(ExecError::MissingPartition(PartId::new(RelId(9), 0)))
@@ -462,13 +492,18 @@ mod tests {
 
     #[test]
     fn union_concatenates() {
-        let u = PhysPlan::Union { inputs: vec![scan_r(), scan_r()] };
+        let u = PhysPlan::Union {
+            inputs: vec![scan_r(), scan_r()],
+        };
         assert_eq!(execute(&u, &store(), &[]).unwrap().len(), 8);
     }
 
     #[test]
     fn sort_orders_rows() {
-        let p = PhysPlan::Sort { input: Box::new(scan_r()), keys: vec![Col::new(r(), 1)] };
+        let p = PhysPlan::Sort {
+            input: Box::new(scan_r()),
+            keys: vec![Col::new(r(), 1)],
+        };
         let t = execute(&p, &store(), &[]).unwrap();
         let vals: Vec<i64> = t.iter().map(|row| row[1].as_int().unwrap()).collect();
         assert_eq!(vals, vec![10, 20, 25, 30]);
@@ -480,8 +515,14 @@ mod tests {
             input: Box::new(scan_r()),
             group_by: vec![Col::new(r(), 0)],
             aggs: vec![
-                AggSpec { func: AggFunc::Sum, arg: Some(Col::new(r(), 1)) },
-                AggSpec { func: AggFunc::Count, arg: None },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(Col::new(r(), 1)),
+                },
+                AggSpec {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
             ],
         };
         let mut t = execute(&p, &store(), &[]).unwrap();
@@ -501,7 +542,10 @@ mod tests {
                 predicates: vec![Predicate::with_const(Col::new(r(), 0), CompOp::Gt, 100i64)],
             }),
             group_by: vec![],
-            aggs: vec![AggSpec { func: AggFunc::Count, arg: None }],
+            aggs: vec![AggSpec {
+                func: AggFunc::Count,
+                arg: None,
+            }],
         };
         let t = execute(&p, &store(), &[]).unwrap();
         assert_eq!(t, vec![vec![Value::Int(0)]]);
@@ -513,9 +557,18 @@ mod tests {
             input: Box::new(scan_r()),
             group_by: vec![],
             aggs: vec![
-                AggSpec { func: AggFunc::Min, arg: Some(Col::new(r(), 1)) },
-                AggSpec { func: AggFunc::Max, arg: Some(Col::new(r(), 1)) },
-                AggSpec { func: AggFunc::Avg, arg: Some(Col::new(r(), 1)) },
+                AggSpec {
+                    func: AggFunc::Min,
+                    arg: Some(Col::new(r(), 1)),
+                },
+                AggSpec {
+                    func: AggFunc::Max,
+                    arg: Some(Col::new(r(), 1)),
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    arg: Some(Col::new(r(), 1)),
+                },
             ],
         };
         let t = execute(&p, &store(), &[]).unwrap();
@@ -527,15 +580,30 @@ mod tests {
     #[test]
     fn input_slots_resolve() {
         let table = vec![vec![Value::Int(7)]];
-        let p = PhysPlan::Input { slot: 0, schema: vec![Col::new(r(), 0)] };
-        assert_eq!(execute(&p, &store(), std::slice::from_ref(&table)).unwrap(), table);
-        let missing = PhysPlan::Input { slot: 3, schema: vec![Col::new(r(), 0)] };
-        assert_eq!(execute(&missing, &store(), &[]), Err(ExecError::MissingInput(3)));
+        let p = PhysPlan::Input {
+            slot: 0,
+            schema: vec![Col::new(r(), 0)],
+        };
+        assert_eq!(
+            execute(&p, &store(), std::slice::from_ref(&table)).unwrap(),
+            table
+        );
+        let missing = PhysPlan::Input {
+            slot: 3,
+            schema: vec![Col::new(r(), 0)],
+        };
+        assert_eq!(
+            execute(&missing, &store(), &[]),
+            Err(ExecError::MissingInput(3))
+        );
     }
 
     #[test]
     fn unresolved_column_errors() {
-        let p = PhysPlan::Project { input: Box::new(scan_r()), cols: vec![Col::new(s(), 0)] };
+        let p = PhysPlan::Project {
+            input: Box::new(scan_r()),
+            cols: vec![Col::new(s(), 0)],
+        };
         assert!(matches!(
             execute(&p, &store(), &[]),
             Err(ExecError::UnresolvedColumn(_))
@@ -547,8 +615,14 @@ mod tests {
         let p = PhysPlan::HashAggregate {
             input: Box::new(scan_s()),
             group_by: vec![],
-            aggs: vec![AggSpec { func: AggFunc::Sum, arg: Some(Col::new(s(), 1)) }],
+            aggs: vec![AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(Col::new(s(), 1)),
+            }],
         };
-        assert!(matches!(execute(&p, &store(), &[]), Err(ExecError::TypeError(_))));
+        assert!(matches!(
+            execute(&p, &store(), &[]),
+            Err(ExecError::TypeError(_))
+        ));
     }
 }

@@ -13,6 +13,7 @@
 //! * [`mod@reference`] — a brute-force evaluator of [`qt_query::Query`] semantics
 //!   used to cross-check every plan the optimizers emit.
 
+pub mod arena;
 pub mod datastore;
 pub mod error;
 pub mod exec;
@@ -20,6 +21,7 @@ pub mod plan;
 pub mod reference;
 pub mod trace;
 
+pub use arena::{ArenaPlan, PlanArena, PlanId};
 pub use datastore::DataStore;
 pub use error::ExecError;
 pub use exec::{execute, RowSource};

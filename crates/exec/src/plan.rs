@@ -118,9 +118,7 @@ impl PhysPlan {
     /// The output schema: ordered column identities.
     pub fn schema(&self) -> Vec<Col> {
         match self {
-            PhysPlan::Scan { part, arity } => {
-                (0..*arity).map(|a| Col::new(part.rel, a)).collect()
-            }
+            PhysPlan::Scan { part, arity } => (0..*arity).map(|a| Col::new(part.rel, a)).collect(),
             PhysPlan::Input { schema, .. } => schema.clone(),
             PhysPlan::Filter { input, .. } | PhysPlan::Sort { input, .. } => input.schema(),
             PhysPlan::Project { cols, .. } => cols.clone(),
@@ -135,10 +133,10 @@ impl PhysPlan {
             PhysPlan::HashAggregate { group_by, aggs, .. } => {
                 let mut s = group_by.clone();
                 for (i, a) in aggs.iter().enumerate() {
-                    let base = a.arg.or(group_by.first().copied()).unwrap_or(Col::new(
-                        qt_catalog::RelId(0),
-                        0,
-                    ));
+                    let base = a
+                        .arg
+                        .or(group_by.first().copied())
+                        .unwrap_or(Col::new(qt_catalog::RelId(0), 0));
                     s.push(Col::new(base.rel, AGG_ATTR_BASE + i * 10_000 + base.attr));
                 }
                 s
@@ -156,9 +154,7 @@ impl PhysPlan {
             | PhysPlan::HashAggregate { input, .. } => input.node_count(),
             PhysPlan::HashJoin { left, right, .. }
             | PhysPlan::MergeJoin { left, right, .. }
-            | PhysPlan::NlJoin { left, right, .. } => {
-                left.node_count() + right.node_count()
-            }
+            | PhysPlan::NlJoin { left, right, .. } => left.node_count() + right.node_count(),
             PhysPlan::Union { inputs } => inputs.iter().map(PhysPlan::node_count).sum(),
         }
     }
@@ -232,17 +228,31 @@ impl PhysPlan {
                 let _ = writeln!(out, "{pad}Project ({} cols)", cols.len());
                 input.pretty_into(out, depth + 1);
             }
-            PhysPlan::HashJoin { left, right, left_keys, .. } => {
+            PhysPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                ..
+            } => {
                 let _ = writeln!(out, "{pad}HashJoin ({} keys)", left_keys.len());
                 left.pretty_into(out, depth + 1);
                 right.pretty_into(out, depth + 1);
             }
-            PhysPlan::MergeJoin { left, right, left_keys, .. } => {
+            PhysPlan::MergeJoin {
+                left,
+                right,
+                left_keys,
+                ..
+            } => {
                 let _ = writeln!(out, "{pad}MergeJoin ({} keys)", left_keys.len());
                 left.pretty_into(out, depth + 1);
                 right.pretty_into(out, depth + 1);
             }
-            PhysPlan::NlJoin { left, right, predicates } => {
+            PhysPlan::NlJoin {
+                left,
+                right,
+                predicates,
+            } => {
                 let _ = writeln!(out, "{pad}NlJoin ({} preds)", predicates.len());
                 left.pretty_into(out, depth + 1);
                 right.pretty_into(out, depth + 1);
@@ -257,7 +267,11 @@ impl PhysPlan {
                 let _ = writeln!(out, "{pad}Sort ({} keys)", keys.len());
                 input.pretty_into(out, depth + 1);
             }
-            PhysPlan::HashAggregate { input, group_by, aggs } => {
+            PhysPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}HashAggregate ({} keys, {} aggs)",
@@ -276,17 +290,23 @@ mod tests {
     use qt_catalog::RelId;
 
     fn scan(rel: u32, arity: usize) -> PhysPlan {
-        PhysPlan::Scan { part: PartId::new(RelId(rel), 0), arity }
+        PhysPlan::Scan {
+            part: PartId::new(RelId(rel), 0),
+            arity,
+        }
     }
 
     #[test]
     fn scan_schema_enumerates_attrs() {
         let s = scan(1, 3).schema();
-        assert_eq!(s, vec![
-            Col::new(RelId(1), 0),
-            Col::new(RelId(1), 1),
-            Col::new(RelId(1), 2)
-        ]);
+        assert_eq!(
+            s,
+            vec![
+                Col::new(RelId(1), 0),
+                Col::new(RelId(1), 1),
+                Col::new(RelId(1), 2)
+            ]
+        );
     }
 
     #[test]
@@ -306,7 +326,10 @@ mod tests {
         let a = PhysPlan::HashAggregate {
             input: Box::new(scan(0, 2)),
             group_by: vec![Col::new(RelId(0), 1)],
-            aggs: vec![AggSpec { func: AggFunc::Sum, arg: Some(Col::new(RelId(0), 0)) }],
+            aggs: vec![AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(Col::new(RelId(0), 0)),
+            }],
         };
         let s = a.schema();
         assert_eq!(s.len(), 2);
@@ -319,7 +342,10 @@ mod tests {
         let p = PhysPlan::Union {
             inputs: vec![
                 scan(0, 1),
-                PhysPlan::Input { slot: 2, schema: vec![Col::new(RelId(0), 0)] },
+                PhysPlan::Input {
+                    slot: 2,
+                    schema: vec![Col::new(RelId(0), 0)],
+                },
             ],
         };
         assert_eq!(p.scanned_parts(), vec![PartId::new(RelId(0), 0)]);

@@ -184,15 +184,25 @@ fn eval_agg(
         AggFunc::Sum => Value::Float(nums(arg.expect("SUM arg"))?.iter().sum::<f64>() + 0.0),
         AggFunc::Avg => {
             let v = nums(arg.expect("AVG arg"))?;
-            Value::Float(if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 })
+            Value::Float(if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            })
         }
         AggFunc::Min => {
             let i = pos(arg.expect("MIN arg"))?;
-            rows.iter().map(|r| r[i].clone()).min().unwrap_or(Value::Int(0))
+            rows.iter()
+                .map(|r| r[i].clone())
+                .min()
+                .unwrap_or(Value::Int(0))
         }
         AggFunc::Max => {
             let i = pos(arg.expect("MAX arg"))?;
-            rows.iter().map(|r| r[i].clone()).max().unwrap_or(Value::Int(0))
+            rows.iter()
+                .map(|r| r[i].clone())
+                .max()
+                .unwrap_or(Value::Int(0))
         }
     })
 }
@@ -238,7 +248,7 @@ mod tests {
     use super::*;
     use crate::datastore::DataStore;
     use qt_catalog::{
-        AttrType, Catalog, CatalogBuilder, NodeId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, Catalog, CatalogBuilder, NodeId, PartitionStats, Partitioning, RelationSchema,
     };
     use qt_query::{parse_query, PartSet};
 
@@ -337,11 +347,7 @@ mod tests {
     #[test]
     fn order_by_sorts_output() {
         let (cat, store) = setup();
-        let q = parse_query(
-            &cat.dict,
-            "SELECT charge FROM invoiceline ORDER BY charge",
-        )
-        .unwrap();
+        let q = parse_query(&cat.dict, "SELECT charge FROM invoiceline ORDER BY charge").unwrap();
         let t = evaluate_query(&q, &store).unwrap();
         let vals: Vec<f64> = t.iter().map(|r| r[0].as_f64().unwrap()).collect();
         assert_eq!(vals, vec![2.5, 5.0, 10.0, 20.0]);
@@ -351,7 +357,10 @@ mod tests {
     fn count_star_scalar() {
         let (cat, store) = setup();
         let q = parse_query(&cat.dict, "SELECT COUNT(*) FROM customer").unwrap();
-        assert_eq!(evaluate_query(&q, &store).unwrap(), vec![vec![Value::Int(3)]]);
+        assert_eq!(
+            evaluate_query(&q, &store).unwrap(),
+            vec![vec![Value::Int(3)]]
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ fn label(plan: &PhysPlan) -> String {
         PhysPlan::Union { inputs } => format!("Union ({} inputs)", inputs.len()),
         PhysPlan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
         PhysPlan::HashAggregate { group_by, aggs, .. } => {
-            format!("HashAggregate ({} keys, {} aggs)", group_by.len(), aggs.len())
+            format!(
+                "HashAggregate ({} keys, {} aggs)",
+                group_by.len(),
+                aggs.len()
+            )
         }
     }
 }
@@ -61,7 +65,11 @@ fn collect(
     out: &mut Vec<OpTrace>,
 ) -> Result<(), ExecError> {
     let rows = execute(plan, source, inputs)?.len();
-    out.push(OpTrace { depth, label: label(plan), rows_out: rows });
+    out.push(OpTrace {
+        depth,
+        label: label(plan),
+        rows_out: rows,
+    });
     match plan {
         PhysPlan::Scan { .. } | PhysPlan::Input { .. } => {}
         PhysPlan::Filter { input, .. }
@@ -90,7 +98,13 @@ pub fn render(traces: &[OpTrace]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     for t in traces {
-        let _ = writeln!(s, "{}{} → {} rows", "  ".repeat(t.depth), t.label, t.rows_out);
+        let _ = writeln!(
+            s,
+            "{}{} → {} rows",
+            "  ".repeat(t.depth),
+            t.label,
+            t.rows_out
+        );
     }
     s
 }
@@ -113,15 +127,24 @@ mod tests {
     }
 
     fn store() -> Mem {
-        let rows: Table = (0..10).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect();
+        let rows: Table = (0..10)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+            .collect();
         Mem([(PartId::new(RelId(0), 0), rows)].into_iter().collect())
     }
 
     #[test]
     fn traces_report_per_operator_rows() {
         let plan = PhysPlan::Filter {
-            input: Box::new(PhysPlan::Scan { part: PartId::new(RelId(0), 0), arity: 2 }),
-            predicates: vec![Predicate::with_const(Col::new(RelId(0), 0), CompOp::Lt, 4i64)],
+            input: Box::new(PhysPlan::Scan {
+                part: PartId::new(RelId(0), 0),
+                arity: 2,
+            }),
+            predicates: vec![Predicate::with_const(
+                Col::new(RelId(0), 0),
+                CompOp::Lt,
+                4i64,
+            )],
         };
         let (result, traces) = execute_traced(&plan, &store(), &[]).unwrap();
         assert_eq!(result.len(), 4);
@@ -136,8 +159,16 @@ mod tests {
     #[test]
     fn render_indents_by_depth() {
         let traces = vec![
-            OpTrace { depth: 0, label: "Project (1 cols)".into(), rows_out: 3 },
-            OpTrace { depth: 1, label: "Scan rel0.p0".into(), rows_out: 10 },
+            OpTrace {
+                depth: 0,
+                label: "Project (1 cols)".into(),
+                rows_out: 3,
+            },
+            OpTrace {
+                depth: 1,
+                label: "Scan rel0.p0".into(),
+                rows_out: 10,
+            },
         ];
         let s = render(&traces);
         assert!(s.contains("Project (1 cols) → 3 rows"));
@@ -146,7 +177,10 @@ mod tests {
 
     #[test]
     fn traced_result_matches_plain_execution() {
-        let plan = PhysPlan::Scan { part: PartId::new(RelId(0), 0), arity: 2 };
+        let plan = PhysPlan::Scan {
+            part: PartId::new(RelId(0), 0),
+            arity: 2,
+        };
         let plain = execute(&plan, &store(), &[]).unwrap();
         let (traced, _) = execute_traced(&plan, &store(), &[]).unwrap();
         assert_eq!(plain, traced);

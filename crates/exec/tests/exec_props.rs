@@ -19,7 +19,9 @@ impl RowSource for Mem {
 fn table(rel: u32, rows: &[(i64, i64)]) -> (PartId, Table) {
     (
         PartId::new(RelId(rel), 0),
-        rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]).collect(),
+        rows.iter()
+            .map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)])
+            .collect(),
     )
 }
 
@@ -28,7 +30,10 @@ fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
 }
 
 fn scan(rel: u32) -> PhysPlan {
-    PhysPlan::Scan { part: PartId::new(RelId(rel), 0), arity: 2 }
+    PhysPlan::Scan {
+        part: PartId::new(RelId(rel), 0),
+        arity: 2,
+    }
 }
 
 proptest! {

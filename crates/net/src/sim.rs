@@ -52,7 +52,13 @@ impl<M> Ctx<M> {
     /// Send `msg` of `bytes` payload bytes to `to`, labeled `kind` for the
     /// message-count metrics. Departs when the handler's compute finishes.
     pub fn send(&mut self, to: NodeId, msg: M, bytes: f64, kind: &'static str) {
-        self.outbox.push(Outgoing { to, msg, bytes, kind, extra_delay: 0.0 });
+        self.outbox.push(Outgoing {
+            to,
+            msg,
+            bytes,
+            kind,
+            extra_delay: 0.0,
+        });
     }
 
     /// Schedule `msg` to be delivered *to this node itself* after `delay`
@@ -214,7 +220,9 @@ impl<M, H: Handler<M>> Simulator<M, H> {
             processed += 1;
             self.metrics.events += 1;
             // Delivery waits for the node to be free (sequential nodes).
-            let start = ev.time.max(self.busy_until.get(&ev.to).copied().unwrap_or(0.0));
+            let start = ev
+                .time
+                .max(self.busy_until.get(&ev.to).copied().unwrap_or(0.0));
             self.time = start;
             self.metrics.record_message(ev.kind, ev.bytes);
 
@@ -222,7 +230,12 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                 .handlers
                 .get_mut(&ev.to)
                 .unwrap_or_else(|| panic!("message to unregistered {}", ev.to));
-            let mut ctx = Ctx { now: start, node: ev.to, compute: 0.0, outbox: Vec::new() };
+            let mut ctx = Ctx {
+                now: start,
+                node: ev.to,
+                compute: 0.0,
+                outbox: Vec::new(),
+            };
             handler.on_message(&mut ctx, ev.from, ev.msg);
 
             self.metrics.compute_seconds += ctx.compute;
@@ -289,8 +302,20 @@ mod tests {
             latency: 1.0,
             bandwidth: 100.0,
         }));
-        sim.add_node(NodeId(0), Pinger { remaining: n, received: vec![] });
-        sim.add_node(NodeId(1), Pinger { remaining: 0, received: vec![] });
+        sim.add_node(
+            NodeId(0),
+            Pinger {
+                remaining: n,
+                received: vec![],
+            },
+        );
+        sim.add_node(
+            NodeId(1),
+            Pinger {
+                remaining: 0,
+                received: vec![],
+            },
+        );
         sim
     }
 
@@ -351,14 +376,18 @@ mod tests {
                 }
             }
         }
-        let mut sim: Simulator<M2, Either> =
-            Simulator::new(Topology::Uniform(NetLink { latency: 0.0, bandwidth: f64::INFINITY }));
+        let mut sim: Simulator<M2, Either> = Simulator::new(Topology::Uniform(NetLink {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+        }));
         sim.add_node(NodeId(0), Either::R(Recorder { times: vec![] }));
         sim.add_node(NodeId(1), Either::E(Echo));
         sim.inject(0.0, NodeId(0), NodeId(1), M2::Ping, "ping");
         sim.inject(0.0, NodeId(0), NodeId(1), M2::Ping, "ping");
         sim.run(100);
-        let Either::R(r) = sim.handler(NodeId(0)).unwrap() else { panic!() };
+        let Either::R(r) = sim.handler(NodeId(0)).unwrap() else {
+            panic!()
+        };
         assert_eq!(r.times.len(), 2);
         assert!((r.times[0] - 0.5).abs() < 1e-9);
         assert!((r.times[1] - 1.0).abs() < 1e-9);
@@ -378,7 +407,12 @@ mod tests {
             fired_at: Vec<f64>,
         }
         impl Handler<&'static str> for Timed {
-            fn on_message(&mut self, ctx: &mut Ctx<&'static str>, _from: NodeId, msg: &'static str) {
+            fn on_message(
+                &mut self,
+                ctx: &mut Ctx<&'static str>,
+                _from: NodeId,
+                msg: &'static str,
+            ) {
                 match msg {
                     "start" => ctx.schedule(5.0, "timer", "timer"),
                     "timer" => self.fired_at.push(ctx.now()),

@@ -27,11 +27,18 @@ impl Topology {
     /// The link used from `from` to `to`. Self-sends are free and instant.
     pub fn link(&self, from: NodeId, to: NodeId) -> NetLink {
         if from == to {
-            return NetLink { latency: 0.0, bandwidth: f64::INFINITY };
+            return NetLink {
+                latency: 0.0,
+                bandwidth: f64::INFINITY,
+            };
         }
         match self {
             Topology::Uniform(l) => *l,
-            Topology::TwoTier { region_size, local, remote } => {
+            Topology::TwoTier {
+                region_size,
+                local,
+                remote,
+            } => {
                 if from.0 / region_size == to.0 / region_size {
                     *local
                 } else {

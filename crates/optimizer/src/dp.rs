@@ -1,11 +1,10 @@
 //! Subset-DP machinery shared by the exhaustive and IDP enumerators.
 
-use qt_exec::PhysPlan;
+use qt_query::{Col, CompOp, Operand, Query};
 use std::collections::HashMap;
 
 /// Which join-enumeration strategy a node runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinEnumerator {
     /// Classic System-R dynamic programming over all relation subsets.
     #[default]
@@ -36,13 +35,15 @@ impl JoinEnumerator {
     }
 }
 
-
 /// One memoized sub-plan: the best known way to compute the join over a
-/// relation subset.
+/// relation subset. Generic over the plan handle `P` — the production DP
+/// stores arena ids ([`qt_exec::PlanId`]), so an entry is `Copy`-cheap and
+/// Pareto pruning never deep-clones a tree; the retained reference path
+/// stores boxed [`qt_exec::PhysPlan`] trees.
 #[derive(Debug, Clone)]
-pub struct DpEntry {
-    /// The physical sub-plan.
-    pub plan: PhysPlan,
+pub struct DpEntry<P> {
+    /// The physical sub-plan (an arena id or a boxed tree).
+    pub plan: P,
     /// Local cost in node-seconds.
     pub cost: f64,
     /// Estimated output rows.
@@ -52,12 +53,12 @@ pub struct DpEntry {
     /// Columns the output is sorted on (major first); empty = unordered.
     /// Merge joins produce key-ordered output that later merge joins and
     /// `ORDER BY` can reuse.
-    pub order: Vec<qt_query::Col>,
+    pub order: Vec<Col>,
 }
 
 /// Does order `a` cover order `b` — i.e. is a stream sorted on `a` also
 /// sorted on `b`? True iff `b` is a prefix of `a`.
-pub fn order_covers(a: &[qt_query::Col], b: &[qt_query::Col]) -> bool {
+pub fn order_covers(a: &[Col], b: &[Col]) -> bool {
     b.len() <= a.len() && a[..b.len()] == *b
 }
 
@@ -66,20 +67,23 @@ pub fn order_covers(a: &[qt_query::Col], b: &[qt_query::Col]) -> bool {
 /// Each subset keeps a *Pareto set* of entries over (cost, interesting
 /// order) — System R's classic treatment: a plan survives unless another
 /// plan is at most as expensive **and** at least as ordered.
-#[derive(Debug, Default)]
-pub struct DpTable {
-    entries: HashMap<u64, Vec<DpEntry>>,
+#[derive(Debug)]
+pub struct DpTable<P> {
+    entries: HashMap<u64, Vec<DpEntry<P>>>,
     by_size: Vec<Vec<u64>>,
 }
 
-impl DpTable {
+impl<P> DpTable<P> {
     /// Table for a query over `n` relations.
     pub fn new(n: usize) -> Self {
-        DpTable { entries: HashMap::new(), by_size: vec![Vec::new(); n + 1] }
+        DpTable {
+            entries: HashMap::new(),
+            by_size: vec![Vec::new(); n + 1],
+        }
     }
 
     /// Insert `entry` for `mask`, maintaining the Pareto set.
-    pub fn insert(&mut self, mask: u64, entry: DpEntry) {
+    pub fn insert(&mut self, mask: u64, entry: DpEntry<P>) {
         let slot = match self.entries.get_mut(&mask) {
             Some(v) => v,
             None => {
@@ -100,7 +104,7 @@ impl DpTable {
     }
 
     /// The cheapest entry for `mask`, if any.
-    pub fn get(&self, mask: u64) -> Option<&DpEntry> {
+    pub fn get(&self, mask: u64) -> Option<&DpEntry<P>> {
         self.entries
             .get(&mask)?
             .iter()
@@ -108,7 +112,7 @@ impl DpTable {
     }
 
     /// All Pareto entries for `mask`.
-    pub fn entries(&self, mask: u64) -> &[DpEntry] {
+    pub fn entries(&self, mask: u64) -> &[DpEntry<P>] {
         self.entries.get(&mask).map(Vec::as_slice).unwrap_or(&[])
     }
 
@@ -124,7 +128,7 @@ impl DpTable {
         if masks.len() <= m {
             return;
         }
-        let best = |entries: &HashMap<u64, Vec<DpEntry>>, mask: &u64| -> f64 {
+        let best = |entries: &HashMap<u64, Vec<DpEntry<P>>>, mask: &u64| -> f64 {
             entries[mask]
                 .iter()
                 .map(|e| e.cost)
@@ -141,21 +145,104 @@ impl DpTable {
     }
 
     /// All `(mask, best entry)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &DpEntry)> {
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &DpEntry<P>)> {
         self.entries.iter().filter_map(|(m, v)| {
-            v.iter().min_by(|a, b| a.cost.total_cmp(&b.cost)).map(|e| (*m, e))
+            v.iter()
+                .min_by(|a, b| a.cost.total_cmp(&b.cost))
+                .map(|e| (*m, e))
         })
+    }
+}
+
+/// Column equivalence classes induced by a query's equi-join predicates
+/// (`r.k = s.k = t.k` → one class), as a flat interned-column union-find:
+/// the columns appearing in equi-join predicates are collected and sorted
+/// once, unions run over `u32` indices, and lookups are a binary search —
+/// no per-find `BTreeMap` traffic on the join hot path.
+///
+/// The canonical representative of a class is its minimum column, so orders
+/// tracked in canonical form compare equal across plans that sort on
+/// different members of the same class — every DP entry has all predicates
+/// inside its subset applied, so the equivalence is always valid within an
+/// entry.
+#[derive(Debug, Clone)]
+pub struct ColCanon {
+    /// Interned columns, sorted ascending (index order == column order).
+    cols: Vec<Col>,
+    /// Fully-flattened root index per interned column.
+    root: Vec<u32>,
+}
+
+impl ColCanon {
+    /// Build the equivalence classes from `q`'s equi-join predicates.
+    pub fn from_query(q: &Query) -> Self {
+        let mut cols: Vec<Col> = Vec::new();
+        for p in q.join_predicates() {
+            if p.op != CompOp::Eq {
+                continue;
+            }
+            if let Operand::Col(rc) = &p.right {
+                cols.push(p.left);
+                cols.push(*rc);
+            }
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        let mut root: Vec<u32> = (0..cols.len() as u32).collect();
+        fn find(root: &mut [u32], mut i: u32) -> u32 {
+            while root[i as usize] != i {
+                let grandparent = root[root[i as usize] as usize];
+                root[i as usize] = grandparent; // path halving
+                i = grandparent;
+            }
+            i
+        }
+        for p in q.join_predicates() {
+            if p.op != CompOp::Eq {
+                continue;
+            }
+            if let Operand::Col(rc) = &p.right {
+                let a = find(
+                    &mut root,
+                    cols.binary_search(&p.left).expect("interned") as u32,
+                );
+                let b = find(&mut root, cols.binary_search(rc).expect("interned") as u32);
+                // Min root wins, so the representative is the class minimum.
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                root[hi as usize] = lo;
+            }
+        }
+        for i in 0..root.len() as u32 {
+            let r = find(&mut root, i);
+            root[i as usize] = r;
+        }
+        ColCanon { cols, root }
+    }
+
+    /// The canonical (class-minimum) form of `c`; columns outside every
+    /// equi-join predicate map to themselves.
+    pub fn canon(&self, c: Col) -> Col {
+        match self.cols.binary_search(&c) {
+            Ok(i) => self.cols[self.root[i] as usize],
+            Err(_) => c,
+        }
+    }
+
+    /// Canonicalize a column list.
+    pub fn canon_all(&self, cols: &[Col]) -> Vec<Col> {
+        cols.iter().map(|&c| self.canon(c)).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qt_catalog::{PartId, RelId};
+    use qt_catalog::RelId;
+    use qt_query::Predicate;
 
-    fn entry(cost: f64) -> DpEntry {
+    fn entry(cost: f64) -> DpEntry<()> {
         DpEntry {
-            plan: PhysPlan::Scan { part: PartId::new(RelId(0), 0), arity: 1 },
+            plan: (),
             cost,
             rows: 1.0,
             width: 8.0,
@@ -199,5 +286,47 @@ mod tests {
     fn enumerator_labels() {
         assert_eq!(JoinEnumerator::Exhaustive.label(), "DP");
         assert_eq!(JoinEnumerator::idp_2_5().label(), "IDP(2,5)");
+    }
+
+    #[test]
+    fn col_canon_chains_classes_to_the_minimum() {
+        // r.k = s.k, s.k = t.k → all three canonicalize to r.k.
+        let rels: Vec<RelId> = (0..3u32).map(RelId).collect();
+        let cols: Vec<Col> = rels.iter().map(|&r| Col::new(r, 0)).collect();
+        let dict = {
+            let mut b = qt_catalog::CatalogBuilder::new();
+            for n in ["r", "s", "t"] {
+                let rel = b.add_relation(
+                    qt_catalog::RelationSchema::new(
+                        n,
+                        vec![
+                            ("k", qt_catalog::AttrType::Int),
+                            ("v", qt_catalog::AttrType::Int),
+                        ],
+                    ),
+                    qt_catalog::Partitioning::Single,
+                );
+                b.set_stats(
+                    qt_catalog::PartId::new(rel, 0),
+                    qt_catalog::PartitionStats::synthetic(100, &[100, 10]),
+                );
+                b.place(qt_catalog::PartId::new(rel, 0), qt_catalog::NodeId(0));
+            }
+            b.build().dict
+        };
+        let q = Query::over_full(&dict, rels.iter().copied())
+            .with_predicates(vec![
+                Predicate::eq_cols(cols[0], cols[1]),
+                Predicate::eq_cols(cols[1], cols[2]),
+            ])
+            .with_select(vec![qt_query::SelectItem::Col(Col::new(rels[0], 1))]);
+        let canon = ColCanon::from_query(&q);
+        for &c in &cols {
+            assert_eq!(canon.canon(c), cols[0]);
+        }
+        // Columns outside the classes map to themselves.
+        let other = Col::new(rels[2], 1);
+        assert_eq!(canon.canon(other), other);
+        assert_eq!(canon.canon_all(&[cols[2], other]), vec![cols[0], other]);
     }
 }

@@ -20,9 +20,18 @@
 //! simulation charges optimization compute time proportionally, which is how
 //! the optimization-time experiments see DP's exponential blow-up without
 //! depending on host CPU speed.
+//!
+//! The production DP is arena-backed (candidates are [`qt_exec::PlanArena`]
+//! pushes, cardinalities come from a per-enumeration
+//! [`qt_cost::SubsetCardMemo`]); [`reference::ReferenceOptimizer`] keeps the
+//! original tree-cloning implementation as an executable specification, and
+//! the `arena_equivalence` test suite asserts both produce bit-identical
+//! plans, costs, and estimates.
 
 pub mod dp;
 pub mod local;
+pub mod reference;
 
-pub use dp::JoinEnumerator;
+pub use dp::{ColCanon, JoinEnumerator};
 pub use local::{LocalOptimizer, Optimized, PartialResult};
+pub use reference::ReferenceOptimizer;

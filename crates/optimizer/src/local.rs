@@ -1,9 +1,19 @@
 //! The per-node optimizer proper.
+//!
+//! The DP enumeration is arena-backed: every candidate sub-plan is a single
+//! [`ArenaPlan`] push into a per-enumeration [`PlanArena`] (children are
+//! [`PlanId`] indices into the same arena), so considering a join candidate
+//! never deep-clones a plan tree. Cardinalities come from a
+//! [`SubsetCardMemo`] that computes each relation profile and each subset's
+//! join rows exactly once. Boxed [`PhysPlan`] trees are materialized only at
+//! the output boundary, for the plans that actually survive. The retained
+//! tree-cloning implementation ([`crate::ReferenceOptimizer`]) produces
+//! bit-identical results and exists to prove it.
 
-use crate::dp::{DpEntry, DpTable, JoinEnumerator};
-use qt_catalog::{PartId, RelId};
-use qt_cost::{CardinalityEstimator, CostParams, NodeResources, StatsSource};
-use qt_exec::{AggSpec, PhysPlan};
+use crate::dp::{order_covers, ColCanon, DpEntry, DpTable, JoinEnumerator};
+use qt_catalog::{PartId, PartitionStats, RelId};
+use qt_cost::{CardinalityEstimator, CostParams, NodeResources, StatsSource, SubsetCardMemo};
+use qt_exec::{AggSpec, ArenaPlan, PhysPlan, PlanArena, PlanId};
 use qt_query::{Col, CompOp, Operand, Predicate, Query, SelectItem};
 use std::collections::BTreeSet;
 
@@ -37,6 +47,19 @@ pub struct PartialResult {
     pub rows: f64,
     /// Estimated output row width in bytes.
     pub width: f64,
+}
+
+/// Everything one enumeration run produces: the Pareto table (over arena
+/// ids), the arena the ids point into, and the memoized estimation state,
+/// so `optimize` and `partial_results` can finish plans without re-deriving
+/// any of it.
+struct Enumeration<'q, 'a, S: StatsSource> {
+    table: DpTable<PlanId>,
+    arena: PlanArena,
+    rels: Vec<RelId>,
+    canon: ColCanon,
+    memo: SubsetCardMemo<'q, 'a, S>,
+    effort: u64,
 }
 
 /// The node-local optimizer. `S` is the node's private statistics view.
@@ -105,96 +128,89 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
         CardinalityEstimator::new(self.source)
     }
 
-    /// Column equivalence classes induced by the query's equi-join
-    /// predicates (`r.k = s.k = t.k` → one class). Orders are tracked in
-    /// canonical (class-representative) form so a stream sorted on `r.k`
-    /// counts as sorted on `s.k` once the join has been applied — every DP
-    /// entry has all predicates inside its subset applied, so the
-    /// equivalence is always valid within an entry.
-    fn col_canon(&self, q: &Query) -> std::collections::BTreeMap<Col, Col> {
-        let mut canon: std::collections::BTreeMap<Col, Col> = std::collections::BTreeMap::new();
-        fn find(canon: &mut std::collections::BTreeMap<Col, Col>, c: Col) -> Col {
-            let parent = *canon.entry(c).or_insert(c);
-            if parent == c {
-                c
-            } else {
-                let root = find(canon, parent);
-                canon.insert(c, root);
-                root
-            }
-        }
-        for p in q.join_predicates() {
-            if p.op != CompOp::Eq {
-                continue;
-            }
-            if let Operand::Col(rc) = &p.right {
-                let a = find(&mut canon, p.left);
-                let b = find(&mut canon, *rc);
-                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                canon.insert(hi, lo);
-            }
-        }
-        // Flatten.
-        let keys: Vec<Col> = canon.keys().copied().collect();
-        for k in keys {
-            let root = find(&mut canon, k);
-            canon.insert(k, root);
-        }
-        canon
-    }
-
     /// Access path for one relation: union of partition scans plus its
-    /// selection predicates.
-    fn leaf(&self, q: &Query, rel: RelId) -> DpEntry {
-        let est = self.estimator();
+    /// selection predicates. Partition statistics are read once per
+    /// partition; the union profile is their incremental merge (the exact
+    /// fold `CardinalityEstimator::base_profile` performs).
+    fn leaf(
+        &self,
+        q: &Query,
+        rel: RelId,
+        memo: &SubsetCardMemo<'_, 'a, S>,
+        arena: &mut PlanArena,
+    ) -> DpEntry<PlanId> {
+        let est = memo.estimator();
         let parts = q.relations[&rel];
-        let dict = est_dict(self.source);
-        let arity = dict.rel(rel).schema.arity();
-        let mut scans: Vec<PhysPlan> = Vec::new();
+        let arity = self.source.dict().rel(rel).schema.arity();
+        let mut scans: Vec<PlanId> = Vec::new();
         let mut scan_cost = 0.0;
+        let mut acc: Option<PartitionStats> = None;
         for idx in parts.iter() {
             let pid = PartId::new(rel, idx);
-            let profile = est.base_profile(rel, &qt_query::PartSet::single(idx));
-            scan_cost += self.params.scan(profile.rows, profile.width) * self.resources.io_factor();
-            scans.push(PhysPlan::Scan { part: pid, arity });
+            let stats = est.part_stats_of(pid, arity);
+            scan_cost += self
+                .params
+                .scan(stats.rows as f64, stats.row_width() as f64)
+                * self.resources.io_factor();
+            scans.push(arena.push(ArenaPlan::Scan { part: pid, arity }));
+            acc = Some(match acc {
+                None => stats,
+                Some(a) => a.merge(&stats),
+            });
         }
+        let base = acc.unwrap_or_else(|| PartitionStats::empty(arity));
+        let base_rows = base.rows as f64;
+        let base_width = base.row_width() as f64;
         let mut plan = if scans.len() == 1 {
-            scans.pop().expect("one scan")
+            scans[0]
         } else {
-            PhysPlan::Union { inputs: scans }
+            arena.push(ArenaPlan::Union { inputs: scans })
         };
-        let base = est.base_profile(rel, &parts);
-        let mut cost = scan_cost + self.params.union(base.rows) * self.resources.cpu_factor();
+        let mut cost = scan_cost + self.params.union(base_rows) * self.resources.cpu_factor();
         let selections: Vec<Predicate> = q.selections_of(rel).cloned().collect();
         if !selections.is_empty() {
-            cost += self.params.filter(base.rows) * self.resources.cpu_factor();
-            plan = PhysPlan::Filter { input: Box::new(plan), predicates: selections };
+            cost += self.params.filter(base_rows) * self.resources.cpu_factor();
+            plan = arena.push(ArenaPlan::Filter {
+                input: plan,
+                predicates: selections,
+            });
         }
-        let profile = est.selected_profile(q, rel);
-        DpEntry { plan, cost, rows: profile.rows, width: base.width, order: vec![] }
+        DpEntry {
+            plan,
+            cost,
+            rows: memo.profile(rel).rows,
+            width: base_width,
+            order: vec![],
+        }
     }
 
     /// Join two memoized sub-plans, producing *all* physical candidates:
     /// a hash join (unordered) and a sort-merge join (key-ordered) for
     /// equi-predicates, or a nested-loop join otherwise. The DP table's
-    /// Pareto pruning decides which survive.
+    /// Pareto pruning decides which survive. Each candidate is one arena
+    /// push — the children are referenced by id, never cloned.
     #[allow(clippy::too_many_arguments)]
     fn join(
         &self,
         q: &Query,
         rels: &[RelId],
-        canon: &std::collections::BTreeMap<Col, Col>,
+        canon: &ColCanon,
+        arena: &mut PlanArena,
         left_mask: u64,
         right_mask: u64,
-        left: &DpEntry,
-        right: &DpEntry,
+        left: &DpEntry<PlanId>,
+        right: &DpEntry<PlanId>,
         out_rows: f64,
-    ) -> Vec<DpEntry> {
+    ) -> Vec<DpEntry<PlanId>> {
         let in_left = |r: RelId| {
-            rels.iter().position(|&x| x == r).is_some_and(|i| left_mask >> i & 1 == 1)
+            rels.iter()
+                .position(|&x| x == r)
+                .is_some_and(|i| left_mask >> i & 1 == 1)
         };
         let in_right = |r: RelId| {
-            rels.iter().position(|&x| x == r).is_some_and(|i| right_mask >> i & 1 == 1)
+            rels.iter()
+                .position(|&x| x == r)
+                .is_some_and(|i| right_mask >> i & 1 == 1)
         };
         // Predicates connecting the two sides.
         let mut eq_keys: Vec<(Col, Col)> = Vec::new();
@@ -220,20 +236,33 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
         let base_cost = left.cost + right.cost;
         // Residual (non-equi connecting) predicates go into a Filter on top
         // of equi-joins; filters preserve order.
-        let finish = |mut plan: PhysPlan, mut cost: f64, order: Vec<Col>| -> DpEntry {
+        let finish = |arena: &mut PlanArena,
+                      mut plan: PlanId,
+                      mut cost: f64,
+                      order: Vec<Col>|
+         -> DpEntry<PlanId> {
             if !residual.is_empty() {
-                plan = PhysPlan::Filter { input: Box::new(plan), predicates: residual.clone() };
+                plan = arena.push(ArenaPlan::Filter {
+                    input: plan,
+                    predicates: residual.clone(),
+                });
                 cost += self.params.filter(out_rows) * cpu;
             }
-            DpEntry { plan, cost: base_cost + cost, rows: out_rows, width, order }
+            DpEntry {
+                plan,
+                cost: base_cost + cost,
+                rows: out_rows,
+                width,
+                order,
+            }
         };
 
         if eq_keys.is_empty() {
-            let plan = PhysPlan::NlJoin {
-                left: Box::new(left.plan.clone()),
-                right: Box::new(right.plan.clone()),
+            let plan = arena.push(ArenaPlan::NlJoin {
+                left: left.plan,
+                right: right.plan,
                 predicates: residual.clone(),
-            };
+            });
             let cost = self.params.nl_join(left.rows, right.rows, out_rows) * cpu;
             return vec![DpEntry {
                 plan,
@@ -245,25 +274,27 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
         }
 
         // Candidate 1: hash join, build on the smaller side; unordered.
-        let (build, probe, build_rows) = if left.rows <= right.rows {
-            (left, right, left.rows)
+        let (build, probe) = if left.rows <= right.rows {
+            (left, right)
         } else {
-            (right, left, right.rows)
+            (right, left)
         };
-        let swapped = !std::ptr::eq(build, left);
+        let swapped = left.rows > right.rows;
         let build_keys: Vec<(Col, Col)> = if swapped {
             eq_keys.iter().map(|&(l, r)| (r, l)).collect()
         } else {
             eq_keys.clone()
         };
+        let hash_plan = arena.push(ArenaPlan::HashJoin {
+            left: build.plan,
+            right: probe.plan,
+            left_keys: build_keys.iter().map(|k| k.0).collect(),
+            right_keys: build_keys.iter().map(|k| k.1).collect(),
+        });
         let hash = finish(
-            PhysPlan::HashJoin {
-                left: Box::new(build.plan.clone()),
-                right: Box::new(probe.plan.clone()),
-                left_keys: build_keys.iter().map(|k| k.0).collect(),
-                right_keys: build_keys.iter().map(|k| k.1).collect(),
-            },
-            self.params.hash_join(build_rows, probe.rows, out_rows) * cpu,
+            arena,
+            hash_plan,
+            self.params.hash_join(build.rows, probe.rows, out_rows) * cpu,
             vec![],
         );
 
@@ -271,13 +302,10 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
         // query's column equivalence classes), produces key-ordered output.
         let lkeys: Vec<Col> = eq_keys.iter().map(|k| k.0).collect();
         let rkeys: Vec<Col> = eq_keys.iter().map(|k| k.1).collect();
-        let canon_of = |cols: &[Col]| -> Vec<Col> {
-            cols.iter().map(|c| canon.get(c).copied().unwrap_or(*c)).collect()
-        };
-        let lkeys_c = canon_of(&lkeys);
-        let rkeys_c = canon_of(&rkeys);
-        let l_sorted = crate::dp::order_covers(&left.order, &lkeys_c);
-        let r_sorted = crate::dp::order_covers(&right.order, &rkeys_c);
+        let lkeys_c = canon.canon_all(&lkeys);
+        let rkeys_c = canon.canon_all(&rkeys);
+        let l_sorted = order_covers(&left.order, &lkeys_c);
+        let r_sorted = order_covers(&right.order, &rkeys_c);
         let mut merge_cost = self.params.merge_join(left.rows, right.rows, out_rows) * cpu;
         if !l_sorted {
             merge_cost += self.params.sort(left.rows) * cpu;
@@ -285,47 +313,45 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
         if !r_sorted {
             merge_cost += self.params.sort(right.rows) * cpu;
         }
-        let enforce = |side: &DpEntry, keys: &[Col], sorted: bool| -> PhysPlan {
-            if sorted {
-                side.plan.clone()
-            } else {
-                PhysPlan::Sort { input: Box::new(side.plan.clone()), keys: keys.to_vec() }
-            }
-        };
-        let merge = finish(
-            PhysPlan::MergeJoin {
-                left: Box::new(enforce(left, &lkeys, l_sorted)),
-                right: Box::new(enforce(right, &rkeys, r_sorted)),
-                left_keys: lkeys,
-                right_keys: rkeys,
-            },
-            merge_cost,
-            lkeys_c,
-        );
+        let enforce =
+            |arena: &mut PlanArena, side: &DpEntry<PlanId>, keys: &[Col], sorted: bool| -> PlanId {
+                if sorted {
+                    side.plan
+                } else {
+                    arena.push(ArenaPlan::Sort {
+                        input: side.plan,
+                        keys: keys.to_vec(),
+                    })
+                }
+            };
+        let l_input = enforce(arena, left, &lkeys, l_sorted);
+        let r_input = enforce(arena, right, &rkeys, r_sorted);
+        let merge_plan = arena.push(ArenaPlan::MergeJoin {
+            left: l_input,
+            right: r_input,
+            left_keys: lkeys,
+            right_keys: rkeys,
+        });
+        let merge = finish(arena, merge_plan, merge_cost, lkeys_c);
         vec![hash, merge]
     }
 
     /// Run the configured enumerator over the query's join graph. Returns
-    /// the DP table and the enumeration effort.
-    fn enumerate(&self, q: &Query) -> (DpTable, Vec<RelId>, u64) {
-        let rels: Vec<RelId> = q.rel_ids().collect();
+    /// the full enumeration state: table, arena, and estimation memo.
+    fn enumerate<'q>(&self, q: &'q Query) -> Enumeration<'q, 'a, S> {
+        let mut memo = SubsetCardMemo::new(self.estimator(), q);
+        let canon = ColCanon::from_query(q);
+        let rels: Vec<RelId> = memo.rels().to_vec();
         let n = rels.len();
         assert!(n <= 63, "too many relations");
-        let est = self.estimator();
-        let canon = self.col_canon(q);
+        let mut arena = PlanArena::with_capacity(4 * n.max(1));
         let mut table = DpTable::new(n);
         let mut effort = 0u64;
         for (i, &rel) in rels.iter().enumerate() {
-            table.insert(1u64 << i, self.leaf(q, rel));
+            let entry = self.leaf(q, rel, &memo, &mut arena);
+            table.insert(1u64 << i, entry);
             effort += 1;
         }
-        let rels_of = |mask: u64| -> Vec<RelId> {
-            rels.iter()
-                .enumerate()
-                .filter(|(i, _)| mask >> i & 1 == 1)
-                .map(|(_, &r)| r)
-                .collect()
-        };
         for size in 2..=n {
             for s1 in 1..=size / 2 {
                 let s2 = size - s1;
@@ -337,15 +363,15 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
                             continue;
                         }
                         let combined = m1 | m2;
-                        let out_rows = est.join_rows(q, &rels_of(combined));
+                        let out_rows = memo.join_rows(combined);
                         // Pareto sets: every (ordered/unordered) pairing is a
                         // distinct sub-plan to consider.
-                        let lefts: Vec<DpEntry> = table.entries(m1).to_vec();
-                        let rights: Vec<DpEntry> = table.entries(m2).to_vec();
+                        let lefts: Vec<DpEntry<PlanId>> = table.entries(m1).to_vec();
+                        let rights: Vec<DpEntry<PlanId>> = table.entries(m2).to_vec();
                         for l in &lefts {
                             for r in &rights {
                                 for entry in
-                                    self.join(q, &rels, &canon, m1, m2, l, r, out_rows)
+                                    self.join(q, &rels, &canon, &mut arena, m1, m2, l, r, out_rows)
                                 {
                                     effort += 1;
                                     table.insert(combined, entry);
@@ -361,42 +387,55 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
                 }
             }
         }
-        (table, rels, effort)
+        Enumeration {
+            table,
+            arena,
+            rels,
+            canon,
+            memo,
+            effort,
+        }
     }
 
     /// Optimize the full query: enumerate joins, then layer aggregation,
     /// sorting, and the final projection. The produced plan's output columns
     /// are exactly `q.select`, in order.
     pub fn optimize(&self, q: &Query) -> Optimized {
-        let (table, rels, effort) = self.enumerate(q);
+        let Enumeration {
+            table,
+            arena,
+            rels,
+            canon,
+            memo,
+            effort,
+        } = self.enumerate(q);
         let n = rels.len();
         let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         let cpu = self.resources.cpu_factor();
-        let canon = self.col_canon(q);
-        let order_by_c: Vec<Col> = q
-            .order_by
-            .iter()
-            .map(|c| canon.get(c).copied().unwrap_or(*c))
-            .collect();
+        let order_by_c: Vec<Col> = q.order_by.iter().map(|&c| canon.canon(c)).collect();
         // Pick the Pareto entry whose *finished* cost (including any final
         // sort the query's ORDER BY needs) is lowest.
         let entry = table
             .entries(full)
             .iter()
             .min_by(|a, b| {
-                let fin = |e: &DpEntry| {
+                let fin = |e: &DpEntry<PlanId>| {
                     let needs_sort = !q.is_aggregate()
                         && !q.order_by.is_empty()
-                        && !crate::dp::order_covers(&e.order, &order_by_c);
-                    e.cost + if needs_sort { self.params.sort(e.rows) * cpu } else { 0.0 }
+                        && !order_covers(&e.order, &order_by_c);
+                    e.cost
+                        + if needs_sort {
+                            self.params.sort(e.rows) * cpu
+                        } else {
+                            0.0
+                        }
                 };
                 fin(a).total_cmp(&fin(b))
             })
-            .expect("DP always reaches the full set")
-            .clone();
-        let est = self.estimator();
-        let final_est = est.estimate(q);
-        let mut plan = entry.plan;
+            .expect("DP always reaches the full set");
+        let final_est = memo.estimator().estimate(q);
+        // The winner (and only the winner) leaves the arena as a boxed tree.
+        let mut plan = arena.materialize(entry.plan);
         let mut cost = entry.cost;
 
         if q.is_aggregate() {
@@ -404,7 +443,10 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
                 .select
                 .iter()
                 .filter_map(|s| match s {
-                    SelectItem::Agg { func, arg } => Some(AggSpec { func: *func, arg: *arg }),
+                    SelectItem::Agg { func, arg } => Some(AggSpec {
+                        func: *func,
+                        arg: *arg,
+                    }),
                     SelectItem::Col(_) => None,
                 })
                 .collect();
@@ -430,14 +472,20 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
                     }
                 })
                 .collect();
-            plan = PhysPlan::Project { input: Box::new(plan), cols };
+            plan = PhysPlan::Project {
+                input: Box::new(plan),
+                cols,
+            };
         } else {
             // Reuse a merge join's key order when it already satisfies the
             // requested ordering (ORDER BY is a prefix of the plan order,
             // modulo join-key equivalence).
-            let pre_sorted = crate::dp::order_covers(&entry.order, &order_by_c);
+            let pre_sorted = order_covers(&entry.order, &order_by_c);
             if !q.order_by.is_empty() && !pre_sorted {
-                plan = PhysPlan::Sort { input: Box::new(plan), keys: q.order_by.clone() };
+                plan = PhysPlan::Sort {
+                    input: Box::new(plan),
+                    keys: q.order_by.clone(),
+                };
                 cost += self.params.sort(entry.rows) * cpu;
             }
             let cols: Vec<Col> = q
@@ -448,11 +496,20 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
                     SelectItem::Agg { .. } => unreachable!("non-aggregate query"),
                 })
                 .collect();
-            plan = PhysPlan::Project { input: Box::new(plan), cols };
+            plan = PhysPlan::Project {
+                input: Box::new(plan),
+                cols,
+            };
         }
         cost += self.params.filter(final_est.rows) * cpu; // projection pass
 
-        Optimized { plan, cost, rows: final_est.rows, width: final_est.width, effort }
+        Optimized {
+            plan,
+            cost,
+            rows: final_est.rows,
+            width: final_est.width,
+            effort,
+        }
     }
 
     /// The modified DP of §3.4: optimize the query and *also* return the
@@ -463,7 +520,14 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
     /// `q` must already be seller-rewritten (its partition sets are what the
     /// node holds); aggregation should be stripped by the rewrite.
     pub fn partial_results(&self, q: &Query, max_k: usize) -> (Vec<PartialResult>, u64) {
-        let (table, rels, effort) = self.enumerate(q);
+        let Enumeration {
+            table,
+            arena,
+            rels,
+            memo,
+            effort,
+            ..
+        } = self.enumerate(q);
         let n = rels.len();
         let cpu = self.resources.cpu_factor();
         let mut out = Vec::new();
@@ -484,13 +548,19 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
                 .iter()
                 .map(|s| s.col().expect("SPJ core has only plain columns"))
                 .collect();
-            let width: f64 = {
-                let est = self.estimator();
-                est.estimate(&sub_query).width
+            let width = memo.subset_width(&sub_query);
+            let plan = PhysPlan::Project {
+                input: Box::new(arena.materialize(entry.plan)),
+                cols,
             };
-            let plan = PhysPlan::Project { input: Box::new(entry.plan.clone()), cols };
             let cost = entry.cost + self.params.filter(entry.rows) * cpu;
-            out.push(PartialResult { query: sub_query, plan, cost, rows: entry.rows, width });
+            out.push(PartialResult {
+                query: sub_query,
+                plan,
+                cost,
+                rows: entry.rows,
+                width,
+            });
         }
         // Deterministic order: by subset size then query.
         out.sort_by(|a, b| {
@@ -503,15 +573,11 @@ impl<'a, S: StatsSource> LocalOptimizer<'a, S> {
     }
 }
 
-fn est_dict<S: StatsSource>(s: &S) -> &qt_catalog::SchemaDict {
-    s.dict()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use qt_catalog::{
-        AttrType, Catalog, CatalogBuilder, NodeId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, Catalog, CatalogBuilder, NodeId, PartitionStats, Partitioning, RelationSchema,
     };
     use qt_exec::{evaluate_query, execute, reference::same_rows, DataStore};
     use qt_query::parse_query;
@@ -711,7 +777,11 @@ mod tests {
         for p in &partials {
             let plan_out = execute(&p.plan, &store, &[]).unwrap();
             let ref_out = evaluate_query(&p.query, &store).unwrap();
-            assert!(same_rows(&plan_out, &ref_out), "{}", p.query.display_with(&cat.dict));
+            assert!(
+                same_rows(&plan_out, &ref_out),
+                "{}",
+                p.query.display_with(&cat.dict)
+            );
         }
     }
 
@@ -757,7 +827,7 @@ mod tests {
 mod merge_join_tests {
     use super::*;
     use qt_catalog::{
-        AttrType, Catalog, CatalogBuilder, NodeId, Partitioning, PartitionStats, RelationSchema,
+        AttrType, Catalog, CatalogBuilder, NodeId, PartitionStats, Partitioning, RelationSchema,
     };
     use qt_query::parse_query;
 
@@ -890,9 +960,9 @@ mod merge_join_tests {
 
     #[test]
     fn merge_plan_still_matches_reference_on_data() {
+        use qt_catalog::Value;
         use qt_exec::reference::same_rows;
         use qt_exec::{evaluate_query, execute, DataStore};
-        use qt_catalog::Value;
         // Small data, but force the merge path by zeroing hash-join costs'
         // advantage: make sort nearly free.
         let mut b = CatalogBuilder::new();
@@ -911,7 +981,10 @@ mod merge_join_tests {
         let mut store = DataStore::new();
         for (i, _) in ["r", "s", "t"].iter().enumerate() {
             let rel = b.add_relation(
-                RelationSchema::new(["r", "s", "t"][i], vec![("k", AttrType::Int), ("v", AttrType::Int)]),
+                RelationSchema::new(
+                    ["r", "s", "t"][i],
+                    vec![("k", AttrType::Int), ("v", AttrType::Int)],
+                ),
                 Partitioning::Single,
             );
             let rows: Vec<Vec<Value>> = (0..30)

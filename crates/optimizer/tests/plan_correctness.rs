@@ -13,7 +13,11 @@ use qt_optimizer::{JoinEnumerator, LocalOptimizer};
 use qt_query::{AggFunc, Col, CompOp, Predicate, Query, SelectItem};
 
 /// Build a 3-relation catalog + data from proptest-generated rows.
-fn setup(r_rows: &[(i64, i64)], s_rows: &[(i64, i64)], t_rows: &[(i64, i64)]) -> (Catalog, DataStore) {
+fn setup(
+    r_rows: &[(i64, i64)],
+    s_rows: &[(i64, i64)],
+    t_rows: &[(i64, i64)],
+) -> (Catalog, DataStore) {
     let schema = |n: &str| RelationSchema::new(n, vec![("k", AttrType::Int), ("v", AttrType::Int)]);
     let probe = {
         let mut pb = CatalogBuilder::new();
@@ -33,7 +37,9 @@ fn setup(r_rows: &[(i64, i64)], s_rows: &[(i64, i64)], t_rows: &[(i64, i64)]) ->
     };
     let mut store = DataStore::new();
     let to_rows = |rows: &[(i64, i64)]| -> Vec<Vec<Value>> {
-        rows.iter().map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]).collect()
+        rows.iter()
+            .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+            .collect()
     };
     store.load_relation(&probe, qt_catalog::RelId(0), to_rows(r_rows));
     store.load_relation(&probe, qt_catalog::RelId(1), to_rows(s_rows));

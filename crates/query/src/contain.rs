@@ -71,12 +71,14 @@ impl ColRange {
             CompOp::Ne => {
                 // Implied when v is outside the interval, or explicitly excluded.
                 self.ne.contains(v)
-                    || self.lo.as_ref().is_some_and(|(lo, inc)| {
-                        v < lo || (v == lo && !inc)
-                    })
-                    || self.hi.as_ref().is_some_and(|(hi, inc)| {
-                        v > hi || (v == hi && !inc)
-                    })
+                    || self
+                        .lo
+                        .as_ref()
+                        .is_some_and(|(lo, inc)| v < lo || (v == lo && !inc))
+                    || self
+                        .hi
+                        .as_ref()
+                        .is_some_and(|(hi, inc)| v > hi || (v == hi && !inc))
             }
             CompOp::Lt => self
                 .hi
@@ -261,7 +263,11 @@ mod tests {
 
     #[test]
     fn simplify_keeps_satisfiable() {
-        let preds = vec![pc(0, CompOp::Ge, 0), pc(0, CompOp::Lt, 10), pc(1, CompOp::Eq, 3)];
+        let preds = vec![
+            pc(0, CompOp::Ge, 0),
+            pc(0, CompOp::Lt, 10),
+            pc(1, CompOp::Eq, 3),
+        ];
         let s = simplify(&preds).unwrap();
         assert_eq!(s.len(), 3);
     }

@@ -30,11 +30,16 @@ impl PartSet {
     /// # Panics
     /// Panics if `n > 64`.
     pub fn all(n: u16) -> PartSet {
-        assert!(n <= MAX_PARTS, "at most {MAX_PARTS} partitions per relation");
+        assert!(
+            n <= MAX_PARTS,
+            "at most {MAX_PARTS} partitions per relation"
+        );
         if n == 64 {
             PartSet { bits: u64::MAX }
         } else {
-            PartSet { bits: (1u64 << n) - 1 }
+            PartSet {
+                bits: (1u64 << n) - 1,
+            }
         }
     }
 
@@ -88,17 +93,23 @@ impl PartSet {
 
     /// Set intersection.
     pub fn intersect(&self, other: &PartSet) -> PartSet {
-        PartSet { bits: self.bits & other.bits }
+        PartSet {
+            bits: self.bits & other.bits,
+        }
     }
 
     /// Set union.
     pub fn union(&self, other: &PartSet) -> PartSet {
-        PartSet { bits: self.bits | other.bits }
+        PartSet {
+            bits: self.bits | other.bits,
+        }
     }
 
     /// Set difference `self \ other`.
     pub fn minus(&self, other: &PartSet) -> PartSet {
-        PartSet { bits: self.bits & !other.bits }
+        PartSet {
+            bits: self.bits & !other.bits,
+        }
     }
 
     /// Is `self` a subset of `other`?
@@ -197,9 +208,7 @@ mod tests {
         // full requested extent?
         let requested = PartSet::all(4);
         let offers = [PartSet::from_indices([0, 1]), PartSet::from_indices([2, 3])];
-        let covered = offers
-            .iter()
-            .fold(PartSet::EMPTY, |acc, o| acc.union(o));
+        let covered = offers.iter().fold(PartSet::EMPTY, |acc, o| acc.union(o));
         assert_eq!(covered, requested);
     }
 }

@@ -25,7 +25,12 @@ impl Col {
         impl fmt::Display for D<'_> {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 let meta = self.1.rel(self.0.rel);
-                write!(f, "{}.{}", meta.schema.name, meta.schema.attr(self.0.attr).name)
+                write!(
+                    f,
+                    "{}.{}",
+                    meta.schema.name,
+                    meta.schema.attr(self.0.attr).name
+                )
             }
         }
         D(self, dict)
@@ -112,12 +117,21 @@ pub struct Predicate {
 impl Predicate {
     /// `left = right` between two columns (the common join form).
     pub fn eq_cols(a: Col, b: Col) -> Predicate {
-        Predicate { left: a, op: CompOp::Eq, right: Operand::Col(b) }.canonical()
+        Predicate {
+            left: a,
+            op: CompOp::Eq,
+            right: Operand::Col(b),
+        }
+        .canonical()
     }
 
     /// `col op value`.
     pub fn with_const(col: Col, op: CompOp, value: impl Into<Value>) -> Predicate {
-        Predicate { left: col, op, right: Operand::Const(value.into()) }
+        Predicate {
+            left: col,
+            op,
+            right: Operand::Const(value.into()),
+        }
     }
 
     /// Is this a join predicate (column-to-column across two relations)?
@@ -191,7 +205,14 @@ mod tests {
 
     #[test]
     fn flip_is_involutive() {
-        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+        for op in [
+            CompOp::Eq,
+            CompOp::Ne,
+            CompOp::Lt,
+            CompOp::Le,
+            CompOp::Gt,
+            CompOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
         }
     }
@@ -242,7 +263,14 @@ mod tests {
     #[test]
     fn flip_preserves_semantics() {
         let vals = [Value::Int(1), Value::Int(2), Value::Int(2)];
-        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+        for op in [
+            CompOp::Eq,
+            CompOp::Ne,
+            CompOp::Lt,
+            CompOp::Le,
+            CompOp::Gt,
+            CompOp::Ge,
+        ] {
             for l in &vals {
                 for r in &vals {
                     assert_eq!(op.eval(l, r), op.flip().eval(r, l), "{op} {l} {r}");

@@ -271,7 +271,10 @@ impl Query {
     /// computed separately: select outputs, group-by keys, and columns in
     /// predicates touching `rel`.
     pub fn needed_cols_of(&self, rel: RelId) -> BTreeSet<Col> {
-        self.all_cols().into_iter().filter(|c| c.rel == rel).collect()
+        self.all_cols()
+            .into_iter()
+            .filter(|c| c.rel == rel)
+            .collect()
     }
 
     /// The SPJ core of an aggregate query: same `FROM`/`WHERE`, selecting the
@@ -528,8 +531,10 @@ impl fmt::Display for QueryDisplay<'_> {
 pub(crate) mod tests {
     use super::*;
     use crate::predicate::CompOp;
-    use qt_catalog::{AttrType, CatalogBuilder, PartId, Partitioning, PartitionStats,
-        NodeId, RelationSchema, Value};
+    use qt_catalog::{
+        AttrType, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning, RelationSchema,
+        Value,
+    };
 
     /// customer(custid, custname, office) list-partitioned on office;
     /// invoiceline(invid, linenum, custid, charge) unpartitioned.
@@ -566,10 +571,16 @@ pub(crate) mod tests {
             Partitioning::Single,
         );
         for i in 0..3 {
-            b.set_stats(PartId::new(cust, i), PartitionStats::synthetic(1000, &[1000, 900, 1]));
+            b.set_stats(
+                PartId::new(cust, i),
+                PartitionStats::synthetic(1000, &[1000, 900, 1]),
+            );
             b.place(PartId::new(cust, i), NodeId(i as u32));
         }
-        b.set_stats(PartId::new(inv, 0), PartitionStats::synthetic(10000, &[2000, 5, 3000, 500]));
+        b.set_stats(
+            PartId::new(inv, 0),
+            PartitionStats::synthetic(10000, &[2000, 5, 3000, 500]),
+        );
         b.place(PartId::new(inv, 0), NodeId(0));
         b.build().dict
     }
@@ -591,7 +602,10 @@ pub(crate) mod tests {
             )])
             .with_select(vec![
                 SelectItem::Col(Col::new(cust(), 2)),
-                SelectItem::Agg { func: AggFunc::Sum, arg: Some(Col::new(inv(), 3)) },
+                SelectItem::Agg {
+                    func: AggFunc::Sum,
+                    arg: Some(Col::new(inv(), 3)),
+                },
             ])
             .with_group_by(vec![Col::new(cust(), 2)])
             .with_partset(cust(), PartSet::from_indices([1, 2])) // Corfu, Myconos
@@ -612,9 +626,18 @@ pub(crate) mod tests {
         let dict = telecom_dict();
         let q = motivating_query(&dict);
         let sql = q.display_with(&dict).to_string();
-        assert!(sql.starts_with("SELECT customer.office, SUM(invoiceline.charge) FROM"), "{sql}");
-        assert!(sql.contains("customer.custid = invoiceline.custid"), "{sql}");
-        assert!(sql.contains("office = 'Corfu' OR office = 'Myconos'"), "{sql}");
+        assert!(
+            sql.starts_with("SELECT customer.office, SUM(invoiceline.charge) FROM"),
+            "{sql}"
+        );
+        assert!(
+            sql.contains("customer.custid = invoiceline.custid"),
+            "{sql}"
+        );
+        assert!(
+            sql.contains("office = 'Corfu' OR office = 'Myconos'"),
+            "{sql}"
+        );
         assert!(sql.ends_with("GROUP BY customer.office"), "{sql}");
     }
 
@@ -658,11 +681,17 @@ pub(crate) mod tests {
         // Bad attribute index.
         let q = Query::over_full(&dict, [cust()])
             .with_select(vec![SelectItem::Col(Col::new(cust(), 99))]);
-        assert_eq!(q.validate(&dict), Err(QueryError::BadAttr(Col::new(cust(), 99))));
+        assert_eq!(
+            q.validate(&dict),
+            Err(QueryError::BadAttr(Col::new(cust(), 99)))
+        );
         // Ungrouped plain column next to an aggregate.
         let q = Query::over_full(&dict, [cust()]).with_select(vec![
             SelectItem::Col(Col::new(cust(), 0)),
-            SelectItem::Agg { func: AggFunc::Count, arg: None },
+            SelectItem::Agg {
+                func: AggFunc::Count,
+                arg: None,
+            },
         ]);
         assert_eq!(
             q.validate(&dict),
@@ -729,8 +758,10 @@ pub(crate) mod tests {
     #[test]
     fn count_star_strip_produces_some_column() {
         let dict = telecom_dict();
-        let q = Query::over_full(&dict, [cust()])
-            .with_select(vec![SelectItem::Agg { func: AggFunc::Count, arg: None }]);
+        let q = Query::over_full(&dict, [cust()]).with_select(vec![SelectItem::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        }]);
         q.validate(&dict).unwrap();
         let core = q.strip_aggregation();
         core.validate(&dict).unwrap();
@@ -740,8 +771,10 @@ pub(crate) mod tests {
     #[test]
     fn avg_blocks_decomposability() {
         let dict = telecom_dict();
-        let q = Query::over_full(&dict, [inv()])
-            .with_select(vec![SelectItem::Agg { func: AggFunc::Avg, arg: Some(Col::new(inv(), 3)) }]);
+        let q = Query::over_full(&dict, [inv()]).with_select(vec![SelectItem::Agg {
+            func: AggFunc::Avg,
+            arg: Some(Col::new(inv(), 3)),
+        }]);
         assert!(!q.aggregates_decomposable());
         assert!(AggFunc::Sum.is_decomposable());
         assert_eq!(AggFunc::Count.reaggregate_with(), AggFunc::Sum);

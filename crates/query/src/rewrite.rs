@@ -59,7 +59,7 @@ mod tests {
     use crate::predicate::{Col, Predicate};
     use crate::query::{AggFunc, SelectItem};
     use qt_catalog::{
-        AttrType, CatalogBuilder, Catalog, NodeId, PartId, Partitioning, PartitionStats,
+        AttrType, Catalog, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning,
         RelationSchema, Value,
     };
 
@@ -98,10 +98,16 @@ mod tests {
             Partitioning::Single,
         );
         for i in 0..3u16 {
-            b.set_stats(PartId::new(cust, i), PartitionStats::synthetic(100, &[100, 90, 1]));
+            b.set_stats(
+                PartId::new(cust, i),
+                PartitionStats::synthetic(100, &[100, 90, 1]),
+            );
             b.place(PartId::new(cust, i), NodeId(i as u32));
         }
-        b.set_stats(PartId::new(inv, 0), PartitionStats::synthetic(1000, &[200, 5, 300, 50]));
+        b.set_stats(
+            PartId::new(inv, 0),
+            PartitionStats::synthetic(1000, &[200, 5, 300, 50]),
+        );
         b.place(PartId::new(inv, 0), NodeId(2));
         b.build()
     }
@@ -110,10 +116,16 @@ mod tests {
         let cust = RelId(0);
         let inv = RelId(1);
         Query::over_full(&catalog.dict, [cust, inv])
-            .with_predicates(vec![Predicate::eq_cols(Col::new(cust, 0), Col::new(inv, 2))])
+            .with_predicates(vec![Predicate::eq_cols(
+                Col::new(cust, 0),
+                Col::new(inv, 2),
+            )])
             .with_select(vec![
                 SelectItem::Col(Col::new(cust, 2)),
-                SelectItem::Agg { func: AggFunc::Sum, arg: Some(Col::new(inv, 3)) },
+                SelectItem::Agg {
+                    func: AggFunc::Sum,
+                    arg: Some(Col::new(inv, 3)),
+                },
             ])
             .with_group_by(vec![Col::new(cust, 2)])
     }

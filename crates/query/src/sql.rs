@@ -55,11 +55,17 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.pos }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -81,10 +87,14 @@ impl<'a> Lexer<'a> {
             {
                 self.pos += 1;
             }
-            let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+            let word = std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_string();
             return Ok((Tok::Ident(word), start));
         }
-        if c.is_ascii_digit() || (c == b'-' && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit)) {
+        if c.is_ascii_digit()
+            || (c == b'-' && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit))
+        {
             self.pos += 1;
             let mut is_float = false;
             while self.pos < self.src.len()
@@ -118,14 +128,13 @@ impl<'a> Lexer<'a> {
             if self.pos >= self.src.len() {
                 return Err(self.err("unterminated string literal"));
             }
-            let s =
-                std::str::from_utf8(&self.src[s_start..self.pos]).unwrap().to_string();
+            let s = std::str::from_utf8(&self.src[s_start..self.pos])
+                .unwrap()
+                .to_string();
             self.pos += 1;
             return Ok((Tok::Str(s), start));
         }
-        let two = |a: u8, b: u8| -> bool {
-            c == a && self.src.get(self.pos + 1) == Some(&b)
-        };
+        let two = |a: u8, b: u8| -> bool { c == a && self.src.get(self.pos + 1) == Some(&b) };
         for (pat, sym, len) in [
             ((b'<', b'>'), "<>", 2usize),
             ((b'!', b'='), "<>", 2),
@@ -178,7 +187,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.offset() }
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
@@ -303,8 +315,16 @@ impl<'a> Parser<'a> {
             self.expect_keyword("AND")?;
             let hi = self.literal()?;
             return Ok(vec![
-                Predicate { left, op: CompOp::Ge, right: Operand::Const(lo) },
-                Predicate { left, op: CompOp::Le, right: Operand::Const(hi) },
+                Predicate {
+                    left,
+                    op: CompOp::Ge,
+                    right: Operand::Const(lo),
+                },
+                Predicate {
+                    left,
+                    op: CompOp::Le,
+                    right: Operand::Const(hi),
+                },
             ]);
         }
         let op = self.comp_op()?;
@@ -367,7 +387,12 @@ pub fn parse_query(dict: &SchemaDict, sql: &str) -> Result<Query, ParseError> {
             break;
         }
     }
-    let mut p = Parser { dict, toks, i: 0, from: Vec::new() };
+    let mut p = Parser {
+        dict,
+        toks,
+        i: 0,
+        from: Vec::new(),
+    };
 
     p.expect_keyword("SELECT")?;
     // The SELECT list references FROM relations, so scan ahead to parse FROM
@@ -394,7 +419,9 @@ pub fn parse_query(dict: &SchemaDict, sql: &str) -> Result<Query, ParseError> {
             .rel_by_name(&name)
             .ok_or_else(|| p.err(format!("unknown relation '{name}'")))?;
         if p.from.contains(&rel) {
-            return Err(p.err(format!("relation '{name}' listed twice (self-joins unsupported)")));
+            return Err(p.err(format!(
+                "relation '{name}' listed twice (self-joins unsupported)"
+            )));
         }
         p.from.push(rel);
         if matches!(p.peek(), Tok::Symbol(",")) {
@@ -443,8 +470,10 @@ pub fn parse_query(dict: &SchemaDict, sql: &str) -> Result<Query, ParseError> {
         .with_select(select)
         .with_group_by(group_by)
         .with_order_by(order_by);
-    q.validate(dict)
-        .map_err(|e| ParseError { message: e.to_string(), offset: 0 })?;
+    q.validate(dict).map_err(|e| ParseError {
+        message: e.to_string(),
+        offset: 0,
+    })?;
     Ok(q)
 }
 

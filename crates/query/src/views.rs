@@ -25,7 +25,10 @@ pub struct MaterializedView {
 impl MaterializedView {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, query: Query) -> Self {
-        MaterializedView { name: name.into(), query }
+        MaterializedView {
+            name: name.into(),
+            query,
+        }
     }
 }
 
@@ -146,7 +149,10 @@ pub fn match_view(view: &Query, query: &Query) -> Option<ViewMatch> {
                 if !func.is_decomposable() {
                     return None;
                 }
-                if !view.select.contains(&SelectItem::Agg { func: *func, arg: *arg }) {
+                if !view.select.contains(&SelectItem::Agg {
+                    func: *func,
+                    arg: *arg,
+                }) {
                     return None;
                 }
             }
@@ -186,14 +192,17 @@ mod tests {
     #[test]
     fn spj_view_answers_restricted_query() {
         let d = dict();
-        let view = Query::over_full(&d, [cust()])
-            .with_select(vec![
-                SelectItem::Col(Col::new(cust(), 0)),
-                SelectItem::Col(Col::new(cust(), 1)),
-                SelectItem::Col(Col::new(cust(), 2)),
-            ]);
+        let view = Query::over_full(&d, [cust()]).with_select(vec![
+            SelectItem::Col(Col::new(cust(), 0)),
+            SelectItem::Col(Col::new(cust(), 1)),
+            SelectItem::Col(Col::new(cust(), 2)),
+        ]);
         let query = Query::over_full(&d, [cust()])
-            .with_predicates(vec![Predicate::with_const(Col::new(cust(), 0), CompOp::Gt, 10i64)])
+            .with_predicates(vec![Predicate::with_const(
+                Col::new(cust(), 0),
+                CompOp::Gt,
+                10i64,
+            )])
             .with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
         let m = match_view(&view, &query).unwrap();
         assert_eq!(m.residual_predicates.len(), 1);
@@ -204,10 +213,10 @@ mod tests {
     #[test]
     fn view_missing_needed_column_fails() {
         let d = dict();
-        let view = Query::over_full(&d, [cust()])
-            .with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
-        let query = Query::over_full(&d, [cust()])
-            .with_select(vec![SelectItem::Col(Col::new(cust(), 2))]);
+        let view =
+            Query::over_full(&d, [cust()]).with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
+        let query =
+            Query::over_full(&d, [cust()]).with_select(vec![SelectItem::Col(Col::new(cust(), 2))]);
         assert!(match_view(&view, &query).is_none());
     }
 
@@ -215,10 +224,14 @@ mod tests {
     fn view_with_stronger_predicates_fails() {
         let d = dict();
         let view = Query::over_full(&d, [cust()])
-            .with_predicates(vec![Predicate::with_const(Col::new(cust(), 0), CompOp::Gt, 10i64)])
+            .with_predicates(vec![Predicate::with_const(
+                Col::new(cust(), 0),
+                CompOp::Gt,
+                10i64,
+            )])
             .with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
-        let query = Query::over_full(&d, [cust()])
-            .with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
+        let query =
+            Query::over_full(&d, [cust()]).with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
         assert!(match_view(&view, &query).is_none());
     }
 
@@ -226,7 +239,11 @@ mod tests {
     fn exact_match_is_exact() {
         let d = dict();
         let q = Query::over_full(&d, [cust()])
-            .with_predicates(vec![Predicate::with_const(Col::new(cust(), 0), CompOp::Gt, 10i64)])
+            .with_predicates(vec![Predicate::with_const(
+                Col::new(cust(), 0),
+                CompOp::Gt,
+                10i64,
+            )])
             .with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
         let m = match_view(&q, &q).unwrap();
         assert!(m.exact);
@@ -238,7 +255,10 @@ mod tests {
         // View: SELECT office, custid-ish grouping with SUM(charge)
         // grouped by (office, custname); query groups by office only.
         let d = dict();
-        let sum = SelectItem::Agg { func: AggFunc::Sum, arg: Some(Col::new(inv(), 3)) };
+        let sum = SelectItem::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Col::new(inv(), 3)),
+        };
         let view = Query::over_full(&d, [cust(), inv()])
             .with_predicates(vec![join_pred()])
             .with_select(vec![
@@ -259,7 +279,10 @@ mod tests {
     #[test]
     fn coarser_view_cannot_answer_finer_query() {
         let d = dict();
-        let sum = SelectItem::Agg { func: AggFunc::Sum, arg: Some(Col::new(inv(), 3)) };
+        let sum = SelectItem::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Col::new(inv(), 3)),
+        };
         let view = Query::over_full(&d, [cust(), inv()])
             .with_predicates(vec![join_pred()])
             .with_select(vec![SelectItem::Col(Col::new(cust(), 2)), sum])
@@ -278,7 +301,10 @@ mod tests {
     #[test]
     fn avg_is_not_derivable_from_finer_groups() {
         let d = dict();
-        let avg = SelectItem::Agg { func: AggFunc::Avg, arg: Some(Col::new(inv(), 3)) };
+        let avg = SelectItem::Agg {
+            func: AggFunc::Avg,
+            arg: Some(Col::new(inv(), 3)),
+        };
         let view = Query::over_full(&d, [cust(), inv()])
             .with_predicates(vec![join_pred()])
             .with_select(vec![
@@ -300,8 +326,8 @@ mod tests {
         let view = Query::over_full(&d, [cust()])
             .with_select(vec![SelectItem::Col(Col::new(cust(), 1))])
             .with_partset(cust(), crate::partset::PartSet::single(0));
-        let query = Query::over_full(&d, [cust()])
-            .with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
+        let query =
+            Query::over_full(&d, [cust()]).with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
         assert!(match_view(&view, &query).is_none());
     }
 
@@ -311,11 +337,14 @@ mod tests {
         let view = Query::over_full(&d, [cust()])
             .with_select(vec![
                 SelectItem::Col(Col::new(cust(), 2)),
-                SelectItem::Agg { func: AggFunc::Count, arg: None },
+                SelectItem::Agg {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
             ])
             .with_group_by(vec![Col::new(cust(), 2)]);
-        let query = Query::over_full(&d, [cust()])
-            .with_select(vec![SelectItem::Col(Col::new(cust(), 2))]);
+        let query =
+            Query::over_full(&d, [cust()]).with_select(vec![SelectItem::Col(Col::new(cust(), 2))]);
         assert!(match_view(&view, &query).is_none());
     }
 }

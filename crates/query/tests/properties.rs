@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use qt_catalog::{
-    AttrType, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelId,
-    RelationSchema, SchemaDict, Value,
+    AttrType, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning, RelId, RelationSchema,
+    SchemaDict, Value,
 };
 use qt_query::{
     contain::simplify, implies, parse_query, Col, CompOp, PartSet, Predicate, Query, SelectItem,
@@ -15,7 +15,11 @@ fn dict() -> Arc<SchemaDict> {
     let r = b.add_relation(
         RelationSchema::new(
             "r",
-            vec![("a", AttrType::Int), ("b", AttrType::Int), ("c", AttrType::Int)],
+            vec![
+                ("a", AttrType::Int),
+                ("b", AttrType::Int),
+                ("c", AttrType::Int),
+            ],
         ),
         Partitioning::Hash { attr: 0, parts: 4 },
     );
@@ -24,7 +28,10 @@ fn dict() -> Arc<SchemaDict> {
         Partitioning::Single,
     );
     for i in 0..4 {
-        b.set_stats(PartId::new(r, i), PartitionStats::synthetic(10, &[10, 10, 10]));
+        b.set_stats(
+            PartId::new(r, i),
+            PartitionStats::synthetic(10, &[10, 10, 10]),
+        );
         b.place(PartId::new(r, i), NodeId(0));
     }
     b.set_stats(PartId::new(s, 0), PartitionStats::synthetic(10, &[10, 10]));
@@ -44,9 +51,8 @@ fn comp_op() -> impl Strategy<Value = CompOp> {
 }
 
 fn const_pred(attr: usize) -> impl Strategy<Value = Predicate> {
-    (comp_op(), -20i64..20).prop_map(move |(op, v)| {
-        Predicate::with_const(Col::new(RelId(0), attr), op, v)
-    })
+    (comp_op(), -20i64..20)
+        .prop_map(move |(op, v)| Predicate::with_const(Col::new(RelId(0), attr), op, v))
 }
 
 proptest! {

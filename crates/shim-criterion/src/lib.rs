@@ -37,7 +37,10 @@ pub struct Measurement {
 
 fn env_ms(var: &str, default_ms: u64) -> Duration {
     Duration::from_millis(
-        std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms),
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
     )
 }
 
@@ -139,12 +142,17 @@ impl Criterion {
 
     /// Open a named group; member benches report as `group/label`.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, prefix: name.to_string() }
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
     }
 }
 
 fn append_json(m: &Measurement) {
-    let Ok(path) = std::env::var("QT_BENCH_OUT") else { return };
+    let Ok(path) = std::env::var("QT_BENCH_OUT") else {
+        return;
+    };
     let mut line = String::new();
     let _ = writeln!(
         line,
@@ -155,7 +163,11 @@ fn append_json(m: &Measurement) {
         m.iterations
     );
     use std::io::Write;
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let _ = f.write_all(line.as_bytes());
     }
 }
@@ -168,12 +180,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter`.
     pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Just a parameter (`from_parameter(4)` → `4`).
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 

@@ -26,7 +26,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { inner: rand::rngs::SmallRng::seed_from_u64(h) }
+        TestRng {
+            inner: rand::rngs::SmallRng::seed_from_u64(h),
+        }
     }
 }
 
@@ -269,7 +271,11 @@ pub mod prop {
         pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
             let (lo, hi_exclusive) = size.bounds();
             assert!(lo < hi_exclusive, "empty size range");
-            VecStrategy { element, lo, hi_exclusive }
+            VecStrategy {
+                element,
+                lo,
+                hi_exclusive,
+            }
         }
 
         /// `BTreeSet`s of `element` with a *target* size drawn from `size`.
@@ -300,7 +306,11 @@ pub mod prop {
         {
             let (lo, hi_exclusive) = size.bounds();
             assert!(lo < hi_exclusive, "empty size range");
-            BTreeSetStrategy { element, lo, hi_exclusive }
+            BTreeSetStrategy {
+                element,
+                lo,
+                hi_exclusive,
+            }
         }
     }
 }

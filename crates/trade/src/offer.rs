@@ -21,7 +21,11 @@ pub struct Bid {
 impl Bid {
     /// Convenience constructor.
     pub fn new(seller: NodeId, ask: f64, reserve: f64) -> Self {
-        Bid { seller, ask, reserve }
+        Bid {
+            seller,
+            ask,
+            reserve,
+        }
     }
 }
 

@@ -10,8 +10,7 @@
 use crate::offer::{Bid, NegotiationOutcome};
 
 /// Which negotiation protocol runs the nested winner selection.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ProtocolKind {
     /// Sealed-bid first-price (Contract-Net style bidding): every seller
     /// bids once, the lowest ask wins and is paid its ask. One award message.
@@ -81,7 +80,11 @@ impl ProtocolKind {
                     .fold(f64::INFINITY, f64::min);
                 NegotiationOutcome {
                     winner: Some(best),
-                    agreed_value: if second.is_finite() { second } else { bids[best].ask },
+                    agreed_value: if second.is_finite() {
+                        second
+                    } else {
+                        bids[best].ask
+                    },
                     extra_messages: 1,
                     extra_round_trips: 1,
                 }
@@ -157,7 +160,6 @@ impl ProtocolKind {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,8 +199,12 @@ mod tests {
     fn english_winner_has_lowest_reserve() {
         let out = ProtocolKind::English { decrement: 0.05 }.negotiate(&bids(), f64::INFINITY);
         assert_eq!(out.winner, Some(1)); // reserve 20 beats 25
-        // Clearing price ≈ runner-up reserve (25).
-        assert!((out.agreed_value - 25.0).abs() < 1e-9, "{}", out.agreed_value);
+                                         // Clearing price ≈ runner-up reserve (25).
+        assert!(
+            (out.agreed_value - 25.0).abs() < 1e-9,
+            "{}",
+            out.agreed_value
+        );
         assert!(out.extra_messages > 3, "auction costs rounds of messages");
     }
 
@@ -253,6 +259,9 @@ mod tests {
         assert_eq!(ProtocolKind::SealedBid.label(), "sealed-bid");
         assert_eq!(ProtocolKind::Vickrey.label(), "vickrey");
         assert_eq!(ProtocolKind::English { decrement: 0.1 }.label(), "english");
-        assert_eq!(ProtocolKind::Bargaining { max_rounds: 1 }.label(), "bargaining");
+        assert_eq!(
+            ProtocolKind::Bargaining { max_rounds: 1 }.label(),
+            "bargaining"
+        );
     }
 }

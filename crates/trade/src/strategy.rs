@@ -9,8 +9,7 @@ use qt_cost::AnswerProperties;
 use std::collections::HashMap;
 
 /// The seller-side strategy: turn a true cost estimate into an asking offer.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum SellerStrategy {
     /// Cooperative: ask exactly the true cost (parts of one organization —
     /// the paper's telecom company).
@@ -35,12 +34,22 @@ pub enum SellerStrategy {
 impl SellerStrategy {
     /// A fixed, non-adaptive markup.
     pub fn fixed_markup(markup: f64) -> Self {
-        SellerStrategy::Markup { markup, adaptive: false, step: 0.0, max_markup: markup }
+        SellerStrategy::Markup {
+            markup,
+            adaptive: false,
+            step: 0.0,
+            max_markup: markup,
+        }
     }
 
     /// A standard adaptive competitor.
     pub fn adaptive_markup(initial: f64) -> Self {
-        SellerStrategy::Markup { markup: initial, adaptive: true, step: 0.05, max_markup: 3.0 }
+        SellerStrategy::Markup {
+            markup: initial,
+            adaptive: true,
+            step: 0.05,
+            max_markup: 3.0,
+        }
     }
 
     /// The asking properties announced for a true-cost estimate.
@@ -62,7 +71,13 @@ impl SellerStrategy {
 
     /// Feed back a negotiation outcome so adaptive strategies can learn.
     pub fn observe_outcome(&mut self, won: bool) {
-        if let SellerStrategy::Markup { markup, adaptive: true, step, max_markup } = self {
+        if let SellerStrategy::Markup {
+            markup,
+            adaptive: true,
+            step,
+            max_markup,
+        } = self
+        {
             if won {
                 *markup = (*markup + *step).min(*max_markup);
             } else {
@@ -79,7 +94,6 @@ impl SellerStrategy {
         }
     }
 }
-
 
 /// The buyer-side value book (step B1): the buyer's running estimates of what
 /// each traded item should cost, used as the RFB reference value and the
@@ -99,12 +113,19 @@ pub struct BuyerValueBook {
 impl BuyerValueBook {
     /// Fresh book with the given defaults.
     pub fn new(default_estimate: f64, reserve_factor: f64) -> Self {
-        BuyerValueBook { estimates: HashMap::new(), reserve_factor, default_estimate }
+        BuyerValueBook {
+            estimates: HashMap::new(),
+            reserve_factor,
+            default_estimate,
+        }
     }
 
     /// Current estimate for an item.
     pub fn estimate(&self, item: u64) -> f64 {
-        self.estimates.get(&item).copied().unwrap_or(self.default_estimate)
+        self.estimates
+            .get(&item)
+            .copied()
+            .unwrap_or(self.default_estimate)
     }
 
     /// The buyer's walk-away value for an item.

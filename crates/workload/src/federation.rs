@@ -1,7 +1,7 @@
 //! Synthetic federation generation.
 
 use qt_catalog::{
-    AttrType, Catalog, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelId,
+    AttrType, Catalog, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning, RelId,
     RelationSchema, Value,
 };
 use qt_exec::DataStore;
@@ -100,12 +100,19 @@ pub fn build_federation(spec: &FederationSpec) -> Federation {
         let rel = b.add_relation(
             RelationSchema::new(
                 format!("r{i}"),
-                vec![("a", AttrType::Int), ("b", AttrType::Int), ("c", AttrType::Int)],
+                vec![
+                    ("a", AttrType::Int),
+                    ("b", AttrType::Int),
+                    ("c", AttrType::Int),
+                ],
             ),
             if spec.partitions_per_relation <= 1 {
                 Partitioning::Single
             } else {
-                Partitioning::Hash { attr: 0, parts: spec.partitions_per_relation as u32 }
+                Partitioning::Hash {
+                    attr: 0,
+                    parts: spec.partitions_per_relation as u32,
+                }
             },
         );
         rels.push(rel);
@@ -123,16 +130,26 @@ pub fn build_federation(spec: &FederationSpec) -> Federation {
             pb.add_relation(
                 RelationSchema::new(
                     format!("r{i}"),
-                    vec![("a", AttrType::Int), ("b", AttrType::Int), ("c", AttrType::Int)],
+                    vec![
+                        ("a", AttrType::Int),
+                        ("b", AttrType::Int),
+                        ("c", AttrType::Int),
+                    ],
                 ),
                 if spec.partitions_per_relation <= 1 {
                     Partitioning::Single
                 } else {
-                    Partitioning::Hash { attr: 0, parts: spec.partitions_per_relation as u32 }
+                    Partitioning::Hash {
+                        attr: 0,
+                        parts: spec.partitions_per_relation as u32,
+                    }
                 },
             );
             for p in 0..spec.partitions_per_relation {
-                pb.set_stats(PartId::new(RelId(i as u32), p), PartitionStats::synthetic(1, &[1, 1, 1]));
+                pb.set_stats(
+                    PartId::new(RelId(i as u32), p),
+                    PartitionStats::synthetic(1, &[1, 1, 1]),
+                );
                 pb.place(PartId::new(RelId(i as u32), p), NodeId(0));
             }
         }
@@ -204,7 +221,11 @@ pub fn build_federation(spec: &FederationSpec) -> Federation {
         }
     }
 
-    Federation { catalog: b.build(), stores, resources }
+    Federation {
+        catalog: b.build(),
+        stores,
+        resources,
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +248,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let spec = FederationSpec { seed: 7, ..FederationSpec::default() };
+        let spec = FederationSpec {
+            seed: 7,
+            ..FederationSpec::default()
+        };
         let a = build_federation(&spec);
         let b = build_federation(&spec);
         assert_eq!(a.catalog.placement, b.catalog.placement);
@@ -240,7 +264,11 @@ mod tests {
 
     #[test]
     fn replication_places_distinct_nodes() {
-        let spec = FederationSpec { replication: 3, nodes: 5, ..FederationSpec::default() };
+        let spec = FederationSpec {
+            replication: 3,
+            nodes: 5,
+            ..FederationSpec::default()
+        };
         let f = build_federation(&spec);
         for rel in f.catalog.dict.rel_ids() {
             for part in f.catalog.dict.parts_of(rel) {
@@ -255,7 +283,11 @@ mod tests {
 
     #[test]
     fn replication_capped_by_node_count() {
-        let spec = FederationSpec { replication: 10, nodes: 2, ..FederationSpec::default() };
+        let spec = FederationSpec {
+            replication: 10,
+            nodes: 2,
+            ..FederationSpec::default()
+        };
         let f = build_federation(&spec);
         let part = PartId::new(RelId(0), 0);
         assert_eq!(f.catalog.placement.holders(part).len(), 2);

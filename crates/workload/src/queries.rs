@@ -73,7 +73,10 @@ pub fn gen_join_query_with_cut(
     if aggregate {
         q.with_select(vec![
             SelectItem::Col(first_b),
-            SelectItem::Agg { func: AggFunc::Sum, arg: Some(last_c) },
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                arg: Some(last_c),
+            },
         ])
         .with_group_by(vec![first_b])
     } else {
@@ -87,9 +90,12 @@ mod tests {
     use crate::federation::{build_federation, FederationSpec};
 
     fn dict(nrels: usize) -> std::sync::Arc<SchemaDict> {
-        build_federation(&FederationSpec { relations: nrels, ..FederationSpec::default() })
-            .catalog
-            .dict
+        build_federation(&FederationSpec {
+            relations: nrels,
+            ..FederationSpec::default()
+        })
+        .catalog
+        .dict
     }
 
     #[test]
@@ -143,7 +149,10 @@ mod tests {
         let d = dict(4);
         let chain = gen_join_query(&d, QueryShape::Chain, 4, false, 1);
         let cycle = gen_join_query(&d, QueryShape::Cycle, 4, false, 1);
-        assert_eq!(cycle.join_predicates().count(), chain.join_predicates().count() + 1);
+        assert_eq!(
+            cycle.join_predicates().count(),
+            chain.join_predicates().count() + 1
+        );
         cycle.validate(&d).unwrap();
         // Below 3 relations a cycle degenerates into a chain.
         let two = gen_join_query(&d, QueryShape::Cycle, 2, false, 1);

@@ -2,8 +2,8 @@
 //! node of the federation, customer data partitioned by office.
 
 use qt_catalog::{
-    AttrType, CatalogBuilder, NodeId, PartId, Partitioning, PartitionStats, RelId,
-    RelationSchema, Value,
+    AttrType, CatalogBuilder, NodeId, PartId, PartitionStats, Partitioning, RelId, RelationSchema,
+    Value,
 };
 use qt_exec::DataStore;
 use rand::rngs::SmallRng;
@@ -86,10 +86,16 @@ pub fn telecom_federation(
         pb.add_relation(customer_schema(), customer_partitioning());
         pb.add_relation(invoice_schema(), Partitioning::Single);
         for i in 0..spec.offices as u16 {
-            pb.set_stats(PartId::new(RelId(0), i), PartitionStats::synthetic(1, &[1, 1, 1]));
+            pb.set_stats(
+                PartId::new(RelId(0), i),
+                PartitionStats::synthetic(1, &[1, 1, 1]),
+            );
             pb.place(PartId::new(RelId(0), i), NodeId(0));
         }
-        pb.set_stats(PartId::new(RelId(1), 0), PartitionStats::synthetic(1, &[1, 1, 1, 1]));
+        pb.set_stats(
+            PartId::new(RelId(1), 0),
+            PartitionStats::synthetic(1, &[1, 1, 1, 1]),
+        );
         pb.place(PartId::new(RelId(1), 0), NodeId(0));
         pb.build().dict
     };
@@ -127,7 +133,12 @@ pub fn telecom_federation(
     let mut stores: BTreeMap<NodeId, DataStore> = BTreeMap::new();
     for i in 0..spec.offices as u16 {
         let part = PartId::new(cust, i);
-        b.set_stats(part, loader.stats_of(&probe_dict, part).expect("customers loaded"));
+        b.set_stats(
+            part,
+            loader
+                .stats_of(&probe_dict, part)
+                .expect("customers loaded"),
+        );
         b.place(part, NodeId(i as u32));
         stores
             .entry(NodeId(i as u32))
@@ -135,7 +146,12 @@ pub fn telecom_federation(
             .merge_from(&loader.subset(&[part]));
     }
     let inv_part = PartId::new(inv, 0);
-    b.set_stats(inv_part, loader.stats_of(&probe_dict, inv_part).expect("invoices loaded"));
+    b.set_stats(
+        inv_part,
+        loader
+            .stats_of(&probe_dict, inv_part)
+            .expect("invoices loaded"),
+    );
     for j in 0..spec.invoice_replicas.min(spec.offices) {
         let node = NodeId(j * spec.offices / spec.invoice_replicas.min(spec.offices));
         b.place(inv_part, node);
@@ -169,7 +185,11 @@ mod tests {
 
     #[test]
     fn replicas_spread_over_nodes() {
-        let spec = TelecomSpec { offices: 6, invoice_replicas: 3, ..TelecomSpec::default() };
+        let spec = TelecomSpec {
+            offices: 6,
+            invoice_replicas: 3,
+            ..TelecomSpec::default()
+        };
         let (cat, _) = telecom_federation(&spec);
         let holders = cat.placement.holders(PartId::new(RelId(1), 0));
         assert_eq!(holders.len(), 3);
@@ -189,7 +209,9 @@ mod tests {
     fn office_names_follow_paper() {
         let (cat, _) = telecom_federation(&TelecomSpec::default());
         let part = cat.dict.rel(RelId(0)).partitioning.restriction(2);
-        let sql = part.display_with(&cat.dict.rel(RelId(0)).schema).to_string();
+        let sql = part
+            .display_with(&cat.dict.rel(RelId(0)).schema)
+            .to_string();
         assert_eq!(sql, "office = 'Myconos'");
     }
 }

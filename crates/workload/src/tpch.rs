@@ -18,8 +18,7 @@
 //! estimator applies.
 
 use qt_catalog::{
-    AttrType, Catalog, CatalogBuilder, NodeId, PartId, Partitioning, RelId, RelationSchema,
-    Value,
+    AttrType, Catalog, CatalogBuilder, NodeId, PartId, Partitioning, RelId, RelationSchema, Value,
 };
 use qt_exec::DataStore;
 use rand::rngs::SmallRng;
@@ -43,7 +42,13 @@ pub struct TpchSpec {
 
 impl Default for TpchSpec {
     fn default() -> Self {
-        TpchSpec { nodes: 6, orders: 200, fact_partitions: 2, dim_replicas: 2, seed: 1 }
+        TpchSpec {
+            nodes: 6,
+            orders: 200,
+            fact_partitions: 2,
+            dim_replicas: 2,
+            seed: 1,
+        }
     }
 }
 
@@ -72,7 +77,10 @@ pub fn tpch_federation(spec: &TpchSpec) -> (Catalog, BTreeMap<NodeId, DataStore>
 
     let schemas: Vec<(RelationSchema, Partitioning)> = vec![
         (
-            RelationSchema::new("region", vec![("regionkey", AttrType::Int), ("rname", AttrType::Str)]),
+            RelationSchema::new(
+                "region",
+                vec![("regionkey", AttrType::Int), ("rname", AttrType::Str)],
+            ),
             Partitioning::Single,
         ),
         (
@@ -120,7 +128,10 @@ pub fn tpch_federation(spec: &TpchSpec) -> (Catalog, BTreeMap<NodeId, DataStore>
             if spec.fact_partitions <= 1 {
                 Partitioning::Single
             } else {
-                Partitioning::Hash { attr: 0, parts: spec.fact_partitions as u32 }
+                Partitioning::Hash {
+                    attr: 0,
+                    parts: spec.fact_partitions as u32,
+                }
             },
         ),
         (
@@ -136,7 +147,10 @@ pub fn tpch_federation(spec: &TpchSpec) -> (Catalog, BTreeMap<NodeId, DataStore>
             if spec.fact_partitions <= 1 {
                 Partitioning::Single
             } else {
-                Partitioning::Hash { attr: 0, parts: spec.fact_partitions as u32 }
+                Partitioning::Hash {
+                    attr: 0,
+                    parts: spec.fact_partitions as u32,
+                }
             },
         ),
     ];
@@ -239,7 +253,11 @@ pub fn tpch_federation(spec: &TpchSpec) -> (Catalog, BTreeMap<NodeId, DataStore>
         for p in 0..part.num_partitions() {
             let pid = PartId::new(rel, p);
             b.set_stats(pid, loader.stats_of(&probe_dict, pid).expect("loaded"));
-            let replicas = if dim { spec.dim_replicas.min(spec.nodes) } else { 1 };
+            let replicas = if dim {
+                spec.dim_replicas.min(spec.nodes)
+            } else {
+                1
+            };
             let mut placed: Vec<u32> = Vec::new();
             while placed.len() < replicas.max(1) as usize {
                 let n = rng.random_range(0..spec.nodes);
@@ -273,15 +291,13 @@ pub fn tpch_federation(spec: &TpchSpec) -> (Catalog, BTreeMap<NodeId, DataStore>
 pub mod queries {
     /// Revenue per customer nation (a Q5-flavoured join):
     /// customer ⋈ orders ⋈ nation, grouped by nation name.
-    pub const REVENUE_PER_NATION: &str =
-        "SELECT nname, SUM(ototal) FROM nation, customer, orders \
+    pub const REVENUE_PER_NATION: &str = "SELECT nname, SUM(ototal) FROM nation, customer, orders \
          WHERE nation.nationkey = customer.nationkey \
          AND customer.custkey = orders.custkey GROUP BY nname";
 
     /// Large-order line revenue (a Q3 flavour): orders over a threshold
     /// joined to their lineitems.
-    pub const BIG_ORDER_LINES: &str =
-        "SELECT orders.orderkey, SUM(price) FROM orders, lineitem \
+    pub const BIG_ORDER_LINES: &str = "SELECT orders.orderkey, SUM(price) FROM orders, lineitem \
          WHERE orders.orderkey = lineitem.orderkey AND ototal > 4000.0 \
          GROUP BY orders.orderkey";
 

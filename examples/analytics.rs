@@ -39,7 +39,10 @@ fn main() {
     for (name, sql) in [
         ("revenue per nation", queries::REVENUE_PER_NATION),
         ("big order lines", queries::BIG_ORDER_LINES),
-        ("lines per supplier nation", queries::LINES_PER_SUPPLIER_NATION),
+        (
+            "lines per supplier nation",
+            queries::LINES_PER_SUPPLIER_NATION,
+        ),
     ] {
         let query = parse_query(&dict, sql).expect("valid SQL");
         let cfg = QtConfig::default();
@@ -52,7 +55,10 @@ fn main() {
         let plan = out.plan.expect("plan found");
         let answer = plan.execute_on(&dict, &stores).expect("plan executes");
         let expected = evaluate_query(&query, &all).expect("reference evaluates");
-        assert!(approx_same_rows(&answer, &expected, 1e-9), "{name}: wrong answer");
+        assert!(
+            approx_same_rows(&answer, &expected, 1e-9),
+            "{name}: wrong answer"
+        );
 
         println!("== {name} ==");
         println!(

@@ -37,7 +37,10 @@ fn main() {
 
     // --- Act 1: a seller sleeps through the RFB -------------------------
     println!("act 1: Corfu ignores the RFB; the buyer's timeout closes the round\n");
-    let cfg = QtConfig { seller_timeout: 1.5, ..QtConfig::default() };
+    let cfg = QtConfig {
+        seller_timeout: 1.5,
+        ..QtConfig::default()
+    };
     let mut sellers: BTreeMap<NodeId, SellerEngine> = catalog
         .nodes
         .iter()
@@ -45,7 +48,9 @@ fn main() {
         .collect();
     sellers.get_mut(&NodeId(1)).unwrap().offline_rounds = (0..8).collect();
     let (out, metrics) = run_qt_sim(NodeId(7), dict.clone(), &query, sellers, &cfg);
-    let plan = out.plan.expect("Athens' invoiceline replica covers for Corfu");
+    let plan = out
+        .plan
+        .expect("Athens' invoiceline replica covers for Corfu");
     println!(
         "  plan found anyway: {} purchases, {:.2}s trading time ({} timeout timer(s) fired)\n",
         plan.purchases.len(),
@@ -85,22 +90,28 @@ fn main() {
         })
         .map(|p| p.offer.seller)
         .expect("an invoiceline-only purchase exists");
-    println!("  original plan buys from {:?}", original
-        .purchases
-        .iter()
-        .map(|p| p.offer.seller.to_string())
-        .collect::<Vec<_>>());
+    println!(
+        "  original plan buys from {:?}",
+        original
+            .purchases
+            .iter()
+            .map(|p| p.offer.seller.to_string())
+            .collect::<Vec<_>>()
+    );
     println!("  {victim} dies before execution...");
 
     let failed: BTreeSet<NodeId> = [victim].into_iter().collect();
     let recovered = buyer
         .replan_excluding(&failed)
         .expect("replicas cover the failure");
-    println!("  recovered plan buys from {:?} (no new trading round)", recovered
-        .purchases
-        .iter()
-        .map(|p| p.offer.seller.to_string())
-        .collect::<Vec<_>>());
+    println!(
+        "  recovered plan buys from {:?} (no new trading round)",
+        recovered
+            .purchases
+            .iter()
+            .map(|p| p.offer.seller.to_string())
+            .collect::<Vec<_>>()
+    );
 
     // Execute the recovered plan on the surviving stores and verify.
     let mut surviving = stores.clone();

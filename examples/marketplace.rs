@@ -51,7 +51,12 @@ fn main() {
             .catalog
             .nodes
             .iter()
-            .map(|&n| (n, SellerEngine::new(fed.catalog.holdings_of(n), cfg.clone())))
+            .map(|&n| {
+                (
+                    n,
+                    SellerEngine::new(fed.catalog.holdings_of(n), cfg.clone()),
+                )
+            })
             .collect();
 
         for round in 0..5 {

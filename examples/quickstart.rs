@@ -43,7 +43,12 @@ fn main() {
         .catalog
         .nodes
         .iter()
-        .map(|&n| (n, SellerEngine::new(fed.catalog.holdings_of(n), cfg.clone())))
+        .map(|&n| {
+            (
+                n,
+                SellerEngine::new(fed.catalog.holdings_of(n), cfg.clone()),
+            )
+        })
         .collect();
 
     let outcome = run_qt_direct(NodeId(0), dict.clone(), &query, &mut sellers, &cfg);
@@ -59,9 +64,15 @@ fn main() {
     // a brute-force evaluation over all the data.
     let answer = plan.execute_on(&dict, &fed.stores).expect("plan executes");
     let expected = evaluate_query(&query, &fed.union_store()).expect("reference evaluates");
-    assert!(same_rows(&answer, &expected), "plan must compute the true answer");
+    assert!(
+        same_rows(&answer, &expected),
+        "plan must compute the true answer"
+    );
 
-    println!("answer ({} rows, verified against reference):", answer.len());
+    println!(
+        "answer ({} rows, verified against reference):",
+        answer.len()
+    );
     let mut sorted = answer.clone();
     sorted.sort();
     for row in sorted.iter().take(10) {

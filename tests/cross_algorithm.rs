@@ -68,7 +68,10 @@ fn quality_ordering_invariants() {
         // Truthful QT stays within 2x of the omniscient optimum on these
         // small federations (empirically it matches it; the slack guards
         // against plan-space edge cases).
-        assert!(qtdp <= traddp * 2.0 + 1e-9, "seed {seed}: qt {qtdp} vs dp {traddp}");
+        assert!(
+            qtdp <= traddp * 2.0 + 1e-9,
+            "seed {seed}: qt {qtdp} vs dp {traddp}"
+        );
     }
 }
 

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use qt_bench::runners::seller_engines;
 use qt_catalog::NodeId;
 use qt_core::{run_qt_direct, run_qt_sim, QtConfig};
-use qt_exec::reference::approx_same_rows;
 use qt_exec::evaluate_query;
+use qt_exec::reference::approx_same_rows;
 use qt_workload::{build_federation, gen_join_query_with_cut, FederationSpec, QueryShape};
 
 proptest! {
