@@ -190,6 +190,10 @@ pub fn run_baseline(
         buyer_considered: gen.considered,
         offer_cache_hits: 0,
         offer_cache_misses: 0,
+        retries: 0,
+        timeouts: 0,
+        degraded_rounds: 0,
+        unreachable_sellers: Vec::new(),
         history: vec![IterationStats {
             round: 0,
             offers_received: offers.len(),

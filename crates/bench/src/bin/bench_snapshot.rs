@@ -210,6 +210,37 @@ fn bench_partial_results(rels: usize) -> Sample {
     })
 }
 
+/// One deterministic simulated run under 15% message loss (fixed fault
+/// seed): the snapshot records the robustness counters so schema validation
+/// in CI can assert the fault plane is alive and deterministic.
+fn fault_counters() -> (bool, u64, u64, u64, u64, u64) {
+    use qt_core::run_qt_sim_with_faults;
+    use qt_net::{FaultPlan, Topology};
+    let fed = build_federation(&spec(8));
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
+    let cfg = QtConfig {
+        seller_timeout: 5.0,
+        ..QtConfig::default()
+    };
+    let (out, metrics) = run_qt_sim_with_faults(
+        NodeId(0),
+        fed.catalog.dict.clone(),
+        &q,
+        engines(&fed, &cfg),
+        &cfg,
+        Topology::Uniform(cfg.link),
+        Some(FaultPlan::lossy(7, 0.15)),
+    );
+    (
+        out.plan.is_some(),
+        metrics.dropped,
+        out.retries,
+        out.timeouts,
+        out.degraded_rounds as u64,
+        out.unreachable_sellers.len() as u64,
+    )
+}
+
 fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -271,7 +302,17 @@ fn main() {
         json,
         "  \"warm_cache_speedup_16_sellers\": {warm_speedup:.3},"
     );
-    let _ = writeln!(json, "  \"offer_cache_hit_rate\": {hit_rate:.4}");
+    let _ = writeln!(json, "  \"offer_cache_hit_rate\": {hit_rate:.4},");
+    let (plan_found, dropped, retries, timeouts, degraded, unreachable) = fault_counters();
+    json.push_str("  \"fault_run\": {\n");
+    let _ = writeln!(json, "    \"loss_rate\": 0.15,");
+    let _ = writeln!(json, "    \"plan_found\": {plan_found},");
+    let _ = writeln!(json, "    \"dropped\": {dropped},");
+    let _ = writeln!(json, "    \"retries\": {retries},");
+    let _ = writeln!(json, "    \"timeouts\": {timeouts},");
+    let _ = writeln!(json, "    \"degraded_rounds\": {degraded},");
+    let _ = writeln!(json, "    \"unreachable_sellers\": {unreachable}");
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     let out = std::env::var("QT_BENCH_OUT").unwrap_or_else(|_| "BENCH_trading.json".into());

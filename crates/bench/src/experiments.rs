@@ -563,10 +563,8 @@ pub fn e14() -> Table {
     let fed = build_federation(&spec(16, 3, 2, 2, 1400));
     let q = gen_join_query_with_cut(&fed.catalog.dict, QueryShape::Chain, 3, false, 30);
     let cfg = QtConfig::default();
-    let two_tier = |region_size: u32| Topology::TwoTier {
-        region_size,
-        local: qt_cost::NetLink::lan(),
-        remote: cfg.link,
+    let two_tier = |region_size: u32| {
+        Topology::two_tier(region_size, qt_cost::NetLink::lan(), cfg.link).expect("region size")
     };
     let topologies: Vec<(&str, Topology)> = vec![
         ("uniform WAN", Topology::Uniform(cfg.link)),
@@ -807,6 +805,77 @@ pub fn e17() -> Table {
 pub type Experiment = (&'static str, fn() -> Table);
 
 /// All experiments in order.
+/// E18 (fault tolerance; the issue tracker's "E8 fault sweep" — id `e8` was
+/// already taken by the seller-strategy comparison): plan cost, message
+/// count, and degradation vs. message-loss rate and crashed-seller
+/// fraction. The buyer's deadline/retransmission machinery must keep
+/// returning valid plans as the network decays.
+pub fn e18() -> Table {
+    use qt_core::run_qt_sim_with_faults;
+    use qt_net::{FaultPlan, Topology};
+    let mut t = Table::new(
+        "E18",
+        "fault injection: loss rate / crashed sellers vs. plan success, cost, traffic; repl 3",
+        &[
+            "fault mix",
+            "plan found",
+            "plan cost",
+            "messages",
+            "dropped",
+            "retries",
+            "timeouts",
+            "degraded rounds",
+            "unreachable",
+        ],
+    );
+    let fed = build_federation(&spec(12, 3, 2, 3, 1800));
+    let q = gen_join_query_with_cut(&fed.catalog.dict, QueryShape::Chain, 3, false, 60);
+    let crash = |plan: FaultPlan, nodes: u32| {
+        // Crash the highest-numbered sellers for the entire run.
+        (0..nodes).fold(plan, |p, i| p.with_crash(NodeId(11 - i), 0.0, 1e12))
+    };
+    let cases: Vec<(String, FaultPlan)> = vec![
+        ("loss 0%".into(), FaultPlan::lossy(1801, 0.0)),
+        ("loss 10%".into(), FaultPlan::lossy(1801, 0.10)),
+        ("loss 25%".into(), FaultPlan::lossy(1801, 0.25)),
+        ("loss 40%".into(), FaultPlan::lossy(1801, 0.40)),
+        ("crash 2/12".into(), crash(FaultPlan::default(), 2)),
+        ("crash 4/12".into(), crash(FaultPlan::default(), 4)),
+        (
+            "loss 10% + crash 2/12".into(),
+            crash(FaultPlan::lossy(1801, 0.10), 2),
+        ),
+    ];
+    for (label, plan) in cases {
+        let cfg = QtConfig {
+            seller_timeout: 2.0,
+            ..QtConfig::default()
+        };
+        let sellers = seller_engines(&fed, &cfg);
+        let (out, metrics) = run_qt_sim_with_faults(
+            BUYER,
+            fed.catalog.dict.clone(),
+            &q,
+            sellers,
+            &cfg,
+            Topology::Uniform(cfg.link),
+            Some(plan),
+        );
+        t.push(vec![
+            label,
+            out.plan.is_some().to_string(),
+            f(out.plan.map(|p| p.est.additive_cost).unwrap_or(f64::NAN)),
+            out.messages.to_string(),
+            metrics.dropped.to_string(),
+            out.retries.to_string(),
+            out.timeouts.to_string(),
+            out.degraded_rounds.to_string(),
+            out.unreachable_sellers.len().to_string(),
+        ]);
+    }
+    t
+}
+
 pub fn all() -> Vec<Experiment> {
     vec![
         ("e1", e1 as fn() -> Table),
@@ -826,6 +895,7 @@ pub fn all() -> Vec<Experiment> {
         ("e15", e15),
         ("e16", e16),
         ("e17", e17),
+        ("e18", e18),
     ]
 }
 
@@ -844,6 +914,26 @@ mod tests {
         for w in costs.windows(2) {
             assert!(w[1] <= w[0] + 1e-6, "{costs:?}");
         }
+    }
+
+    #[test]
+    fn e18_survives_faults_with_valid_plans() {
+        let t = e18();
+        assert!(
+            t.rows.iter().all(|r| r[1] == "true"),
+            "replication 3 must cover every fault mix\n{}",
+            t.render()
+        );
+        // The clean row injects nothing.
+        assert_eq!(t.rows[0][4], "0", "loss 0% must drop nothing");
+        assert_eq!(t.rows[0][7], "0", "loss 0% must not degrade");
+        // ≥10% loss: the deadline/retransmission machinery shows up.
+        let retries: u64 = t.rows[1][5].parse().unwrap();
+        let timeouts: u64 = t.rows[1][6].parse().unwrap();
+        assert!(retries + timeouts > 0, "{}", t.render());
+        // Crashed sellers are reported unreachable.
+        let unreachable: u64 = t.rows[4][8].parse().unwrap();
+        assert!(unreachable >= 1, "{}", t.render());
     }
 
     #[test]

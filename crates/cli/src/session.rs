@@ -3,8 +3,9 @@
 
 use crate::{Args, Demo};
 use qt_catalog::{Catalog, NodeId};
-use qt_core::{run_qt_direct, QtConfig, SellerEngine};
+use qt_core::{run_qt_direct, run_qt_sim_with_faults, QtConfig, SellerEngine};
 use qt_exec::DataStore;
+use qt_net::{FaultPlan, Topology};
 use qt_query::parse_query;
 use qt_trade::{ProtocolKind, SellerStrategy};
 use std::collections::BTreeMap;
@@ -37,6 +38,11 @@ pub struct Session {
     config: QtConfig,
     buyer: NodeId,
     demo: Demo,
+    /// Message-loss rate injected into simulated runs (0 = faults off, run
+    /// through the direct driver).
+    fault_loss: f64,
+    /// Seed for the deterministic fault plan.
+    fault_seed: u64,
 }
 
 impl Session {
@@ -71,6 +77,8 @@ impl Session {
             config: QtConfig::default(),
             buyer: NodeId(0),
             demo: args.demo,
+            fault_loss: 0.0,
+            fault_seed: 7,
         }
     }
 
@@ -105,6 +113,7 @@ impl Session {
                  \\buyer <n>           set the buying node\n\
                  \\protocol <p>        sealed-bid | vickrey | english | bargaining\n\
                  \\markup <x>          seller markup factor (1.0 = truthful)\n\
+                 \\faults <p> [seed]   simulate with message-loss rate p (0 or 'off' to disable)\n\
                  \\quit                leave"
                     .into(),
             ),
@@ -146,6 +155,35 @@ impl Session {
                 }
                 _ => Eval::Output(format!("invalid markup '{rest}' (need a number >= 1)")),
             },
+            "faults" => {
+                let mut parts = rest.split_whitespace();
+                let loss = match parts.next() {
+                    Some("off") => Some(0.0),
+                    Some(tok) => tok.parse::<f64>().ok().filter(|p| (0.0..1.0).contains(p)),
+                    None => None,
+                };
+                let seed = match parts.next() {
+                    Some(tok) => tok.parse::<u64>().ok(),
+                    None => Some(self.fault_seed),
+                };
+                match (loss, seed) {
+                    (Some(p), Some(seed)) => {
+                        self.fault_loss = p;
+                        self.fault_seed = seed;
+                        if p == 0.0 {
+                            Eval::Output("faults off — queries run on the direct driver".into())
+                        } else {
+                            Eval::Output(format!(
+                                "faults on — simulating with {:.0}% message loss (seed {seed})",
+                                p * 100.0
+                            ))
+                        }
+                    }
+                    _ => Eval::Output(format!(
+                        "invalid '\\faults {rest}' (need a loss rate in [0, 1) and an optional integer seed)"
+                    )),
+                }
+            }
             other => Eval::Output(format!("unknown command '\\{other}' (try \\help)")),
         }
     }
@@ -208,15 +246,26 @@ impl Session {
                 )
             })
             .collect();
-        let out = run_qt_direct(
-            self.buyer,
-            self.catalog.dict.clone(),
-            &query,
-            &mut sellers,
-            &self.config,
-        );
-        let Some(plan) = out.plan else {
-            return "no plan: the federation does not cover this query".into();
+        let (out, fault_metrics) = if self.fault_loss > 0.0 {
+            let (out, metrics) = run_qt_sim_with_faults(
+                self.buyer,
+                self.catalog.dict.clone(),
+                &query,
+                sellers,
+                &self.config,
+                Topology::Uniform(self.config.link),
+                Some(FaultPlan::lossy(self.fault_seed, self.fault_loss)),
+            );
+            (out, Some(metrics))
+        } else {
+            let out = run_qt_direct(
+                self.buyer,
+                self.catalog.dict.clone(),
+                &query,
+                &mut sellers,
+                &self.config,
+            );
+            (out, None)
         };
         let mut s = String::new();
         let _ = writeln!(
@@ -224,6 +273,26 @@ impl Session {
             "trading: {} iteration(s), {} messages, {:.3}s simulated",
             out.iterations, out.messages, out.optimization_time
         );
+        if let Some(m) = &fault_metrics {
+            let unreachable = if out.unreachable_sellers.is_empty() {
+                "none".to_string()
+            } else {
+                out.unreachable_sellers
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = writeln!(
+                s,
+                "faults:  {} dropped, {} retries, {} timeouts, {} degraded round(s), unreachable: {unreachable}",
+                m.dropped, out.retries, out.timeouts, out.degraded_rounds
+            );
+        }
+        let Some(plan) = out.plan else {
+            let _ = write!(s, "no plan: the federation does not cover this query");
+            return s.trim_end().to_string();
+        };
         let _ = write!(s, "{}", plan.describe(&self.catalog.dict));
         if mode == RunMode::Explain {
             return s.trim_end().to_string();
@@ -359,6 +428,42 @@ mod tests {
         assert!(matches!(s.eval("\\buyer 1"), Eval::Output(o) if o.contains("node1")));
         assert!(matches!(s.eval("\\buyer 99"), Eval::Output(o) if o.contains("no such")));
         assert!(matches!(s.eval("\\wat"), Eval::Output(o) if o.contains("unknown command")));
+    }
+
+    #[test]
+    fn faults_command_toggles_and_validates() {
+        let mut s = session();
+        assert!(
+            matches!(s.eval("\\faults 0.15"), Eval::Output(o) if o.contains("15% message loss"))
+        );
+        assert!(matches!(s.eval("\\faults 0.2 42"), Eval::Output(o) if o.contains("seed 42")));
+        assert!(matches!(s.eval("\\faults off"), Eval::Output(o) if o.contains("faults off")));
+        assert!(matches!(s.eval("\\faults 0"), Eval::Output(o) if o.contains("faults off")));
+        assert!(matches!(s.eval("\\faults 1.5"), Eval::Output(o) if o.contains("invalid")));
+        assert!(matches!(s.eval("\\faults nope"), Eval::Output(o) if o.contains("invalid")));
+        assert!(matches!(s.eval("\\faults"), Eval::Output(o) if o.contains("invalid")));
+    }
+
+    #[test]
+    fn sql_under_faults_reports_counters_and_still_plans() {
+        let mut s = session();
+        s.eval("\\faults 0.15");
+        let Eval::Output(o) = s.eval(
+            "SELECT office, SUM(charge) FROM customer, invoiceline \
+             WHERE customer.custid = invoiceline.custid GROUP BY office",
+        ) else {
+            panic!()
+        };
+        assert!(o.contains("faults:"), "{o}");
+        assert!(o.contains("dropped"), "{o}");
+        assert!(o.contains("retries"), "{o}");
+        assert!(o.contains("row(s):"), "{o}");
+        // Turning faults back off restores the direct driver (no fault line).
+        s.eval("\\faults off");
+        let Eval::Output(o) = s.eval("SELECT custname FROM customer") else {
+            panic!()
+        };
+        assert!(!o.contains("faults:"), "{o}");
     }
 
     #[test]

@@ -41,6 +41,16 @@ pub struct QtConfig {
     /// many virtual seconds even if some sellers never answered (autonomous
     /// nodes are free to ignore RFBs).
     pub seller_timeout: f64,
+    /// Simulator-driver RFB retransmissions: when the response deadline
+    /// fires with sellers still unheard-from, the buyer re-sends the RFB to
+    /// just those sellers up to this many times before degrading the round
+    /// to the offers that arrived. Sellers dedup retransmissions by request
+    /// id, so retries are idempotent.
+    pub max_rfb_retries: u32,
+    /// Backoff multiplier between RFB retransmissions: retry `n` waits
+    /// `seller_timeout * rfb_retry_backoff^n`, capped at 8× the base
+    /// timeout.
+    pub rfb_retry_backoff: f64,
     /// Simulated seconds charged per sub-plan an optimizer enumerates
     /// (drives the optimization-time figures deterministically).
     pub per_subplan_seconds: f64,
@@ -78,6 +88,8 @@ impl Default for QtConfig {
             enable_subcontracting: false,
             max_new_queries_per_round: 16,
             seller_timeout: 30.0,
+            max_rfb_retries: 2,
+            rfb_retry_backoff: 2.0,
             per_subplan_seconds: 2e-5,
             per_offer_seconds: 1e-5,
             link: NetLink::wan(),

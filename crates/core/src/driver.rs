@@ -9,7 +9,7 @@ use crate::dist_plan::DistributedPlan;
 use crate::offer::{Offer, RfbItem};
 use crate::seller::SellerEngine;
 use qt_catalog::{NodeId, SchemaDict};
-use qt_net::{Ctx, Handler, Simulator, Topology};
+use qt_net::{Ctx, FaultPlan, Handler, Simulator, Topology};
 use qt_query::Query;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -35,6 +35,16 @@ pub struct QtOutcome {
     pub offer_cache_hits: u64,
     /// RFB items sellers had to evaluate fresh during this run.
     pub offer_cache_misses: u64,
+    /// RFB retransmissions sent after a response deadline expired
+    /// (simulator driver; always 0 for the direct driver's perfect network).
+    pub retries: u64,
+    /// Response deadlines that fired while a round was still open.
+    pub timeouts: u64,
+    /// Rounds closed without offers from every live seller.
+    pub degraded_rounds: u32,
+    /// Sellers that never answered their last RFB (even after retries) and
+    /// were traded around. A seller that answers a later round is removed.
+    pub unreachable_sellers: Vec<NodeId>,
     /// Per-iteration statistics.
     pub history: Vec<IterationStats>,
 }
@@ -176,6 +186,10 @@ pub fn run_qt_direct(
         offer_cache_hits: sellers.values().map(|s| s.cache_hits).sum::<u64>() - cache_hits_before,
         offer_cache_misses: sellers.values().map(|s| s.cache_misses).sum::<u64>()
             - cache_misses_before,
+        retries: 0,
+        timeouts: 0,
+        degraded_rounds: 0,
+        unreachable_sellers: Vec::new(),
         history: buyer.history.clone(),
         plan: buyer.best,
     }
@@ -194,6 +208,9 @@ pub enum QtMsg {
     /// `Arc` to every seller instead of deep-copying the working set per
     /// recipient.
     Rfb {
+        /// Request id: identical across retransmissions of the same RFB, so
+        /// sellers can answer duplicates idempotently.
+        req: u64,
         /// Round number.
         round: u32,
         /// The queries out for bid.
@@ -235,10 +252,28 @@ pub struct BuyerSim {
     /// The buyer's own seller side (its local data also competes).
     pub local_seller: Option<SellerEngine>,
     remote_sellers: Vec<NodeId>,
-    awaiting: usize,
+    /// Sellers heard from in the current round.
+    answered: std::collections::BTreeSet<NodeId>,
+    /// Every `(round, seller)` reply already consumed — duplicated
+    /// deliveries and dedup resends are discarded, so a seller's offers
+    /// enter the pool exactly once per round.
+    seen_replies: std::collections::BTreeSet<(u32, NodeId)>,
+    /// Retransmission attempts made in the current round.
+    attempt: u32,
+    /// Current round's RFB payload, kept for retransmission.
+    cur_items: Arc<Vec<RfbItem>>,
+    cur_hints: Arc<Vec<Offer>>,
     round_open: bool,
     prev_neg_msgs: u64,
     prev_neg_rts: u64,
+    /// RFB retransmissions sent.
+    pub retries: u64,
+    /// Response deadlines that fired while their round was open.
+    pub timeouts_fired: u64,
+    /// Rounds closed with sellers still missing.
+    pub degraded_rounds: u32,
+    /// Sellers that never answered their last RFB.
+    pub unreachable: std::collections::BTreeSet<NodeId>,
     /// Set when trading finished.
     pub done: bool,
     /// Virtual time at which trading finished.
@@ -251,6 +286,7 @@ impl Handler<QtMsg> for QtNode {
             (
                 QtNode::Seller(engine),
                 QtMsg::Rfb {
+                    req,
                     round,
                     items,
                     hints,
@@ -260,7 +296,10 @@ impl Handler<QtMsg> for QtNode {
                     // Autonomy: the node simply does not answer.
                     return;
                 }
-                let resp = engine.respond_with_hints(round, &items, &hints);
+                // Idempotent: a retransmitted or duplicated RFB with a known
+                // request id is answered with the identical reply at zero
+                // effort.
+                let resp = engine.respond_request(req, round, &items, &hints);
                 ctx.charge_compute(resp.effort as f64 * engine_cfg(engine).per_subplan_seconds);
                 let bytes = resp.offers.len() as f64 * engine_cfg(engine).offer_msg_bytes;
                 ctx.send(
@@ -280,18 +319,66 @@ impl Handler<QtMsg> for QtNode {
                 b.broadcast(ctx, 0, items, Vec::new());
             }
             (QtNode::Buyer(b), QtMsg::Offers { round, offers }) => {
+                // A duplicated delivery or a seller's dedup resend carries a
+                // (round, seller) pair already consumed: discard it, so the
+                // offer pool and the awaiting count never double-book.
+                if !b.seen_replies.insert((round, from)) {
+                    return;
+                }
+                // A seller that answers — even late — is reachable.
+                b.unreachable.remove(&from);
                 // All market information is welcome, even stragglers...
                 b.engine.receive_offers(offers);
                 // ...but only current-round replies advance the round.
                 if b.round_open && round == b.engine.round {
-                    b.awaiting -= 1;
-                    if b.awaiting == 0 {
+                    b.answered.insert(from);
+                    if b.answered.len() == b.remote_sellers.len() {
                         b.finish_round(ctx);
                     }
                 }
             }
             (QtNode::Buyer(b), QtMsg::Timeout { round }) => {
-                if b.round_open && round == b.engine.round {
+                if !(b.round_open && round == b.engine.round) {
+                    return; // stale timer from an already-closed round
+                }
+                b.timeouts_fired += 1;
+                let missing: Vec<NodeId> = b
+                    .remote_sellers
+                    .iter()
+                    .copied()
+                    .filter(|s| !b.answered.contains(s))
+                    .collect();
+                if !missing.is_empty() && b.attempt < b.engine.config.max_rfb_retries {
+                    // Retransmit only to the unanswered sellers, then re-arm
+                    // the deadline with capped exponential backoff.
+                    b.attempt += 1;
+                    let bytes = (b.cur_items.len() + b.cur_hints.len()) as f64
+                        * b.engine.config.query_msg_bytes;
+                    for &s in &missing {
+                        b.retries += 1;
+                        ctx.send(
+                            s,
+                            QtMsg::Rfb {
+                                req: round as u64,
+                                round,
+                                items: Arc::clone(&b.cur_items),
+                                hints: Arc::clone(&b.cur_hints),
+                            },
+                            bytes,
+                            "rfb-retry",
+                        );
+                    }
+                    let base = b.engine.config.seller_timeout;
+                    let delay = (base * b.engine.config.rfb_retry_backoff.powi(b.attempt as i32))
+                        .min(8.0 * base);
+                    ctx.schedule(delay, QtMsg::Timeout { round }, "timeout");
+                } else {
+                    // Graceful degradation: trade with the offers that
+                    // arrived and remember who never answered.
+                    if !missing.is_empty() {
+                        b.degraded_rounds += 1;
+                        b.unreachable.extend(missing);
+                    }
                     b.finish_round(ctx);
                 }
             }
@@ -320,24 +407,26 @@ impl BuyerSim {
             ctx.charge_compute(resp.effort as f64 * self.engine.config.per_subplan_seconds);
             self.engine.receive_offers(resp.offers);
         }
-        self.awaiting = self.remote_sellers.len();
+        self.answered.clear();
+        self.attempt = 0;
         self.round_open = true;
         let bytes = (items.len() + hints.len()) as f64 * self.engine.config.query_msg_bytes;
-        let items = Arc::new(items);
-        let hints = Arc::new(hints);
+        self.cur_items = Arc::new(items);
+        self.cur_hints = Arc::new(hints);
         for &s in &self.remote_sellers {
             ctx.send(
                 s,
                 QtMsg::Rfb {
+                    req: round as u64,
                     round,
-                    items: Arc::clone(&items),
-                    hints: Arc::clone(&hints),
+                    items: Arc::clone(&self.cur_items),
+                    hints: Arc::clone(&self.cur_hints),
                 },
                 bytes,
                 "rfb",
             );
         }
-        if self.awaiting == 0 {
+        if self.remote_sellers.is_empty() {
             self.finish_round(ctx);
         } else {
             ctx.schedule(
@@ -431,11 +520,34 @@ pub fn run_qt_sim_with_topology(
     buyer_node: NodeId,
     dict: Arc<SchemaDict>,
     query: &Query,
-    mut sellers: BTreeMap<NodeId, SellerEngine>,
+    sellers: BTreeMap<NodeId, SellerEngine>,
     config: &QtConfig,
     topology: Topology,
 ) -> (QtOutcome, qt_net::Metrics) {
+    run_qt_sim_with_faults(buyer_node, dict, query, sellers, config, topology, None)
+}
+
+/// Run QT on the discrete-event simulator with an optional [`FaultPlan`]
+/// injecting message loss, duplication, jitter, partitions, and crash
+/// windows. With `None` (or an inert plan) this is bit-identical to
+/// [`run_qt_sim_with_topology`]. Under faults the buyer retransmits
+/// unanswered RFBs with capped exponential backoff and, past
+/// `config.max_rfb_retries`, degrades the round to the offers that arrived;
+/// the returned metrics carry drop/retry/timeout/degraded counters.
+#[allow(clippy::too_many_arguments)]
+pub fn run_qt_sim_with_faults(
+    buyer_node: NodeId,
+    dict: Arc<SchemaDict>,
+    query: &Query,
+    mut sellers: BTreeMap<NodeId, SellerEngine>,
+    config: &QtConfig,
+    topology: Topology,
+    faults: Option<FaultPlan>,
+) -> (QtOutcome, qt_net::Metrics) {
     let mut sim: Simulator<QtMsg, QtNode> = Simulator::new(topology);
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
+    }
     let cache_hits_before: u64 = sellers.values().map(|s| s.cache_hits).sum();
     let cache_misses_before: u64 = sellers.values().map(|s| s.cache_misses).sum();
     let local_seller = sellers.remove(&buyer_node);
@@ -445,10 +557,18 @@ pub fn run_qt_sim_with_topology(
         engine: BuyerEngine::new(buyer_node, dict, query.clone(), config.clone()),
         local_seller,
         remote_sellers: remote,
-        awaiting: 0,
+        answered: std::collections::BTreeSet::new(),
+        seen_replies: std::collections::BTreeSet::new(),
+        attempt: 0,
+        cur_items: Arc::new(Vec::new()),
+        cur_hints: Arc::new(Vec::new()),
         round_open: false,
         prev_neg_msgs: 0,
         prev_neg_rts: 0,
+        retries: 0,
+        timeouts_fired: 0,
+        degraded_rounds: 0,
+        unreachable: std::collections::BTreeSet::new(),
         done: false,
         finish_time: 0.0,
     };
@@ -485,19 +605,26 @@ pub fn run_qt_sim_with_topology(
     let offer_cache_misses = cache_misses - cache_misses_before;
     metrics.offer_cache_hits = offer_cache_hits;
     metrics.offer_cache_misses = offer_cache_misses;
+    metrics.retries = b.retries;
+    metrics.timeouts = b.timeouts_fired;
+    metrics.degraded_rounds = b.degraded_rounds as u64;
     let engine = &b.engine;
     let outcome = QtOutcome {
         plan: engine.best.clone(),
         iterations: engine.round + 1,
-        // Exclude the kick-off event and local timers from protocol
-        // message counts.
-        messages: metrics.messages - metrics.kind_count("start") - metrics.kind_count("timeout"),
+        // Exclude the kick-off event from protocol message counts (timers
+        // are tracked separately by the simulator and never land here).
+        messages: metrics.messages - metrics.kind_count("start"),
         bytes: metrics.bytes,
         optimization_time: end_time,
         seller_effort,
         buyer_considered: engine.total_considered(),
         offer_cache_hits,
         offer_cache_misses,
+        retries: b.retries,
+        timeouts: b.timeouts_fired,
+        degraded_rounds: b.degraded_rounds,
+        unreachable_sellers: b.unreachable.iter().copied().collect(),
         history: engine.history.clone(),
     };
     (outcome, metrics)

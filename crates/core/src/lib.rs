@@ -36,7 +36,9 @@ pub mod seller;
 pub use buyer::BuyerEngine;
 pub use config::QtConfig;
 pub use dist_plan::{DistributedPlan, PlanEstimate, Purchase};
-pub use driver::{run_qt_direct, run_qt_sim, run_qt_sim_with_topology, QtOutcome};
+pub use driver::{
+    run_qt_direct, run_qt_sim, run_qt_sim_with_faults, run_qt_sim_with_topology, QtOutcome,
+};
 pub use offer::{Offer, OfferKind, RfbItem};
 pub use relset::RelSet;
 pub use seller::SellerEngine;

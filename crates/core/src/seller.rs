@@ -52,9 +52,16 @@ pub struct SellerEngine {
     pub cache_hits: u64,
     /// RFB items that required a fresh evaluation (cumulative).
     pub cache_misses: u64,
+    /// RFBs answered from the request-id dedup table (retransmissions and
+    /// duplicated deliveries; cumulative).
+    pub duplicate_rfbs: u64,
     config: QtConfig,
     next_offer: u64,
     offer_cache: std::collections::HashMap<u64, Vec<Offer>>,
+    /// Request-id → the exact reply already sent. Distinct from the offer
+    /// cache: a dedup hit resends *identical* offers (same ids) so the buyer
+    /// can discard the duplicate, whereas an offer-cache hit mints fresh ids.
+    rfb_replies: std::collections::HashMap<u64, Vec<Offer>>,
 }
 
 impl SellerEngine {
@@ -70,9 +77,11 @@ impl SellerEngine {
             offline_rounds: std::collections::BTreeSet::new(),
             cache_hits: 0,
             cache_misses: 0,
+            duplicate_rfbs: 0,
             config,
             next_offer: 0,
             offer_cache: std::collections::HashMap::new(),
+            rfb_replies: std::collections::HashMap::new(),
         }
     }
 
@@ -228,6 +237,31 @@ impl SellerEngine {
             }
         }
         self.total_effort += resp.effort;
+        resp
+    }
+
+    /// Idempotent RFB entry point for unreliable transports: `req` uniquely
+    /// identifies the request, and a retransmitted or fault-duplicated RFB
+    /// with a known `req` is answered with the *identical* reply (same offer
+    /// ids, zero effort) so the buyer can recognize and discard duplicates.
+    /// Composes with the offer cache: the first response to a `req` may
+    /// itself be served from memoized evaluations.
+    pub fn respond_request(
+        &mut self,
+        req: u64,
+        round: u32,
+        items: &[RfbItem],
+        hints: &[Offer],
+    ) -> SellerResponse {
+        if let Some(offers) = self.rfb_replies.get(&req) {
+            self.duplicate_rfbs += 1;
+            return SellerResponse {
+                offers: offers.clone(),
+                effort: 0,
+            };
+        }
+        let resp = self.respond_with_hints(round, items, hints);
+        self.rfb_replies.insert(req, resp.offers.clone());
         resp
     }
 
@@ -684,6 +718,27 @@ mod tests {
             assert_eq!(a.props, b.props);
             assert_eq!(a.kind, b.kind);
         }
+    }
+
+    #[test]
+    fn retransmitted_rfb_is_answered_identically_at_zero_effort() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        let first = seller.respond_request(42, 0, &rfb(&q), &[]);
+        let effort_after = seller.total_effort;
+        let again = seller.respond_request(42, 0, &rfb(&q), &[]);
+        assert_eq!(seller.duplicate_rfbs, 1);
+        assert_eq!(again.effort, 0, "a dedup hit costs nothing");
+        assert_eq!(seller.total_effort, effort_after);
+        assert_eq!(first.offers.len(), again.offers.len());
+        for (a, b) in first.offers.iter().zip(&again.offers) {
+            assert_eq!(a.id, b.id, "the dedup table resends identical ids");
+        }
+        // A new request id is a new reply — fresh ids, offer cache welcome.
+        let fresh = seller.respond_request(43, 1, &rfb(&q), &[]);
+        assert_ne!(fresh.offers[0].id, first.offers[0].id);
+        assert_eq!(seller.duplicate_rfbs, 1);
     }
 
     #[test]

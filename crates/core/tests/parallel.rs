@@ -127,6 +127,62 @@ proptest! {
     }
 }
 
+/// Determinism under faults: the fault plane rolls per message sequence
+/// number inside the single-threaded simulator, so the same `FaultPlan`
+/// seed must give a bit-identical outcome whatever `QT_THREADS` says and
+/// whether seller fan-out runs serial or parallel. CI runs this suite under
+/// several fixed seeds via `QT_FAULT_SEED`.
+#[test]
+fn fault_injection_is_deterministic_across_thread_counts() {
+    use qt_core::run_qt_sim_with_faults;
+    use qt_net::{FaultPlan, Topology};
+    force_workers();
+    let fault_seed: u64 = std::env::var("QT_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let fed = build_federation(&spec(8, 17));
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 17);
+    let run = |parallel: bool| {
+        let cfg = QtConfig {
+            parallel,
+            seller_timeout: 5.0,
+            ..QtConfig::default()
+        };
+        let (out, m) = run_qt_sim_with_faults(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            &q,
+            engines(&fed, &cfg),
+            &cfg,
+            Topology::Uniform(cfg.link),
+            Some(
+                FaultPlan::lossy(fault_seed, 0.15)
+                    .with_duplicates(0.05)
+                    .with_jitter(0.25),
+            ),
+        );
+        (out, m)
+    };
+    let (serial, sm) = run(false);
+    let (parallel, pm) = run(true);
+    assert_identical(&serial, &parallel, &format!("faults, seed={fault_seed}"));
+    assert_eq!(
+        serial.optimization_time.to_bits(),
+        parallel.optimization_time.to_bits(),
+        "virtual finish time not bit-identical"
+    );
+    assert_eq!(
+        (sm.dropped, sm.duplicated, sm.retries, sm.timeouts),
+        (pm.dropped, pm.duplicated, pm.retries, pm.timeouts),
+        "fault metrics differ between serial and parallel fan-out"
+    );
+    assert_eq!(
+        serial.unreachable_sellers, parallel.unreachable_sellers,
+        "degradation bookkeeping differs"
+    );
+}
+
 #[test]
 fn repeated_runs_hit_the_offer_cache() {
     force_workers();

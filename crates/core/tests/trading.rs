@@ -804,11 +804,8 @@ fn two_tier_topology_speeds_up_local_markets() {
             &q,
             sellers,
             &cfg,
-            Topology::TwoTier {
-                region_size: 64, // everyone in one region
-                local: qt_cost::NetLink::lan(),
-                remote: cfg.link,
-            },
+            // Everyone in one 64-node region.
+            Topology::two_tier(64, qt_cost::NetLink::lan(), cfg.link).unwrap(),
         )
         .0
     };

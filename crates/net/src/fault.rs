@@ -1,0 +1,236 @@
+//! Deterministic fault injection: message loss, duplication, latency
+//! jitter, network partitions, and node crash/restart windows.
+//!
+//! A [`FaultPlan`] is attached to a [`Simulator`](crate::Simulator) and
+//! consulted on every *network* message (timers scheduled via
+//! [`Ctx::schedule`](crate::Ctx::schedule) are local alarms and never
+//! fault). All stochastic decisions are pure functions of the plan's seed
+//! and the message's sequence number, drawn through the workspace `rand`
+//! shim (xoshiro256++): the same plan produces bit-identical fault
+//! decisions on every run, every platform, and under any `QT_THREADS`
+//! setting — re-enqueueing an event never re-rolls its fate.
+
+use qt_catalog::NodeId;
+use rand::{RngCore, SeedableRng, SmallRng};
+use std::collections::BTreeSet;
+
+/// A closed virtual-time window during which `node` is down. Messages
+/// arriving at (or departing from) a crashed node are lost; after `until`
+/// the node processes traffic again (its handler state survives — a crash
+/// models an unreachable process, not amnesia).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashWindow {
+    /// The crashed node.
+    pub node: NodeId,
+    /// Crash time (inclusive).
+    pub from: f64,
+    /// Restart time (exclusive).
+    pub until: f64,
+}
+
+/// A network partition: during `[from, until)` the nodes in `group` can
+/// only talk among themselves, and the rest of the federation only among
+/// itself. Messages crossing the cut are lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// One side of the cut.
+    pub group: BTreeSet<NodeId>,
+    /// Partition start (inclusive).
+    pub from: f64,
+    /// Heal time (exclusive).
+    pub until: f64,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// The default plan injects nothing: a simulator carrying
+/// `FaultPlan::default()` is bit-identical to one carrying no plan at all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-message fault rolls.
+    pub seed: u64,
+    /// Probability that a message is silently lost in transit.
+    pub drop_rate: f64,
+    /// Probability that a message is delivered twice (the duplicate takes
+    /// an independently jittered, slightly later path).
+    pub duplicate_rate: f64,
+    /// Maximum extra per-message latency, uniform in `[0, jitter)` seconds.
+    pub jitter: f64,
+    /// Node crash/restart windows.
+    pub crashes: Vec<CrashWindow>,
+    /// Network partition windows.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan that only drops messages, at `drop_rate`.
+    pub fn lossy(seed: u64, drop_rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_rate,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Builder-style duplication rate.
+    pub fn with_duplicates(mut self, rate: f64) -> Self {
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Builder-style latency jitter bound (seconds).
+    pub fn with_jitter(mut self, seconds: f64) -> Self {
+        self.jitter = seconds;
+        self
+    }
+
+    /// Builder-style crash window.
+    pub fn with_crash(mut self, node: NodeId, from: f64, until: f64) -> Self {
+        self.crashes.push(CrashWindow { node, from, until });
+        self
+    }
+
+    /// Builder-style partition window.
+    pub fn with_partition(
+        mut self,
+        group: impl IntoIterator<Item = NodeId>,
+        from: f64,
+        until: f64,
+    ) -> Self {
+        self.partitions.push(Partition {
+            group: group.into_iter().collect(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// True when the plan can never inject anything (the zero plan).
+    pub fn is_inert(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.duplicate_rate <= 0.0
+            && self.jitter <= 0.0
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// One uniform `[0,1)` roll for message `seq`, purpose-tagged by `salt`
+    /// so the drop, duplicate, and jitter decisions of one message are
+    /// independent.
+    fn roll(&self, seq: u64, salt: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seq)
+                .rotate_left(17)
+                ^ salt.wrapping_mul(0xD129_0B2E_8C5F_5DB5),
+        );
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Should the message with sequence number `seq` be dropped in transit?
+    pub fn drops(&self, seq: u64) -> bool {
+        self.drop_rate > 0.0 && self.roll(seq, 1) < self.drop_rate
+    }
+
+    /// Should the message with sequence number `seq` be duplicated?
+    pub fn duplicates(&self, seq: u64) -> bool {
+        self.duplicate_rate > 0.0 && self.roll(seq, 2) < self.duplicate_rate
+    }
+
+    /// Extra latency for message `seq` (0 when jitter is off).
+    pub fn jitter_for(&self, seq: u64) -> f64 {
+        if self.jitter > 0.0 {
+            self.jitter * self.roll(seq, 3)
+        } else {
+            0.0
+        }
+    }
+
+    /// Is `node` crashed at virtual time `t`?
+    pub fn down(&self, node: NodeId, t: f64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && t >= c.from && t < c.until)
+    }
+
+    /// Is the `from → to` link severed by a partition at virtual time `t`?
+    pub fn severed(&self, from: NodeId, to: NodeId, t: f64) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| t >= p.from && t < p.until && p.group.contains(&from) != p.group.contains(&to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert!(p.is_inert());
+        for seq in 0..1000 {
+            assert!(!p.drops(seq));
+            assert!(!p.duplicates(seq));
+            assert_eq!(p.jitter_for(seq), 0.0);
+        }
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::lossy(7, 0.5);
+        let b = FaultPlan::lossy(7, 0.5);
+        let c = FaultPlan::lossy(8, 0.5);
+        let decide = |p: &FaultPlan| (0..256).map(|s| p.drops(s)).collect::<Vec<_>>();
+        assert_eq!(decide(&a), decide(&b));
+        assert_ne!(decide(&a), decide(&c));
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let p = FaultPlan::lossy(42, 0.3);
+        let dropped = (0..10_000).filter(|&s| p.drops(s)).count();
+        assert!((2_500..3_500).contains(&dropped), "{dropped}");
+    }
+
+    #[test]
+    fn drop_and_duplicate_rolls_are_independent() {
+        let p = FaultPlan::lossy(3, 0.5).with_duplicates(0.5);
+        let both = (0..4096).filter(|&s| p.drops(s) && p.duplicates(s)).count();
+        // Independent coins agree ~25% of the time, not ~50%.
+        assert!((700..1350).contains(&both), "{both}");
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let p = FaultPlan::lossy(1, 0.0).with_jitter(0.25);
+        for s in 0..1000 {
+            let j = p.jitter_for(s);
+            assert!((0.0..0.25).contains(&j), "{j}");
+        }
+    }
+
+    #[test]
+    fn crash_windows_cover_half_open_intervals() {
+        let p = FaultPlan::default().with_crash(NodeId(3), 1.0, 2.0);
+        assert!(!p.down(NodeId(3), 0.99));
+        assert!(p.down(NodeId(3), 1.0));
+        assert!(p.down(NodeId(3), 1.99));
+        assert!(!p.down(NodeId(3), 2.0));
+        assert!(!p.down(NodeId(4), 1.5));
+    }
+
+    #[test]
+    fn partitions_sever_only_the_cut() {
+        let p = FaultPlan::default().with_partition([NodeId(0), NodeId(1)], 5.0, 10.0);
+        // Across the cut, both directions, only inside the window.
+        assert!(p.severed(NodeId(0), NodeId(2), 5.0));
+        assert!(p.severed(NodeId(2), NodeId(1), 7.5));
+        assert!(!p.severed(NodeId(0), NodeId(2), 4.9));
+        assert!(!p.severed(NodeId(0), NodeId(2), 10.0));
+        // Same side: never severed.
+        assert!(!p.severed(NodeId(0), NodeId(1), 7.5));
+        assert!(!p.severed(NodeId(2), NodeId(3), 7.5));
+    }
+}

@@ -18,10 +18,12 @@
 //! The simulator is generic over the protocol message type `M`; the QT
 //! protocol itself lives in `qt-core`.
 
+pub mod fault;
 pub mod metrics;
 pub mod sim;
 pub mod topology;
 
+pub use fault::{CrashWindow, FaultPlan, Partition};
 pub use metrics::Metrics;
 pub use sim::{Ctx, Handler, Simulator};
 pub use topology::Topology;

@@ -5,16 +5,38 @@ use std::collections::BTreeMap;
 /// Counters accumulated over a simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    /// Total messages delivered.
+    /// Network messages delivered. Local timers scheduled via
+    /// `Ctx::schedule` are *not* messages — they count separately in
+    /// `timer_events` so the paper's message figures stay honest.
     pub messages: u64,
-    /// Total payload bytes transferred.
+    /// Total payload bytes transferred (delivered messages only).
     pub bytes: f64,
-    /// Messages per protocol kind (the `kind` label passed to `Ctx::send`).
+    /// Events per protocol kind (the `kind` label passed to `Ctx::send` /
+    /// `Ctx::schedule`; timers appear here under their own kinds).
     pub by_kind: BTreeMap<&'static str, u64>,
     /// Total virtual compute seconds charged, across all nodes.
     pub compute_seconds: f64,
-    /// Events processed (delivered messages, including self-sends).
+    /// Events processed (delivered messages, self-sends, and timers).
     pub events: u64,
+    /// Timer firings (`Ctx::schedule` self-deliveries) — excluded from
+    /// `messages`/`bytes`.
+    pub timer_events: u64,
+    /// Messages lost to fault injection or to unroutable recipients.
+    pub dropped: u64,
+    /// Dropped messages per cause (`"loss"`, `"crash"`, `"partition"`,
+    /// `"unroutable"`).
+    pub dropped_by_cause: BTreeMap<&'static str, u64>,
+    /// Messages delivered twice by fault-injected duplication.
+    pub duplicated: u64,
+    /// RFB retransmissions the buyer sent after a response deadline expired
+    /// (filled by the QT driver after the run).
+    pub retries: u64,
+    /// Response deadlines that fired with sellers still unheard-from
+    /// (filled by the QT driver after the run).
+    pub timeouts: u64,
+    /// Trading rounds the buyer closed without hearing from every seller
+    /// (filled by the QT driver after the run).
+    pub degraded_rounds: u64,
     /// Seller offer-cache hits across all nodes (RFB items answered from the
     /// memoized reply instead of re-running the local DP).
     pub offer_cache_hits: u64,
@@ -28,6 +50,18 @@ impl Metrics {
         self.messages += 1;
         self.bytes += bytes;
         *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Record one timer firing (no link, no bytes, not a message).
+    pub fn record_timer(&mut self, kind: &'static str) {
+        self.timer_events += 1;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Record one lost message and its cause.
+    pub fn record_drop(&mut self, cause: &'static str) {
+        self.dropped += 1;
+        *self.dropped_by_cause.entry(cause).or_insert(0) += 1;
     }
 
     /// Messages of one kind.
@@ -51,5 +85,29 @@ mod tests {
         assert_eq!(m.kind_count("rfb"), 2);
         assert_eq!(m.kind_count("offer"), 1);
         assert_eq!(m.kind_count("nope"), 0);
+    }
+
+    #[test]
+    fn timers_are_not_messages() {
+        let mut m = Metrics::default();
+        m.record_message("rfb", 100.0);
+        m.record_timer("timeout");
+        m.record_timer("timeout");
+        assert_eq!(m.messages, 1, "timers must not inflate message counts");
+        assert_eq!(m.bytes, 100.0);
+        assert_eq!(m.timer_events, 2);
+        assert_eq!(m.kind_count("timeout"), 2, "timers still visible by kind");
+    }
+
+    #[test]
+    fn drops_track_causes() {
+        let mut m = Metrics::default();
+        m.record_drop("loss");
+        m.record_drop("loss");
+        m.record_drop("crash");
+        assert_eq!(m.dropped, 3);
+        assert_eq!(m.dropped_by_cause["loss"], 2);
+        assert_eq!(m.dropped_by_cause["crash"], 1);
+        assert_eq!(m.messages, 0);
     }
 }

@@ -1,5 +1,6 @@
 //! The event loop.
 
+use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
 use crate::topology::Topology;
 use qt_catalog::NodeId;
@@ -29,6 +30,7 @@ struct Outgoing<M> {
     bytes: f64,
     kind: &'static str,
     extra_delay: f64,
+    timer: bool,
 }
 
 impl<M> Ctx<M> {
@@ -58,11 +60,13 @@ impl<M> Ctx<M> {
             bytes,
             kind,
             extra_delay: 0.0,
+            timer: false,
         });
     }
 
     /// Schedule `msg` to be delivered *to this node itself* after `delay`
-    /// virtual seconds (a timer: no link, no bytes).
+    /// virtual seconds (a timer: no link, no bytes, never counted as a
+    /// network message, and exempt from fault injection).
     pub fn schedule(&mut self, delay: f64, msg: M, kind: &'static str) {
         debug_assert!(delay >= 0.0, "negative timer delay");
         self.outbox.push(Outgoing {
@@ -71,6 +75,7 @@ impl<M> Ctx<M> {
             bytes: 0.0,
             kind,
             extra_delay: delay.max(0.0),
+            timer: true,
         });
     }
 }
@@ -83,6 +88,7 @@ struct Event<M> {
     msg: M,
     bytes: f64,
     kind: &'static str,
+    timer: bool,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -116,6 +122,7 @@ impl<M> Ord for Event<M> {
 /// struct Echo;
 /// struct Probe { reply_at: Option<f64> }
 ///
+/// #[derive(Clone)]
 /// enum Msg { Ping, Pong }
 /// # // One handler type per simulator; dispatch on node role.
 /// enum Node { Echo(Echo), Probe(Probe) }
@@ -152,6 +159,7 @@ pub struct Simulator<M, H: Handler<M>> {
     time: f64,
     seq: u64,
     busy_until: BTreeMap<NodeId, f64>,
+    fault: Option<FaultPlan>,
     /// Accumulated metrics (public for the experiment harness).
     pub metrics: Metrics,
 }
@@ -166,8 +174,26 @@ impl<M, H: Handler<M>> Simulator<M, H> {
             time: 0.0,
             seq: 0,
             busy_until: BTreeMap::new(),
+            fault: None,
             metrics: Metrics::default(),
         }
+    }
+
+    /// Builder-style fault plan attachment.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Attach a [`FaultPlan`]. An inert plan (the default) is dropped so
+    /// that fault-free runs take the exact code path they always did.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = if plan.is_inert() { None } else { Some(plan) };
+    }
+
+    /// The attached fault plan, if a non-inert one was set.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Register `handler` as node `id`.
@@ -203,33 +229,72 @@ impl<M, H: Handler<M>> Simulator<M, H> {
             msg,
             bytes: 0.0,
             kind,
+            timer: false,
         }));
     }
 
     /// Run until the event queue drains or `max_events` deliveries happened.
-    /// Returns the number of events processed.
+    /// Returns the number of events delivered to handlers (deferred
+    /// re-enqueues and faulted-away messages don't count).
     ///
-    /// # Panics
-    /// Panics if a message targets an unregistered node — a protocol bug.
-    pub fn run(&mut self, max_events: u64) -> u64 {
+    /// Messages to unregistered nodes are dropped (recorded under the
+    /// `"unroutable"` cause in [`Metrics::dropped_by_cause`]) rather than
+    /// panicking: with crash windows and partitions in play, a stray late
+    /// message is part of the model, not a protocol bug.
+    pub fn run(&mut self, max_events: u64) -> u64
+    where
+        M: Clone,
+    {
         let mut processed = 0;
         while processed < max_events {
             let Some(std::cmp::Reverse(ev)) = self.queue.pop() else {
                 break;
             };
+            // A delivery deferred behind a busy node is re-enqueued at the
+            // time the node frees up instead of executed now with a warped
+            // clock: `self.time` (and every handler's `ctx.now()`) stays
+            // monotone non-decreasing, and deliveries to *other* nodes in
+            // the interim happen at their true virtual times. The original
+            // sequence number rides along, so per-destination FIFO order is
+            // preserved through the equal-time tie-break.
+            let busy = self.busy_until.get(&ev.to).copied().unwrap_or(0.0);
+            if busy > ev.time {
+                self.queue
+                    .push(std::cmp::Reverse(Event { time: busy, ..ev }));
+                continue;
+            }
+            let start = ev.time;
+            self.time = start;
+
+            // Fault plane: crashed recipients and severed links lose the
+            // message at its arrival instant. Timers are local alarms and
+            // always fire — the buyer's deadline chain must make progress
+            // precisely when the network does not.
+            if !ev.timer {
+                if let Some(plan) = &self.fault {
+                    if plan.down(ev.to, start) {
+                        self.metrics.record_drop("crash");
+                        continue;
+                    }
+                    if plan.severed(ev.from, ev.to, start) {
+                        self.metrics.record_drop("partition");
+                        continue;
+                    }
+                }
+            }
+            let Some(handler) = self.handlers.get_mut(&ev.to) else {
+                self.metrics.record_drop("unroutable");
+                continue;
+            };
+
             processed += 1;
             self.metrics.events += 1;
-            // Delivery waits for the node to be free (sequential nodes).
-            let start = ev
-                .time
-                .max(self.busy_until.get(&ev.to).copied().unwrap_or(0.0));
-            self.time = start;
-            self.metrics.record_message(ev.kind, ev.bytes);
+            if ev.timer {
+                self.metrics.record_timer(ev.kind);
+            } else {
+                self.metrics.record_message(ev.kind, ev.bytes);
+            }
 
-            let handler = self
-                .handlers
-                .get_mut(&ev.to)
-                .unwrap_or_else(|| panic!("message to unregistered {}", ev.to));
             let mut ctx = Ctx {
                 now: start,
                 node: ev.to,
@@ -246,6 +311,42 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                 let arrive = done + link.transfer_time(out.bytes) + out.extra_delay;
                 let seq = self.seq;
                 self.seq += 1;
+                if !out.timer {
+                    if let Some(plan) = &self.fault {
+                        // Transit faults roll per sequence number, once: a
+                        // deferred re-enqueue never re-rolls its fate.
+                        if plan.drops(seq) {
+                            self.metrics.record_drop("loss");
+                            continue;
+                        }
+                        if plan.duplicates(seq) {
+                            self.metrics.duplicated += 1;
+                            let dup_seq = self.seq;
+                            self.seq += 1;
+                            self.queue.push(std::cmp::Reverse(Event {
+                                time: arrive + plan.jitter_for(dup_seq),
+                                seq: dup_seq,
+                                from: ev.to,
+                                to: out.to,
+                                msg: out.msg.clone(),
+                                bytes: out.bytes,
+                                kind: out.kind,
+                                timer: false,
+                            }));
+                        }
+                        self.queue.push(std::cmp::Reverse(Event {
+                            time: arrive + plan.jitter_for(seq),
+                            seq,
+                            from: ev.to,
+                            to: out.to,
+                            msg: out.msg,
+                            bytes: out.bytes,
+                            kind: out.kind,
+                            timer: false,
+                        }));
+                        continue;
+                    }
+                }
                 self.queue.push(std::cmp::Reverse(Event {
                     time: arrive,
                     seq,
@@ -254,6 +355,7 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                     msg: out.msg,
                     bytes: out.bytes,
                     kind: out.kind,
+                    timer: out.timer,
                 }));
             }
         }
@@ -267,7 +369,7 @@ mod tests {
     use qt_cost::NetLink;
 
     /// Ping-pong: node 0 sends `n` pings; node 1 echoes each.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     enum Msg {
         Ping(u32),
         Pong(u32),
@@ -356,6 +458,7 @@ mod tests {
             times: Vec<f64>,
         }
         struct Echo;
+        #[derive(Clone)]
         enum M2 {
             Ping,
             Pong,
@@ -448,5 +551,198 @@ mod tests {
         sim.run(100);
         assert_eq!(sim.handler(NodeId(0)).unwrap().count, 6);
         assert_eq!(sim.now(), 0.0); // self-sends cost no time
+    }
+
+    /// Regression for the warped-clock bug: a delivery deferred behind a
+    /// busy node used to execute immediately with `self.time` jumped forward
+    /// past later-queued events, so `ctx.now()` went backwards and nodes saw
+    /// deliveries out of virtual-time order.
+    #[test]
+    fn virtual_time_is_monotone_across_deferred_deliveries() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        #[derive(Clone)]
+        struct Blip;
+        struct Tracer {
+            log: Rc<RefCell<Vec<(NodeId, f64)>>>,
+            compute: f64,
+        }
+        impl Handler<Blip> for Tracer {
+            fn on_message(&mut self, ctx: &mut Ctx<Blip>, _from: NodeId, _msg: Blip) {
+                self.log.borrow_mut().push((ctx.node(), ctx.now()));
+                ctx.charge_compute(self.compute);
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulator<Blip, Tracer> = Simulator::new(Topology::default());
+        sim.add_node(
+            NodeId(1),
+            Tracer {
+                log: log.clone(),
+                compute: 1.0,
+            },
+        );
+        sim.add_node(
+            NodeId(2),
+            Tracer {
+                log: log.clone(),
+                compute: 0.0,
+            },
+        );
+        // Two back-to-back blips pin node 1 busy until t=2.0; a blip to the
+        // idle node 2 lands in between at t=0.5. Pre-fix, the deferred
+        // second delivery to node 1 ran at t=1.0 *before* the t=0.5 one.
+        sim.inject(0.0, NodeId(0), NodeId(1), Blip, "blip");
+        sim.inject(0.0, NodeId(0), NodeId(1), Blip, "blip");
+        sim.inject(0.5, NodeId(0), NodeId(2), Blip, "blip");
+        sim.run(100);
+        let log = log.borrow();
+        let times: Vec<f64> = log.iter().map(|&(_, t)| t).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "handler clocks went backwards: {times:?}"
+        );
+        assert_eq!(
+            *log,
+            vec![(NodeId(1), 0.0), (NodeId(2), 0.5), (NodeId(1), 1.0)],
+            "cross-node delivery order must respect virtual time"
+        );
+    }
+
+    #[test]
+    fn unregistered_recipient_is_a_drop_not_a_panic() {
+        let mut sim = build(0);
+        sim.inject(0.0, NodeId(0), NodeId(9), Msg::Ping(0), "ping");
+        let processed = sim.run(100);
+        assert_eq!(processed, 0);
+        assert_eq!(sim.metrics.dropped, 1);
+        assert_eq!(sim.metrics.dropped_by_cause["unroutable"], 1);
+        assert_eq!(sim.metrics.messages, 0);
+    }
+
+    #[test]
+    fn timers_count_separately_from_messages() {
+        struct Timed;
+        impl Handler<&'static str> for Timed {
+            fn on_message(
+                &mut self,
+                ctx: &mut Ctx<&'static str>,
+                _from: NodeId,
+                msg: &'static str,
+            ) {
+                if msg == "start" {
+                    ctx.schedule(5.0, "alarm", "alarm");
+                }
+            }
+        }
+        let mut sim: Simulator<&'static str, Timed> = Simulator::new(Topology::default());
+        sim.add_node(NodeId(0), Timed);
+        sim.inject(0.0, NodeId(0), NodeId(0), "start", "start");
+        sim.run(10);
+        // The injected "start" is a message; the scheduled "alarm" is not.
+        assert_eq!(sim.metrics.messages, 1);
+        assert_eq!(sim.metrics.timer_events, 1);
+        assert_eq!(sim.metrics.kind_count("alarm"), 1);
+        assert_eq!(sim.metrics.events, 2);
+    }
+
+    #[test]
+    fn total_loss_drops_replies_in_transit() {
+        let mut sim = build(0);
+        sim.set_fault_plan(FaultPlan::lossy(1, 1.0));
+        sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        sim.run(100);
+        // The injected ping is delivered (external stimulus, not in-transit),
+        // but the echoed pong is lost.
+        assert_eq!(sim.metrics.messages, 1);
+        assert_eq!(sim.metrics.dropped_by_cause["loss"], 1);
+        assert!(sim.handler(NodeId(0)).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut sim = build(0);
+        sim.set_fault_plan(FaultPlan {
+            seed: 5,
+            duplicate_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        sim.run(100);
+        assert_eq!(sim.metrics.duplicated, 1);
+        assert_eq!(sim.handler(NodeId(0)).unwrap().received, vec![0, 0]);
+    }
+
+    #[test]
+    fn crashed_node_loses_arrivals_until_restart() {
+        let mut sim = build(0);
+        sim.set_fault_plan(FaultPlan::default().with_crash(NodeId(1), 0.0, 10.0));
+        sim.inject(5.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        sim.inject(12.0, NodeId(0), NodeId(1), Msg::Ping(7), "ping");
+        sim.run(100);
+        assert_eq!(sim.metrics.dropped_by_cause["crash"], 1);
+        assert_eq!(sim.handler(NodeId(0)).unwrap().received, vec![7]);
+    }
+
+    #[test]
+    fn partition_severs_cross_cut_traffic() {
+        let mut sim = build(0);
+        sim.set_fault_plan(FaultPlan::default().with_partition([NodeId(0)], 0.0, 100.0));
+        sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        sim.run(100);
+        assert_eq!(sim.metrics.dropped_by_cause["partition"], 1);
+        assert!(sim.handler(NodeId(0)).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn jitter_delays_but_still_delivers() {
+        let mut sim = build(0);
+        sim.set_fault_plan(FaultPlan::default().with_jitter(0.25));
+        sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+        sim.run(100);
+        assert_eq!(sim.handler(NodeId(0)).unwrap().received, vec![0]);
+        // Fault-free pong arrival is t=2.5; jitter adds [0, 0.25).
+        assert!(sim.now() >= 2.5 && sim.now() < 2.75, "{}", sim.now());
+    }
+
+    #[test]
+    fn inert_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut sim = build(5);
+            if let Some(p) = plan {
+                sim.set_fault_plan(p);
+            }
+            sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+            sim.run(1000);
+            (
+                sim.now().to_bits(),
+                sim.metrics.messages,
+                sim.metrics.bytes.to_bits(),
+                sim.handler(NodeId(0)).unwrap().received.clone(),
+            )
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::default())));
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible() {
+        let run = || {
+            let mut sim = build(10);
+            sim.set_fault_plan(
+                FaultPlan::lossy(7, 0.3)
+                    .with_duplicates(0.2)
+                    .with_jitter(0.1),
+            );
+            sim.inject(0.0, NodeId(0), NodeId(1), Msg::Ping(0), "ping");
+            sim.run(10_000);
+            (
+                sim.now().to_bits(),
+                sim.metrics.messages,
+                sim.metrics.dropped,
+                sim.metrics.duplicated,
+                sim.handler(NodeId(0)).unwrap().received.clone(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

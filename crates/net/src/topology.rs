@@ -2,6 +2,7 @@
 
 use qt_catalog::NodeId;
 use qt_cost::NetLink;
+use std::num::NonZeroU32;
 
 /// A topology maps ordered node pairs to links.
 #[derive(Clone)]
@@ -10,10 +11,11 @@ pub enum Topology {
     Uniform(NetLink),
     /// Two-tier: nodes in the same region (`node.0 / region_size`) use the
     /// fast link, others the slow link. Models regional offices behind WAN
-    /// uplinks.
+    /// uplinks. Build with [`Topology::two_tier`] to validate the region
+    /// size; `region_size` is `NonZeroU32` so a zero divisor cannot exist.
     TwoTier {
-        /// Nodes per region.
-        region_size: u32,
+        /// Nodes per region (non-zero by construction).
+        region_size: NonZeroU32,
         /// Intra-region link.
         local: NetLink,
         /// Inter-region link.
@@ -24,6 +26,18 @@ pub enum Topology {
 }
 
 impl Topology {
+    /// A validated two-tier topology. Returns a clear error instead of the
+    /// divide-by-zero panic a raw `TwoTier { region_size: 0, .. }` literal
+    /// used to hide until the first `link()` call.
+    pub fn two_tier(region_size: u32, local: NetLink, remote: NetLink) -> Result<Topology, String> {
+        let region_size = NonZeroU32::new(region_size)
+            .ok_or_else(|| "two-tier topology requires region_size >= 1".to_string())?;
+        Ok(Topology::TwoTier {
+            region_size,
+            local,
+            remote,
+        })
+    }
     /// The link used from `from` to `to`. Self-sends are free and instant.
     pub fn link(&self, from: NodeId, to: NodeId) -> NetLink {
         if from == to {
@@ -39,7 +53,7 @@ impl Topology {
                 local,
                 remote,
             } => {
-                if from.0 / region_size == to.0 / region_size {
+                if from.0 / region_size.get() == to.0 / region_size.get() {
                     *local
                 } else {
                     *remote
@@ -79,13 +93,15 @@ mod tests {
 
     #[test]
     fn two_tier_distinguishes_regions() {
-        let t = Topology::TwoTier {
-            region_size: 4,
-            local: NetLink::lan(),
-            remote: NetLink::wan(),
-        };
+        let t = Topology::two_tier(4, NetLink::lan(), NetLink::wan()).unwrap();
         assert_eq!(t.link(NodeId(0), NodeId(3)).latency, NetLink::lan().latency);
         assert_eq!(t.link(NodeId(0), NodeId(4)).latency, NetLink::wan().latency);
+    }
+
+    #[test]
+    fn two_tier_rejects_zero_region_size() {
+        let err = Topology::two_tier(0, NetLink::lan(), NetLink::wan()).unwrap_err();
+        assert!(err.contains("region_size"), "{err}");
     }
 
     #[test]

@@ -9,6 +9,11 @@
 
 use crate::offer::{Bid, NegotiationOutcome};
 
+/// Hard cap on descending-clock auction rounds: a zero or near-zero opening
+/// ask used to make `step` collapse to `f64::MIN_POSITIVE` and the round
+/// count astronomical (billions of phantom messages charged to the network).
+pub const MAX_ENGLISH_ROUNDS: u64 = 10_000;
+
 /// Which negotiation protocol runs the nested winner selection.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ProtocolKind {
@@ -99,7 +104,11 @@ impl ProtocolKind {
                     .map(|&i| bids[i].ask)
                     .fold(0.0f64, f64::max)
                     .min(reserve_value);
-                let step = (opening * decrement).max(f64::MIN_POSITIVE);
+                // Clamp the clock step away from denormal territory: a zero
+                // opening (free asks) or a tiny decrement must not yield an
+                // astronomical round count. The floor is relative to the
+                // opening price when it is meaningful, absolute otherwise.
+                let step = (opening * decrement).max(opening.abs() * 1e-6).max(1e-12);
                 let win = *admissible
                     .iter()
                     .min_by(|&&a, &&b| bids[a].reserve.total_cmp(&bids[b].reserve))
@@ -115,7 +124,8 @@ impl ProtocolKind {
                 } else {
                     bids[win].ask
                 };
-                let rounds = (((opening - clearing) / step).ceil().max(1.0)) as u64;
+                let rounds = (((opening - clearing) / step).ceil().max(1.0))
+                    .min(MAX_ENGLISH_ROUNDS as f64) as u64;
                 // Per round every still-active seller receives/acks the clock
                 // tick; approximate with the admissible count.
                 NegotiationOutcome {
@@ -206,6 +216,23 @@ mod tests {
             out.agreed_value
         );
         assert!(out.extra_messages > 3, "auction costs rounds of messages");
+    }
+
+    #[test]
+    fn english_zero_opening_is_bounded() {
+        // Free asks used to yield step = f64::MIN_POSITIVE and ~1e308
+        // rounds; the clamp keeps the auction finite.
+        let free = vec![Bid::new(NodeId(1), 0.0, 0.0), Bid::new(NodeId(2), 0.0, 0.0)];
+        let out = ProtocolKind::English { decrement: 0.05 }.negotiate(&free, f64::INFINITY);
+        assert!(out.winner.is_some());
+        assert!(out.extra_round_trips <= MAX_ENGLISH_ROUNDS);
+        assert!(out.extra_messages <= MAX_ENGLISH_ROUNDS * free.len() as u64 + 1);
+    }
+
+    #[test]
+    fn english_tiny_decrement_is_bounded() {
+        let out = ProtocolKind::English { decrement: 1e-300 }.negotiate(&bids(), f64::INFINITY);
+        assert!(out.extra_round_trips <= MAX_ENGLISH_ROUNDS);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use qt_catalog::NodeId;
-use qt_trade::{Bid, ProtocolKind};
+use qt_trade::{Bid, ProtocolKind, MAX_ENGLISH_ROUNDS};
 
 fn bids_strategy() -> impl Strategy<Value = Vec<Bid>> {
     prop::collection::vec((1.0f64..100.0, 0.5f64..1.0), 1..12).prop_map(|raw| {
@@ -106,5 +106,39 @@ proptest! {
             prop_assert!(out.extra_messages >= 1);
             prop_assert!(out.extra_round_trips >= 1);
         }
+    }
+
+    /// Degenerate bids — zero asks, equal reserves, tiny decrements — must
+    /// never blow the English round count past the hard cap. (Pre-fix, a
+    /// zero opening collapsed the step to `f64::MIN_POSITIVE` and charged
+    /// ~1e308 phantom messages to the network.)
+    #[test]
+    fn english_degenerate_bids_stay_bounded(
+        n in 1usize..8,
+        ask in prop_oneof![Just(0.0f64), 1e-300f64..1e-290, 1.0f64..10.0],
+        decrement in prop_oneof![Just(1e-300f64), 1e-12f64..0.3],
+    ) {
+        // Every seller quotes the same degenerate ask with ask == reserve
+        // (equal reserves: nobody can be undercut).
+        let bids: Vec<Bid> = (0..n)
+            .map(|i| Bid::new(NodeId(i as u32), ask, ask))
+            .collect();
+        let out = ProtocolKind::English { decrement }.negotiate(&bids, f64::INFINITY);
+        let w = out.winner.unwrap();
+        prop_assert!(out.extra_round_trips <= MAX_ENGLISH_ROUNDS);
+        prop_assert!(out.extra_messages <= MAX_ENGLISH_ROUNDS * n as u64 + 1);
+        prop_assert!(out.agreed_value >= bids[w].reserve - 1e-9);
+    }
+
+    /// A single bidder wins immediately at a bounded cost, whatever its ask.
+    #[test]
+    fn english_single_bidder_is_cheap(
+        ask in prop_oneof![Just(0.0f64), 0.0f64..100.0],
+        decrement in 1e-9f64..0.5,
+    ) {
+        let bids = vec![Bid::new(NodeId(0), ask, ask * 0.8)];
+        let out = ProtocolKind::English { decrement }.negotiate(&bids, f64::INFINITY);
+        prop_assert_eq!(out.winner, Some(0));
+        prop_assert!(out.extra_round_trips <= MAX_ENGLISH_ROUNDS);
     }
 }
