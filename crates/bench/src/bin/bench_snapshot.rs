@@ -241,6 +241,87 @@ fn fault_counters() -> (bool, u64, u64, u64, u64, u64) {
     )
 }
 
+struct ServeStats {
+    qps: f64,
+    p50: f64,
+    p95: f64,
+    msgs_per_query: f64,
+    msgs_per_query_unbatched: f64,
+    /// Fraction of per-query messages removed by batching (conc 8, 16 sellers).
+    batching_msg_reduction: f64,
+    /// Host wall-clock speedup of conc-8 serving over one-at-a-time serving
+    /// of the same 32-query burst (batching collapses most of the event
+    /// traffic, so this holds even on one core).
+    speedup_conc8: f64,
+}
+
+/// The serving path: one 32-query burst through a 16-node federation,
+/// measured three ways — virtual-time throughput/latency (conc 8, batched),
+/// message economy (batched vs. unbatched at conc 8), and host wall-clock
+/// (conc 8 vs. conc 1, best of 3).
+fn bench_serve() -> ServeStats {
+    use qt_core::{run_qt_serve, ServeConfig};
+    use qt_workload::{gen_arrivals, synthetic_mix, ArrivalSpec};
+    let fed = build_federation(&spec(16));
+    let mix = synthetic_mix(&fed.catalog.dict, 6, 5);
+    let arrivals = gen_arrivals(
+        &mix,
+        &ArrivalSpec {
+            n_queries: 32,
+            mean_interarrival: 0.0,
+            seed: 5,
+        },
+    );
+    let cfg = QtConfig {
+        // Queued sessions must not trip retransmission deadlines.
+        seller_timeout: 300.0,
+        ..QtConfig::default()
+    };
+    let run = |conc: usize, batch: bool| {
+        run_qt_serve(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            arrivals.clone(),
+            engines(&fed, &cfg),
+            &cfg,
+            &ServeConfig {
+                concurrency: conc,
+                batch_rfbs: batch,
+            },
+        )
+    };
+    let wall = |conc: usize| {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(run(conc, true));
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let conc8 = run(8, true);
+    let unbatched = run(8, false);
+    let wall_seq = wall(1);
+    let wall_conc8 = wall(8);
+    let stats = ServeStats {
+        qps: conc8.qps,
+        p50: conc8.p50_latency,
+        p95: conc8.p95_latency,
+        msgs_per_query: conc8.messages_per_query,
+        msgs_per_query_unbatched: unbatched.messages_per_query,
+        batching_msg_reduction: 1.0 - conc8.messages_per_query / unbatched.messages_per_query,
+        speedup_conc8: wall_seq / wall_conc8.max(1e-12),
+    };
+    eprintln!(
+        "{:40} {:>12.1} qps  ({:.1}% fewer msgs batched, conc8 {:.2}x wall)",
+        "serve/16_sellers/32_queries/conc8",
+        stats.qps,
+        stats.batching_msg_reduction * 100.0,
+        stats.speedup_conc8
+    );
+    stats
+}
+
 fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -303,6 +384,31 @@ fn main() {
         "  \"warm_cache_speedup_16_sellers\": {warm_speedup:.3},"
     );
     let _ = writeln!(json, "  \"offer_cache_hit_rate\": {hit_rate:.4},");
+    let serve = bench_serve();
+    json.push_str("  \"serve\": {\n");
+    let _ = writeln!(json, "    \"sellers\": 16,");
+    let _ = writeln!(json, "    \"n_queries\": 32,");
+    let _ = writeln!(json, "    \"concurrency\": 8,");
+    let _ = writeln!(json, "    \"qps\": {:.3},", serve.qps);
+    let _ = writeln!(json, "    \"p50_latency\": {:.6},", serve.p50);
+    let _ = writeln!(json, "    \"p95_latency\": {:.6},", serve.p95);
+    let _ = writeln!(json, "    \"msgs_per_query\": {:.3},", serve.msgs_per_query);
+    let _ = writeln!(
+        json,
+        "    \"msgs_per_query_unbatched\": {:.3},",
+        serve.msgs_per_query_unbatched
+    );
+    let _ = writeln!(
+        json,
+        "    \"batching_msg_reduction\": {:.4},",
+        serve.batching_msg_reduction
+    );
+    let _ = writeln!(
+        json,
+        "    \"serve_speedup_conc8\": {:.3}",
+        serve.speedup_conc8
+    );
+    json.push_str("  },\n");
     let (plan_found, dropped, retries, timeouts, degraded, unreachable) = fault_counters();
     json.push_str("  \"fault_run\": {\n");
     let _ = writeln!(json, "    \"loss_rate\": 0.15,");

@@ -876,6 +876,70 @@ pub fn e18() -> Table {
     t
 }
 
+/// E19: serving throughput vs. concurrency. A burst of 32 queries (synthetic
+/// mix, arrival seed fixed) is served through 8- and 16-node federations at
+/// admission limits 1→32, RFB batching on. Reported per cell: completed
+/// queries per virtual second, p50/p95 session latency (arrival → plan,
+/// queueing included), and protocol messages per query — which *drops* as
+/// concurrency rises because same-instant RFBs to one seller coalesce into
+/// one message.
+pub fn e19() -> Table {
+    use qt_core::{run_qt_serve, ServeConfig};
+    use qt_workload::{gen_arrivals, synthetic_mix, ArrivalSpec};
+    let mut t = Table::new(
+        "E19",
+        "serving throughput vs. concurrency; 32-query burst, RFB batching on",
+        &[
+            "sellers",
+            "concurrency",
+            "qps",
+            "p50 latency",
+            "p95 latency",
+            "msgs/query",
+        ],
+    );
+    for nodes in [8u32, 16] {
+        let fed = build_federation(&spec(nodes, 3, 2, 2, 19));
+        let mix = synthetic_mix(&fed.catalog.dict, 6, 19);
+        let arrivals = gen_arrivals(
+            &mix,
+            &ArrivalSpec {
+                n_queries: 32,
+                mean_interarrival: 0.0,
+                seed: 19,
+            },
+        );
+        // Generous deadline: a deep admission queue must not trip the
+        // retransmission machinery.
+        let cfg = QtConfig {
+            seller_timeout: 300.0,
+            ..QtConfig::default()
+        };
+        for conc in [1usize, 2, 4, 8, 16, 32] {
+            let out = run_qt_serve(
+                BUYER,
+                fed.catalog.dict.clone(),
+                arrivals.clone(),
+                seller_engines(&fed, &cfg),
+                &cfg,
+                &ServeConfig {
+                    concurrency: conc,
+                    batch_rfbs: true,
+                },
+            );
+            t.push(vec![
+                nodes.to_string(),
+                conc.to_string(),
+                f(out.qps),
+                f(out.p50_latency),
+                f(out.p95_latency),
+                f(out.messages_per_query),
+            ]);
+        }
+    }
+    t
+}
+
 pub fn all() -> Vec<Experiment> {
     vec![
         ("e1", e1 as fn() -> Table),
@@ -896,6 +960,7 @@ pub fn all() -> Vec<Experiment> {
         ("e16", e16),
         ("e17", e17),
         ("e18", e18),
+        ("e19", e19),
     ]
 }
 

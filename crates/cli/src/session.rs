@@ -114,6 +114,7 @@ impl Session {
                  \\protocol <p>        sealed-bid | vickrey | english | bargaining\n\
                  \\markup <x>          seller markup factor (1.0 = truthful)\n\
                  \\faults <p> [seed]   simulate with message-loss rate p (0 or 'off' to disable)\n\
+                 \\serve <n> [c]       serve a burst of n demo queries at concurrency c (default 1)\n\
                  \\quit                leave"
                     .into(),
             ),
@@ -184,8 +185,92 @@ impl Session {
                     )),
                 }
             }
+            "serve" => {
+                let mut parts = rest.split_whitespace();
+                let n = parts.next().and_then(|tok| tok.parse::<usize>().ok());
+                let conc = match parts.next() {
+                    Some(tok) => tok.parse::<usize>().ok().filter(|c| *c >= 1),
+                    None => Some(1),
+                };
+                match (n, conc) {
+                    (Some(n), Some(conc)) if n >= 1 => Eval::Output(self.serve(n, conc)),
+                    _ => Eval::Output(format!(
+                        "invalid '\\serve {rest}' (need \\serve <n_queries> [concurrency >= 1])"
+                    )),
+                }
+            }
             other => Eval::Output(format!("unknown command '\\{other}' (try \\help)")),
         }
+    }
+
+    /// Throughput meta-benchmark: a burst of `n` demo-mix queries served
+    /// concurrently through the session-multiplexed simulator driver.
+    fn serve(&self, n: usize, conc: usize) -> String {
+        use qt_core::{run_qt_serve, ServeConfig};
+        let mix = match self.demo {
+            Demo::Telecom => qt_workload::telecom_mix(&self.catalog.dict),
+            Demo::Synthetic => qt_workload::synthetic_mix(&self.catalog.dict, 4, 1),
+        };
+        let arrivals = qt_workload::gen_arrivals(
+            &mix,
+            &qt_workload::ArrivalSpec {
+                n_queries: n,
+                mean_interarrival: 0.0,
+                seed: 1,
+            },
+        );
+        let sellers: BTreeMap<NodeId, SellerEngine> = self
+            .catalog
+            .nodes
+            .iter()
+            .map(|&node| {
+                (
+                    node,
+                    SellerEngine::new(self.catalog.holdings_of(node), self.config.clone()),
+                )
+            })
+            .collect();
+        let cfg = QtConfig {
+            // Admission-queued sessions must not trip response deadlines.
+            seller_timeout: self.config.seller_timeout.max(300.0),
+            ..self.config.clone()
+        };
+        let out = run_qt_serve(
+            self.buyer,
+            self.catalog.dict.clone(),
+            arrivals,
+            sellers,
+            &cfg,
+            &ServeConfig {
+                concurrency: conc,
+                batch_rfbs: true,
+            },
+        );
+        let planned = out.reports.iter().filter(|r| r.plan.is_some()).count();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "served {n} queries at concurrency {conc} ({planned} planned), RFB batching on"
+        );
+        if self.fault_loss > 0.0 {
+            let _ = writeln!(s, "note: \\faults applies to SQL runs, not \\serve");
+        }
+        let _ = writeln!(
+            s,
+            "throughput: {:.2} queries/s over {:.3}s simulated",
+            out.qps, out.makespan
+        );
+        let _ = writeln!(
+            s,
+            "latency: p50 {:.3}s, p95 {:.3}s",
+            out.p50_latency, out.p95_latency
+        );
+        let _ = write!(
+            s,
+            "messages: {} total, {:.1} per query",
+            out.messages, out.messages_per_query
+        );
+        s
     }
 
     fn schema(&self) -> String {
@@ -464,6 +549,23 @@ mod tests {
             panic!()
         };
         assert!(!o.contains("faults:"), "{o}");
+    }
+
+    #[test]
+    fn serve_reports_throughput() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval("\\serve 6 3") else {
+            panic!()
+        };
+        assert!(o.contains("served 6 queries at concurrency 3"), "{o}");
+        assert!(o.contains("(6 planned)"), "{o}");
+        assert!(o.contains("queries/s"), "{o}");
+        assert!(o.contains("p95"), "{o}");
+        assert!(o.contains("per query"), "{o}");
+        // Default concurrency is 1; bad arguments are rejected.
+        assert!(matches!(s.eval("\\serve 2"), Eval::Output(o) if o.contains("concurrency 1")));
+        assert!(matches!(s.eval("\\serve"), Eval::Output(o) if o.contains("invalid")));
+        assert!(matches!(s.eval("\\serve 4 0"), Eval::Output(o) if o.contains("invalid")));
     }
 
     #[test]

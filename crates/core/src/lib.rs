@@ -32,6 +32,7 @@ pub mod offer;
 pub mod plangen;
 pub mod relset;
 pub mod seller;
+pub mod session;
 
 pub use buyer::BuyerEngine;
 pub use config::QtConfig;
@@ -41,4 +42,7 @@ pub use driver::{
 };
 pub use offer::{Offer, OfferKind, RfbItem};
 pub use relset::RelSet;
-pub use seller::SellerEngine;
+pub use seller::{session_req, SellerEngine, SessionRfb};
+pub use session::{
+    run_qt_serve, ServeConfig, ServeMsg, ServeNode, ServeOutcome, SessionManager, SessionReport,
+};

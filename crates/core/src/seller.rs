@@ -8,6 +8,8 @@ use qt_cost::{AnswerProperties, CardinalityEstimator, NodeResources};
 use qt_optimizer::LocalOptimizer;
 use qt_query::views::match_view;
 use qt_query::{rewrite_for_holdings, MaterializedView, Query};
+use qt_trade::SessionId;
+use std::sync::Arc;
 
 /// A seller's reply to one RFB.
 #[derive(Debug, Clone, Default)]
@@ -16,6 +18,25 @@ pub struct SellerResponse {
     pub offers: Vec<Offer>,
     /// Optimization effort spent producing them (sub-plans enumerated).
     pub effort: u64,
+}
+
+/// One session's slice of a batched RFB: the serving layer coalesces every
+/// session's current-round request to the same seller into one message, and
+/// each entry is what a stand-alone [`QtMsg::Rfb`](crate::driver::QtMsg)
+/// would have carried.
+#[derive(Debug, Clone)]
+pub struct SessionRfb {
+    /// The negotiation this entry belongs to.
+    pub session: SessionId,
+    /// Request id, unique per (session, round); retransmissions reuse it.
+    pub req: u64,
+    /// The session's trading round.
+    pub round: u32,
+    /// The queries out for bid.
+    pub items: Arc<Vec<RfbItem>>,
+    /// Market hints for subcontracting sellers (session-isolated: only this
+    /// session's own offer pool feeds them).
+    pub hints: Arc<Vec<Offer>>,
 }
 
 /// One autonomous selling node's trading engine.
@@ -57,6 +78,11 @@ pub struct SellerEngine {
     pub duplicate_rfbs: u64,
     config: QtConfig,
     next_offer: u64,
+    /// Per-session offer-id counters for the multiplexed serving path: a
+    /// session's ids depend only on that session's own request sequence, so
+    /// a query traded concurrently with others receives bit-identical offer
+    /// ids to the same query traded alone.
+    session_offers: std::collections::HashMap<SessionId, u64>,
     offer_cache: std::collections::HashMap<u64, Vec<Offer>>,
     /// Request-id → the exact reply already sent. Distinct from the offer
     /// cache: a dedup hit resends *identical* offers (same ids) so the buyer
@@ -80,6 +106,7 @@ impl SellerEngine {
             duplicate_rfbs: 0,
             config,
             next_offer: 0,
+            session_offers: std::collections::HashMap::new(),
             offer_cache: std::collections::HashMap::new(),
             rfb_replies: std::collections::HashMap::new(),
         }
@@ -122,6 +149,18 @@ impl SellerEngine {
     fn fresh_id(&mut self) -> u64 {
         let id = ((self.node.0 as u64) << 32) | self.next_offer;
         self.next_offer += 1;
+        id
+    }
+
+    /// Offer id drawn from `session`'s own counter. Ids from different
+    /// sessions at the same seller may collide numerically — offers only
+    /// ever meet inside one session's buyer engine, where the per-session
+    /// sequence keeps them unique — and that is the point: the id stream a
+    /// session observes is independent of what other sessions trade.
+    fn fresh_session_id(&mut self, session: SessionId) -> u64 {
+        let ctr = self.session_offers.entry(session).or_insert(0);
+        let id = ((self.node.0 as u64) << 32) | *ctr;
+        *ctr += 1;
         id
     }
 
@@ -263,6 +302,106 @@ impl SellerEngine {
         let resp = self.respond_with_hints(round, items, hints);
         self.rfb_replies.insert(req, resp.offers.clone());
         resp
+    }
+
+    /// Answer a batched RFB covering several concurrent sessions in one
+    /// parallel pass. Returns one [`SellerResponse`] per entry, in entry
+    /// order.
+    ///
+    /// The offer cache is *shared across sessions* — two sessions asking the
+    /// same query (same fingerprint, same hints digest) evaluate it once —
+    /// while everything a session can observe stays isolated: offer ids come
+    /// from per-session counters, and hints only affect the cache key of the
+    /// session that sent them. Entries whose request id is already in the
+    /// dedup memo (retransmissions) are answered identically at zero effort;
+    /// the remaining distinct uncached items across *all* entries form a
+    /// single [`qt_par`] evaluation batch, so a flush covering M sessions
+    /// costs one fork/join instead of M.
+    pub fn respond_batch(&mut self, entries: &[SessionRfb]) -> Vec<SellerResponse> {
+        struct Job<'a> {
+            key: u64,
+            query: &'a Query,
+            hints: &'a [Offer],
+            round: u32,
+        }
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut scheduled = std::collections::HashSet::new();
+        for e in entries {
+            if self.rfb_replies.contains_key(&e.req) {
+                continue;
+            }
+            for item in e.items.iter() {
+                let key = self.cache_key(&item.query, &e.hints);
+                if self.offer_cache.contains_key(&key) || !scheduled.insert(key) {
+                    continue;
+                }
+                jobs.push(Job {
+                    key,
+                    query: &item.query,
+                    hints: &e.hints,
+                    round: e.round,
+                });
+            }
+        }
+        let workers = if self.config.parallel {
+            qt_par::max_threads()
+        } else {
+            1
+        };
+        let computed: Vec<(u64, SellerResponse)> = qt_par::par_map_ref(&jobs, workers, |job| {
+            (job.key, self.eval_item(job.round, job.query, job.hints))
+        });
+        // Serial merge: fill the cache in first-occurrence order, then
+        // assemble per-entry replies in entry/item order. The effort of a
+        // fresh evaluation is charged to the first entry that references it;
+        // later references in the same batch are cache hits, exactly as they
+        // would be had the entries arrived one by one.
+        let mut fresh_effort: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
+        for (key, r) in computed {
+            fresh_effort.insert(key, r.effort);
+            self.offer_cache.insert(key, r.offers);
+        }
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            if let Some(offers) = self.rfb_replies.get(&e.req) {
+                self.duplicate_rfbs += 1;
+                out.push(SellerResponse {
+                    offers: offers.clone(),
+                    effort: 0,
+                });
+                continue;
+            }
+            let mut resp = SellerResponse::default();
+            for item in e.items.iter() {
+                let key = self.cache_key(&item.query, &e.hints);
+                match fresh_effort.remove(&key) {
+                    Some(effort) => {
+                        self.cache_misses += 1;
+                        resp.effort += effort;
+                    }
+                    None => self.cache_hits += 1,
+                }
+                for mut o in self.offer_cache[&key].clone() {
+                    o.id = self.fresh_session_id(e.session);
+                    o.round = e.round;
+                    resp.offers.push(o);
+                }
+            }
+            self.total_effort += resp.effort;
+            self.rfb_replies.insert(e.req, resp.offers.clone());
+            out.push(resp);
+        }
+        out
+    }
+
+    /// Drop the per-session offer-id counter and reply memos of a finished
+    /// session so long-running serving processes don't accumulate state for
+    /// sessions that will never speak again.
+    pub fn forget_session(&mut self, session: SessionId) {
+        self.session_offers.remove(&session);
+        self.rfb_replies
+            .retain(|&req, _| (req >> 32) != session.0 + 1);
     }
 
     fn eval_item(&self, round: u32, q: &Query, hints: &[Offer]) -> SellerResponse {
@@ -472,6 +611,14 @@ impl SellerEngine {
             self.invalidate_offer_cache();
         }
     }
+}
+
+/// Canonical request id for `session`'s RFB in `round`. The `+ 1` keeps the
+/// serve path's id space (≥ 2³²) disjoint from the single-session drivers'
+/// (`round as u64`, < 2³²), so one engine can serve both without a memo
+/// collision; [`SellerEngine::forget_session`] relies on the same encoding.
+pub fn session_req(session: SessionId, round: u32) -> u64 {
+    ((session.0 + 1) << 32) | round as u64
 }
 
 #[cfg(test)]

@@ -1,0 +1,833 @@
+//! The serving layer: many queries trading concurrently over one federation.
+//!
+//! The single-session drivers in [`driver`](crate::driver) optimize exactly
+//! one query end-to-end. This module multiplexes M negotiations — each a
+//! [`SessionId`]-tagged buyer engine — over the same sellers on the same
+//! discrete-event simulator:
+//!
+//! * **Sessions** arrive on a clock (see `qt_workload`'s arrival generator),
+//!   queue behind an admission limit (`concurrency`), and run the ordinary
+//!   QT loop to completion, after which the next queued arrival is admitted.
+//! * **Batching**: all RFB items destined for the same seller in the same
+//!   scheduling instant coalesce into one [`ServeMsg::Rfb`] message (one
+//!   entry per session), and the seller answers the whole batch with one
+//!   [`SellerEngine::respond_batch`] pass — one parallel fork/join, one
+//!   reply message — sharing its offer cache across sessions while offer
+//!   ids and hints stay session-isolated.
+//! * **Determinism**: every simulator event is ordered by `(virtual time,
+//!   arrival seq)`; batched entries are sorted by session id; sellers are
+//!   iterated in ascending `NodeId`; and all per-session state (engines,
+//!   offer-id counters, reply memos) is keyed by session. A session's
+//!   observable results — plan, cost bits, offer ids — are therefore a pure
+//!   function of its own query, independent of what else is in flight, and
+//!   identical under any `QT_THREADS`. `crates/core/tests/serve.rs` holds
+//!   the proptest.
+
+use crate::buyer::{BuyerEngine, RoundOutcome};
+use crate::config::QtConfig;
+use crate::dist_plan::DistributedPlan;
+use crate::offer::{Offer, RfbItem};
+use crate::seller::{session_req, SellerEngine, SessionRfb};
+use qt_catalog::{NodeId, SchemaDict};
+use qt_net::{Ctx, Handler, Simulator, Topology};
+use qt_query::Query;
+use qt_trade::SessionId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Knobs of the serving layer (the trading loop itself is [`QtConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum sessions trading at once; arrivals beyond it queue FIFO.
+    pub concurrency: usize,
+    /// Coalesce same-instant RFBs per seller into one message (the default).
+    /// `false` sends one message per session — the baseline the batching
+    /// experiments compare against.
+    pub batch_rfbs: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            concurrency: 1,
+            batch_rfbs: true,
+        }
+    }
+}
+
+/// Protocol messages of the serving layer.
+#[derive(Debug, Clone)]
+pub enum ServeMsg {
+    /// A query arrives at the buyer node (injected by the driver; excluded
+    /// from protocol message counts like the single-session `Start`).
+    Arrive {
+        /// The session being opened.
+        session: SessionId,
+    },
+    /// A batched RFB: one entry per session with items for this seller.
+    Rfb {
+        /// Per-session request slices, ascending session id.
+        entries: Vec<SessionRfb>,
+    },
+    /// A seller's replies to a batched RFB, one per entry, in entry order.
+    Offers {
+        /// `(session, round, offers)` per answered entry.
+        replies: Vec<(SessionId, u32, Vec<Offer>)>,
+    },
+    /// Zero-delay self-timer draining the staged outbound batches.
+    Flush,
+    /// Per-session RFB response deadline.
+    Timeout {
+        /// The session whose round the timer guards.
+        session: SessionId,
+        /// The round it was armed for.
+        round: u32,
+    },
+    /// Award notice to a winning seller.
+    Award {
+        /// The finished session (lets the seller drop its reply memos).
+        session: SessionId,
+    },
+    /// Synthetic nested-negotiation traffic (auction rounds, bargaining).
+    Negotiate,
+}
+
+/// A federation node in the serving simulator.
+pub enum ServeNode {
+    /// A pure seller.
+    Seller(Box<SellerEngine>),
+    /// The buyer node multiplexing every session.
+    Buyer(Box<SessionManager>),
+}
+
+/// Per-session trading state held by the [`SessionManager`] — the serve
+/// analog of the single-session `BuyerSim`.
+struct Session {
+    engine: BuyerEngine,
+    /// Current-round replies buffered until the round closes. Feeding the
+    /// engine at close time, in ascending seller order, makes the offer-pool
+    /// sequence independent of reply *arrival* order — which shifts with
+    /// batching and concurrency (per-seller compute differs per schedule)
+    /// and would otherwise leak into cost ties in plan generation.
+    pending: BTreeMap<NodeId, Vec<Offer>>,
+    /// `(round, seller)` replies already consumed (duplicate discard).
+    seen: BTreeSet<(u32, NodeId)>,
+    /// Retransmission attempts in the current round.
+    attempt: u32,
+    cur_items: Arc<Vec<RfbItem>>,
+    cur_hints: Arc<Vec<Offer>>,
+    round_open: bool,
+    prev_neg_msgs: u64,
+    prev_neg_rts: u64,
+    arrived: f64,
+    started: f64,
+}
+
+/// What one finished session looked like.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// The session.
+    pub session: SessionId,
+    /// Virtual arrival time.
+    pub arrived: f64,
+    /// Virtual time admission let it start trading.
+    pub started: f64,
+    /// Virtual time trading finished.
+    pub finished: f64,
+    /// Trading iterations executed.
+    pub iterations: u32,
+    /// The final plan (None = no coverage).
+    pub plan: Option<DistributedPlan>,
+}
+
+impl SessionReport {
+    /// End-to-end session latency (queue wait + trading), virtual seconds.
+    pub fn latency(&self) -> f64 {
+        self.finished - self.arrived
+    }
+}
+
+/// The buyer node's session multiplexer: admission control, per-session
+/// buyer engines, and the per-seller outbound staging area.
+pub struct SessionManager {
+    node: NodeId,
+    dict: Arc<SchemaDict>,
+    config: QtConfig,
+    serve: ServeConfig,
+    remote_sellers: Vec<NodeId>,
+    /// The buyer's own seller side (its local data competes, message-free).
+    local_seller: Option<SellerEngine>,
+    /// Arrival-order query backlog; taken when a session starts.
+    queries: Vec<Option<Query>>,
+    arrive_times: Vec<f64>,
+    /// Live sessions.
+    sessions: BTreeMap<SessionId, Session>,
+    /// Admitted-but-not-started arrivals, FIFO.
+    waiting: VecDeque<SessionId>,
+    /// Outbound RFB entries staged per seller, drained by the next `Flush`.
+    stage: BTreeMap<NodeId, Vec<SessionRfb>>,
+    flush_pending: bool,
+    /// Finished sessions, in completion order.
+    pub completed: Vec<SessionReport>,
+    /// RFB retransmissions sent.
+    pub retries: u64,
+    /// Response deadlines that fired while their round was open.
+    pub timeouts_fired: u64,
+    /// Rounds closed with sellers still missing.
+    pub degraded_rounds: u64,
+    /// Sellers that never answered their last RFB (any session).
+    pub unreachable: BTreeSet<NodeId>,
+}
+
+impl Handler<ServeMsg> for ServeNode {
+    fn on_message(&mut self, ctx: &mut Ctx<ServeMsg>, from: NodeId, msg: ServeMsg) {
+        match (self, msg) {
+            (ServeNode::Seller(engine), ServeMsg::Rfb { entries }) => {
+                let resps = engine.respond_batch(&entries);
+                let effort: u64 = resps.iter().map(|r| r.effort).sum();
+                ctx.charge_compute(effort as f64 * engine.config().per_subplan_seconds);
+                let offers: usize = resps.iter().map(|r| r.offers.len()).sum();
+                let bytes = offers as f64 * engine.config().offer_msg_bytes;
+                let replies: Vec<(SessionId, u32, Vec<Offer>)> = entries
+                    .iter()
+                    .zip(resps)
+                    .map(|(e, r)| (e.session, e.round, r.offers))
+                    .collect();
+                ctx.send(from, ServeMsg::Offers { replies }, bytes, "offers");
+            }
+            (ServeNode::Seller(engine), ServeMsg::Award { session }) => {
+                engine.observe_award(true);
+                engine.forget_session(session);
+            }
+            (ServeNode::Seller(_), _) => {}
+            (ServeNode::Buyer(m), ServeMsg::Arrive { session }) => {
+                m.waiting.push_back(session);
+                m.admit(ctx);
+            }
+            (ServeNode::Buyer(m), ServeMsg::Offers { replies }) => {
+                for (session, round, offers) in replies {
+                    m.on_offers(ctx, from, session, round, offers);
+                }
+            }
+            (ServeNode::Buyer(m), ServeMsg::Flush) => m.flush(ctx),
+            (ServeNode::Buyer(m), ServeMsg::Timeout { session, round }) => {
+                m.on_timeout(ctx, session, round)
+            }
+            (ServeNode::Buyer(_), _) => {}
+        }
+    }
+}
+
+impl SessionManager {
+    /// Start queued arrivals while slots are free. Sessions admitted in the
+    /// same event stage their opening RFBs into the same flush.
+    fn admit(&mut self, ctx: &mut Ctx<ServeMsg>) {
+        while self.sessions.len() < self.serve.concurrency {
+            let Some(s) = self.waiting.pop_front() else {
+                return;
+            };
+            let query = self.queries[s.0 as usize].take().expect("arrival unseen");
+            let mut engine =
+                BuyerEngine::new(self.node, self.dict.clone(), query, self.config.clone());
+            let items = engine.start();
+            self.sessions.insert(
+                s,
+                Session {
+                    engine,
+                    pending: BTreeMap::new(),
+                    seen: BTreeSet::new(),
+                    attempt: 0,
+                    cur_items: Arc::new(Vec::new()),
+                    cur_hints: Arc::new(Vec::new()),
+                    round_open: false,
+                    prev_neg_msgs: 0,
+                    prev_neg_rts: 0,
+                    arrived: self.arrive_times[s.0 as usize],
+                    started: ctx.now(),
+                },
+            );
+            self.stage_round(ctx, s, items, Vec::new());
+        }
+    }
+
+    /// Open a round for `s`: local seller answers immediately (no network),
+    /// remote sellers get one staged entry each, the deadline timer is armed.
+    fn stage_round(
+        &mut self,
+        ctx: &mut Ctx<ServeMsg>,
+        s: SessionId,
+        items: Vec<RfbItem>,
+        hints: Vec<Offer>,
+    ) {
+        let round = self.sessions[&s].engine.round;
+        let entry = SessionRfb {
+            session: s,
+            req: session_req(s, round),
+            round,
+            items: Arc::new(items),
+            hints: Arc::new(hints),
+        };
+        if let Some(local) = &mut self.local_seller {
+            let resp = local
+                .respond_batch(std::slice::from_ref(&entry))
+                .pop()
+                .expect("one entry, one response");
+            ctx.charge_compute(resp.effort as f64 * self.config.per_subplan_seconds);
+            self.sessions
+                .get_mut(&s)
+                .expect("staged session is live")
+                .engine
+                .receive_offers(resp.offers);
+        }
+        {
+            let sess = self.sessions.get_mut(&s).expect("staged session is live");
+            sess.pending.clear();
+            sess.attempt = 0;
+            sess.round_open = true;
+            sess.cur_items = Arc::clone(&entry.items);
+            sess.cur_hints = Arc::clone(&entry.hints);
+        }
+        if self.remote_sellers.is_empty() {
+            self.close_round(ctx, s);
+            return;
+        }
+        for &seller in &self.remote_sellers {
+            self.stage.entry(seller).or_default().push(entry.clone());
+        }
+        self.ensure_flush(ctx);
+        ctx.schedule(
+            self.config.seller_timeout,
+            ServeMsg::Timeout { session: s, round },
+            "timeout",
+        );
+    }
+
+    /// Arm the zero-delay flush timer once per scheduling instant: every
+    /// session that stages between now and the timer firing rides the same
+    /// batch.
+    fn ensure_flush(&mut self, ctx: &mut Ctx<ServeMsg>) {
+        if !self.flush_pending {
+            self.flush_pending = true;
+            ctx.schedule(0.0, ServeMsg::Flush, "flush");
+        }
+    }
+
+    /// Drain the staging area: one message per seller (batched) or one per
+    /// entry (unbatched baseline). Sellers go out in ascending `NodeId`,
+    /// entries within a batch in ascending `(session, round)` — both fixed
+    /// orders, so the wire schedule is deterministic.
+    fn flush(&mut self, ctx: &mut Ctx<ServeMsg>) {
+        self.flush_pending = false;
+        let stage = std::mem::take(&mut self.stage);
+        for (seller, mut entries) in stage {
+            entries.sort_by_key(|e| (e.session, e.round));
+            if self.serve.batch_rfbs {
+                let bytes: f64 = entries
+                    .iter()
+                    .map(|e| (e.items.len() + e.hints.len()) as f64)
+                    .sum::<f64>()
+                    * self.config.query_msg_bytes;
+                ctx.send(seller, ServeMsg::Rfb { entries }, bytes, "rfb");
+            } else {
+                for e in entries {
+                    let bytes =
+                        (e.items.len() + e.hints.len()) as f64 * self.config.query_msg_bytes;
+                    ctx.send(seller, ServeMsg::Rfb { entries: vec![e] }, bytes, "rfb");
+                }
+            }
+        }
+    }
+
+    fn on_offers(
+        &mut self,
+        ctx: &mut Ctx<ServeMsg>,
+        from: NodeId,
+        session: SessionId,
+        round: u32,
+        offers: Vec<Offer>,
+    ) {
+        self.unreachable.remove(&from);
+        let complete = {
+            let Some(sess) = self.sessions.get_mut(&session) else {
+                return; // straggler for an already-finished session
+            };
+            if !sess.seen.insert((round, from)) {
+                return; // duplicated delivery or dedup resend
+            }
+            if sess.round_open && round == sess.engine.round {
+                sess.pending.insert(from, offers);
+                sess.pending.len() == self.remote_sellers.len()
+            } else {
+                // Straggler from an already-closed round: still market
+                // information, consumed immediately.
+                sess.engine.receive_offers(offers);
+                false
+            }
+        };
+        if complete {
+            self.close_round(ctx, session);
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<ServeMsg>, session: SessionId, round: u32) {
+        let (missing, attempt) = {
+            let Some(sess) = self.sessions.get_mut(&session) else {
+                return;
+            };
+            if !(sess.round_open && round == sess.engine.round) {
+                return; // stale timer from an already-closed round
+            }
+            let missing: Vec<NodeId> = self
+                .remote_sellers
+                .iter()
+                .copied()
+                .filter(|n| !sess.pending.contains_key(n))
+                .collect();
+            (missing, sess.attempt)
+        };
+        self.timeouts_fired += 1;
+        if !missing.is_empty() && attempt < self.config.max_rfb_retries {
+            let entry = {
+                let sess = self.sessions.get_mut(&session).expect("checked above");
+                sess.attempt += 1;
+                SessionRfb {
+                    session,
+                    req: session_req(session, round),
+                    round,
+                    items: Arc::clone(&sess.cur_items),
+                    hints: Arc::clone(&sess.cur_hints),
+                }
+            };
+            for &m in &missing {
+                self.retries += 1;
+                self.stage.entry(m).or_default().push(entry.clone());
+            }
+            self.ensure_flush(ctx);
+            let base = self.config.seller_timeout;
+            let delay =
+                (base * self.config.rfb_retry_backoff.powi((attempt + 1) as i32)).min(8.0 * base);
+            ctx.schedule(delay, ServeMsg::Timeout { session, round }, "timeout");
+        } else {
+            if !missing.is_empty() {
+                self.degraded_rounds += 1;
+                self.unreachable.extend(missing);
+            }
+            self.close_round(ctx, session);
+        }
+    }
+
+    /// B3–B8 for one session: close the trading round, send the nested
+    /// negotiation traffic, then either stage the next round or finalize.
+    fn close_round(&mut self, ctx: &mut Ctx<ServeMsg>, s: SessionId) {
+        let (outcome, neg_msgs) = {
+            let sess = self.sessions.get_mut(&s).expect("closing a live session");
+            sess.round_open = false;
+            // Ascending seller order (BTreeMap), fixed per round.
+            for (_, offers) in std::mem::take(&mut sess.pending) {
+                sess.engine.receive_offers(offers);
+            }
+            let outcome = sess.engine.close_round();
+            let considered = sess
+                .engine
+                .history
+                .last()
+                .map(|h| h.considered)
+                .unwrap_or(0);
+            ctx.charge_compute(considered as f64 * self.config.per_offer_seconds);
+            let neg_msgs = sess.engine.negotiation_messages - sess.prev_neg_msgs;
+            let neg_rts = sess.engine.negotiation_round_trips - sess.prev_neg_rts;
+            sess.prev_neg_msgs = sess.engine.negotiation_messages;
+            sess.prev_neg_rts = sess.engine.negotiation_round_trips;
+            ctx.charge_compute(neg_rts as f64 * 2.0 * self.config.link.latency);
+            (outcome, neg_msgs)
+        };
+        for i in 0..neg_msgs {
+            let to = self.remote_sellers[i as usize % self.remote_sellers.len().max(1)];
+            ctx.send(
+                to,
+                ServeMsg::Negotiate,
+                self.config.offer_msg_bytes,
+                "negotiate",
+            );
+        }
+        match outcome {
+            RoundOutcome::Continue(items) => {
+                let hints = {
+                    let sess = &self.sessions[&s];
+                    if self.config.enable_subcontracting {
+                        sess.engine.hints()
+                    } else {
+                        Vec::new()
+                    }
+                };
+                self.stage_round(ctx, s, items, hints);
+            }
+            RoundOutcome::Done => self.finalize(ctx, s),
+        }
+    }
+
+    /// Session over: award the winners, free the slot, report, admit next.
+    fn finalize(&mut self, ctx: &mut Ctx<ServeMsg>, s: SessionId) {
+        let sess = self.sessions.remove(&s).expect("finalizing a live session");
+        if let Some(plan) = &sess.engine.best {
+            for p in &plan.purchases {
+                if p.offer.seller != self.node {
+                    ctx.send(
+                        p.offer.seller,
+                        ServeMsg::Award { session: s },
+                        self.config.offer_msg_bytes,
+                        "award",
+                    );
+                }
+            }
+        }
+        if let Some(local) = &mut self.local_seller {
+            local.forget_session(s);
+        }
+        self.completed.push(SessionReport {
+            session: s,
+            arrived: sess.arrived,
+            started: sess.started,
+            finished: ctx.now(),
+            iterations: sess.engine.round + 1,
+            plan: sess.engine.best,
+        });
+        self.admit(ctx);
+    }
+}
+
+/// Aggregate result of one serving run.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Per-session reports, ascending session id.
+    pub reports: Vec<SessionReport>,
+    /// Raw simulator metrics.
+    pub metrics: qt_net::Metrics,
+    /// First arrival to last completion, virtual seconds.
+    pub makespan: f64,
+    /// Completed sessions per virtual second.
+    pub qps: f64,
+    /// Median session latency (arrival → finish), virtual seconds.
+    pub p50_latency: f64,
+    /// 95th-percentile session latency, virtual seconds.
+    pub p95_latency: f64,
+    /// Protocol messages exchanged (arrival injections excluded).
+    pub messages: u64,
+    /// `messages / sessions`.
+    pub messages_per_query: f64,
+    /// Total seller optimization effort (sub-plans enumerated).
+    pub seller_effort: u64,
+    /// RFB items answered from seller offer caches.
+    pub offer_cache_hits: u64,
+    /// RFB items evaluated fresh.
+    pub offer_cache_misses: u64,
+}
+
+/// Serve `arrivals` — `(virtual arrival time, query)` pairs, arrival times
+/// non-decreasing — through one federation on the discrete-event simulator
+/// with a uniform topology built from `config.link`.
+///
+/// Every query becomes a [`SessionId`] in arrival order. At most
+/// `serve.concurrency` sessions trade at once; the rest queue FIFO. Returns
+/// per-session reports plus the throughput aggregates.
+pub fn run_qt_serve(
+    buyer_node: NodeId,
+    dict: Arc<SchemaDict>,
+    arrivals: Vec<(f64, Query)>,
+    mut sellers: BTreeMap<NodeId, SellerEngine>,
+    config: &QtConfig,
+    serve: &ServeConfig,
+) -> ServeOutcome {
+    assert!(serve.concurrency >= 1, "concurrency must be at least 1");
+    let n = arrivals.len();
+    let cache_hits_before: u64 = sellers.values().map(|s| s.cache_hits).sum();
+    let cache_misses_before: u64 = sellers.values().map(|s| s.cache_misses).sum();
+    let local_seller = sellers.remove(&buyer_node);
+    let remote: Vec<NodeId> = sellers.keys().copied().collect();
+    let all_remote = remote.clone();
+    let mut arrive_times = Vec::with_capacity(n);
+    let mut queries = Vec::with_capacity(n);
+    for (at, q) in arrivals {
+        arrive_times.push(at);
+        queries.push(Some(q));
+    }
+    let manager = SessionManager {
+        node: buyer_node,
+        dict,
+        config: config.clone(),
+        serve: serve.clone(),
+        remote_sellers: remote,
+        local_seller,
+        queries,
+        arrive_times: arrive_times.clone(),
+        sessions: BTreeMap::new(),
+        waiting: VecDeque::new(),
+        stage: BTreeMap::new(),
+        flush_pending: false,
+        completed: Vec::new(),
+        retries: 0,
+        timeouts_fired: 0,
+        degraded_rounds: 0,
+        unreachable: BTreeSet::new(),
+    };
+    let mut sim: Simulator<ServeMsg, ServeNode> = Simulator::new(Topology::Uniform(config.link));
+    sim.add_node(buyer_node, ServeNode::Buyer(Box::new(manager)));
+    for (node, engine) in sellers {
+        sim.add_node(node, ServeNode::Seller(Box::new(engine)));
+    }
+    for (i, &at) in arrive_times.iter().enumerate() {
+        sim.inject(
+            at,
+            buyer_node,
+            buyer_node,
+            ServeMsg::Arrive {
+                session: SessionId(i as u64),
+            },
+            "arrive",
+        );
+    }
+    sim.run(100_000_000);
+
+    let mut metrics = sim.metrics.clone();
+    let mut seller_effort = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    for node in &all_remote {
+        if let Some(ServeNode::Seller(e)) = sim.handler(*node) {
+            seller_effort += e.total_effort;
+            cache_hits += e.cache_hits;
+            cache_misses += e.cache_misses;
+        }
+    }
+    let Some(ServeNode::Buyer(m)) = sim.handler_mut(buyer_node) else {
+        panic!("buyer node is not a session manager");
+    };
+    assert_eq!(
+        m.completed.len(),
+        n,
+        "simulation drained with sessions unfinished"
+    );
+    if let Some(local) = &m.local_seller {
+        seller_effort += local.total_effort;
+        cache_hits += local.cache_hits;
+        cache_misses += local.cache_misses;
+    }
+    metrics.offer_cache_hits = cache_hits - cache_hits_before;
+    metrics.offer_cache_misses = cache_misses - cache_misses_before;
+    metrics.retries = m.retries;
+    metrics.timeouts = m.timeouts_fired;
+    metrics.degraded_rounds = m.degraded_rounds;
+    let mut reports = std::mem::take(&mut m.completed);
+    reports.sort_by_key(|r| r.session);
+
+    let t0 = arrive_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let t_end = reports.iter().map(|r| r.finished).fold(0.0f64, f64::max);
+    let makespan = if n == 0 { 0.0 } else { t_end - t0 };
+    let mut latencies: Vec<f64> = reports.iter().map(|r| r.latency()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: usize| -> f64 {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[(latencies.len() - 1) * p / 100]
+        }
+    };
+    let messages = metrics.messages - metrics.kind_count("arrive");
+    ServeOutcome {
+        qps: if makespan > 0.0 {
+            n as f64 / makespan
+        } else {
+            0.0
+        },
+        p50_latency: pct(50),
+        p95_latency: pct(95),
+        messages,
+        messages_per_query: if n > 0 {
+            messages as f64 / n as f64
+        } else {
+            0.0
+        },
+        seller_effort,
+        offer_cache_hits: metrics.offer_cache_hits,
+        offer_cache_misses: metrics.offer_cache_misses,
+        makespan,
+        reports,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_workload::{build_federation, FederationSpec};
+
+    fn spec(nodes: u32, seed: u64) -> FederationSpec {
+        FederationSpec {
+            nodes,
+            relations: 3,
+            partitions_per_relation: 2,
+            replication: 2,
+            rows_per_partition: 20_000,
+            seed,
+            with_data: false,
+            speed_spread: 1.0,
+            data_skew: 0.0,
+        }
+    }
+
+    fn engines(fed: &qt_workload::Federation, cfg: &QtConfig) -> BTreeMap<NodeId, SellerEngine> {
+        fed.catalog
+            .nodes
+            .iter()
+            .map(|&n| {
+                (
+                    n,
+                    SellerEngine::new(fed.catalog.holdings_of(n), cfg.clone()),
+                )
+            })
+            .collect()
+    }
+
+    fn workload(fed: &qt_workload::Federation, n: usize) -> Vec<(f64, Query)> {
+        use qt_workload::{gen_join_query, QueryShape};
+        (0..n)
+            .map(|i| {
+                let shape = if i % 2 == 0 {
+                    QueryShape::Chain
+                } else {
+                    QueryShape::Star
+                };
+                let q = gen_join_query(&fed.catalog.dict, shape, 2 + i % 2, i % 3 == 0, i as u64);
+                (i as f64 * 0.05, q)
+            })
+            .collect()
+    }
+
+    fn run(fed: &qt_workload::Federation, n: usize, serve: &ServeConfig) -> ServeOutcome {
+        let cfg = QtConfig::default();
+        run_qt_serve(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            workload(fed, n),
+            engines(fed, &cfg),
+            &cfg,
+            serve,
+        )
+    }
+
+    #[test]
+    fn all_sessions_complete_with_plans() {
+        let fed = build_federation(&spec(6, 3));
+        let out = run(&fed, 8, &ServeConfig::default());
+        assert_eq!(out.reports.len(), 8);
+        for r in &out.reports {
+            assert!(r.plan.is_some(), "session {} found no plan", r.session);
+            assert!(r.finished >= r.started && r.started >= r.arrived);
+        }
+        assert!(out.qps > 0.0);
+        assert!(out.p95_latency >= out.p50_latency);
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn concurrent_results_match_sequential() {
+        let fed = build_federation(&spec(6, 7));
+        let seq = run(&fed, 8, &ServeConfig::default());
+        let conc = run(
+            &fed,
+            8,
+            &ServeConfig {
+                concurrency: 4,
+                batch_rfbs: true,
+            },
+        );
+        for (a, b) in seq.reports.iter().zip(&conc.reports) {
+            assert_eq!(a.session, b.session);
+            assert_eq!(
+                format!("{:?}", a.plan),
+                format!("{:?}", b.plan),
+                "plans diverge for {}",
+                a.session
+            );
+        }
+    }
+
+    #[test]
+    fn batching_reduces_messages() {
+        let fed = build_federation(&spec(8, 11));
+        let conc = ServeConfig {
+            concurrency: 8,
+            batch_rfbs: true,
+        };
+        let unbatched = ServeConfig {
+            concurrency: 8,
+            batch_rfbs: false,
+        };
+        let a = run(&fed, 12, &conc);
+        let b = run(&fed, 12, &unbatched);
+        assert!(
+            a.messages < b.messages,
+            "batched {} >= unbatched {}",
+            a.messages,
+            b.messages
+        );
+        // Batching changes the wire schedule, never the results.
+        for (x, y) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(format!("{:?}", x.plan), format!("{:?}", y.plan));
+        }
+    }
+
+    #[test]
+    fn concurrency_improves_virtual_throughput() {
+        let fed = build_federation(&spec(6, 5));
+        let seq = run(&fed, 10, &ServeConfig::default());
+        let conc = run(
+            &fed,
+            10,
+            &ServeConfig {
+                concurrency: 8,
+                batch_rfbs: true,
+            },
+        );
+        assert!(
+            conc.qps >= seq.qps,
+            "concurrency should not reduce throughput: {} vs {}",
+            conc.qps,
+            seq.qps
+        );
+    }
+
+    #[test]
+    fn admission_limits_live_sessions() {
+        // Simultaneous arrivals at t=0 with concurrency 2: later sessions
+        // must start strictly after earlier ones finish.
+        let fed = build_federation(&spec(5, 9));
+        let cfg = QtConfig::default();
+        let arrivals: Vec<(f64, Query)> = workload(&fed, 6)
+            .into_iter()
+            .map(|(_, q)| (0.0, q))
+            .collect();
+        let out = run_qt_serve(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            arrivals,
+            engines(&fed, &cfg),
+            &cfg,
+            &ServeConfig {
+                concurrency: 2,
+                batch_rfbs: true,
+            },
+        );
+        assert_eq!(out.reports.len(), 6);
+        let mut by_start: Vec<(f64, f64)> = out
+            .reports
+            .iter()
+            .map(|r| (r.started, r.finished))
+            .collect();
+        by_start.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in by_start.windows(3) {
+            // With 2 slots, the 3rd-later start waits for some finish.
+            assert!(w[2].0 >= w[0].1.min(w[1].1) - 1e-12);
+        }
+    }
+}

@@ -5,7 +5,7 @@ use crate::metrics::Metrics;
 use crate::topology::Topology;
 use qt_catalog::NodeId;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 /// A node's protocol behavior. Implementations hold the node's private state
 /// (holdings, optimizer, strategy); the simulator owns one handler per node.
@@ -153,12 +153,18 @@ impl<M> Ord for Event<M> {
 /// assert_eq!(sim.metrics.kind_count("pong"), 1);
 /// ```
 pub struct Simulator<M, H: Handler<M>> {
-    handlers: BTreeMap<NodeId, H>,
+    // Node ids are dense small integers (federation nodes are numbered
+    // 0..N), so per-node state lives in flat vectors indexed by `NodeId.0`
+    // rather than tree maps: the busy-until check and the handler fetch sit
+    // on the per-event hot path, and with thousands of interleaved session
+    // events flowing through the heap the O(log n) pointer-chasing lookups
+    // were measurable.
+    handlers: Vec<Option<H>>,
     queue: BinaryHeap<std::cmp::Reverse<Event<M>>>,
     topology: Topology,
     time: f64,
     seq: u64,
-    busy_until: BTreeMap<NodeId, f64>,
+    busy_until: Vec<f64>,
     fault: Option<FaultPlan>,
     /// Accumulated metrics (public for the experiment harness).
     pub metrics: Metrics,
@@ -168,12 +174,12 @@ impl<M, H: Handler<M>> Simulator<M, H> {
     /// New simulator over `topology`.
     pub fn new(topology: Topology) -> Self {
         Simulator {
-            handlers: BTreeMap::new(),
+            handlers: Vec::new(),
             queue: BinaryHeap::new(),
             topology,
             time: 0.0,
             seq: 0,
-            busy_until: BTreeMap::new(),
+            busy_until: Vec::new(),
             fault: None,
             metrics: Metrics::default(),
         }
@@ -198,7 +204,12 @@ impl<M, H: Handler<M>> Simulator<M, H> {
 
     /// Register `handler` as node `id`.
     pub fn add_node(&mut self, id: NodeId, handler: H) {
-        self.handlers.insert(id, handler);
+        let idx = id.0 as usize;
+        if idx >= self.handlers.len() {
+            self.handlers.resize_with(idx + 1, || None);
+            self.busy_until.resize(idx + 1, 0.0);
+        }
+        self.handlers[idx] = Some(handler);
     }
 
     /// Current virtual time.
@@ -208,12 +219,14 @@ impl<M, H: Handler<M>> Simulator<M, H> {
 
     /// Borrow a node's handler (to read results out after the run).
     pub fn handler(&self, id: NodeId) -> Option<&H> {
-        self.handlers.get(&id)
+        self.handlers.get(id.0 as usize).and_then(|h| h.as_ref())
     }
 
     /// Mutably borrow a node's handler (test instrumentation).
     pub fn handler_mut(&mut self, id: NodeId) -> Option<&mut H> {
-        self.handlers.get_mut(&id)
+        self.handlers
+            .get_mut(id.0 as usize)
+            .and_then(|h| h.as_mut())
     }
 
     /// Inject an external message to `to` at absolute virtual time `at`
@@ -257,7 +270,11 @@ impl<M, H: Handler<M>> Simulator<M, H> {
             // the interim happen at their true virtual times. The original
             // sequence number rides along, so per-destination FIFO order is
             // preserved through the equal-time tie-break.
-            let busy = self.busy_until.get(&ev.to).copied().unwrap_or(0.0);
+            let busy = self
+                .busy_until
+                .get(ev.to.0 as usize)
+                .copied()
+                .unwrap_or(0.0);
             if busy > ev.time {
                 self.queue
                     .push(std::cmp::Reverse(Event { time: busy, ..ev }));
@@ -282,7 +299,11 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                     }
                 }
             }
-            let Some(handler) = self.handlers.get_mut(&ev.to) else {
+            let Some(handler) = self
+                .handlers
+                .get_mut(ev.to.0 as usize)
+                .and_then(|h| h.as_mut())
+            else {
                 self.metrics.record_drop("unroutable");
                 continue;
             };
@@ -305,12 +326,13 @@ impl<M, H: Handler<M>> Simulator<M, H> {
 
             self.metrics.compute_seconds += ctx.compute;
             let done = start + ctx.compute;
-            self.busy_until.insert(ev.to, done);
+            self.busy_until[ev.to.0 as usize] = done;
             for out in ctx.outbox {
                 let link = self.topology.link(ev.to, out.to);
                 let arrive = done + link.transfer_time(out.bytes) + out.extra_delay;
                 let seq = self.seq;
                 self.seq += 1;
+                let mut time = arrive;
                 if !out.timer {
                     if let Some(plan) = &self.fault {
                         // Transit faults roll per sequence number, once: a
@@ -320,6 +342,11 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                             continue;
                         }
                         if plan.duplicates(seq) {
+                            // The duplicate is the only copy ever
+                            // materialized: the original message below is
+                            // moved, never cloned, so a fault plan costs
+                            // nothing on sends whose duplication roll
+                            // doesn't fire.
                             self.metrics.duplicated += 1;
                             let dup_seq = self.seq;
                             self.seq += 1;
@@ -334,21 +361,11 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                                 timer: false,
                             }));
                         }
-                        self.queue.push(std::cmp::Reverse(Event {
-                            time: arrive + plan.jitter_for(seq),
-                            seq,
-                            from: ev.to,
-                            to: out.to,
-                            msg: out.msg,
-                            bytes: out.bytes,
-                            kind: out.kind,
-                            timer: false,
-                        }));
-                        continue;
+                        time = arrive + plan.jitter_for(seq);
                     }
                 }
                 self.queue.push(std::cmp::Reverse(Event {
-                    time: arrive,
+                    time,
                     seq,
                     from: ev.to,
                     to: out.to,

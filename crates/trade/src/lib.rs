@@ -18,5 +18,5 @@ pub mod protocol;
 pub mod strategy;
 
 pub use offer::{Bid, NegotiationOutcome};
-pub use protocol::{ProtocolKind, MAX_ENGLISH_ROUNDS};
+pub use protocol::{ProtocolKind, SessionId, MAX_ENGLISH_ROUNDS};
 pub use strategy::{BuyerValueBook, SellerStrategy};

@@ -9,6 +9,22 @@
 
 use crate::offer::{Bid, NegotiationOutcome};
 
+/// Identifies one negotiation — one buyer query traded end-to-end — within a
+/// federation that multiplexes many concurrent negotiations over the same
+/// sellers. Sessions are numbered in arrival order by the serving layer, so
+/// the id doubles as the deterministic tie-break for same-instant events:
+/// batched protocol messages list their per-session entries in ascending
+/// `SessionId`, and every piece of per-session state (buyer engines, seller
+/// offer-id counters, reply memos) is keyed by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
 /// Hard cap on descending-clock auction rounds: a zero or near-zero opening
 /// ask used to make `step` collapse to `f64::MIN_POSITIVE` and the round
 /// count astronomical (billions of phantom messages charged to the network).

@@ -1,0 +1,171 @@
+//! Seeded arrival streams for the serving experiments.
+//!
+//! The serving layer (`qt_core::run_qt_serve`) consumes `(arrival time,
+//! query)` pairs. This module turns a *query mix* — any slice of distinct
+//! queries — into a Poisson-ish stream: queries drawn uniformly from the
+//! mix, inter-arrival gaps exponentially distributed around a mean, all
+//! from one seed so every run of an experiment sees the identical stream.
+
+use qt_catalog::SchemaDict;
+use qt_query::{parse_query, Query};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of an arrival stream.
+#[derive(Debug, Clone)]
+pub struct ArrivalSpec {
+    /// Queries in the stream.
+    pub n_queries: usize,
+    /// Mean inter-arrival gap, virtual seconds. `0.0` = all arrive at t=0
+    /// (a closed-loop burst, the usual throughput-benchmark shape).
+    pub mean_interarrival: f64,
+    /// Stream seed (query picks and gaps).
+    pub seed: u64,
+}
+
+impl Default for ArrivalSpec {
+    fn default() -> Self {
+        ArrivalSpec {
+            n_queries: 16,
+            mean_interarrival: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Draw an arrival stream from `mix`: `spec.n_queries` pairs with
+/// non-decreasing times. Gaps are sampled by inversion,
+/// `-mean * ln(1 - u)`, giving an exponential (memoryless) process; query
+/// picks are uniform over the mix. Deterministic in `spec.seed`.
+///
+/// Panics if the mix is empty.
+pub fn gen_arrivals(mix: &[Query], spec: &ArrivalSpec) -> Vec<(f64, Query)> {
+    assert!(
+        !mix.is_empty(),
+        "arrival stream needs a non-empty query mix"
+    );
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut t = 0.0f64;
+    (0..spec.n_queries)
+        .map(|_| {
+            let q = mix[rng.random_range(0..mix.len())].clone();
+            if spec.mean_interarrival > 0.0 {
+                let u: f64 = rng.random_range(0.0..1.0);
+                t += -spec.mean_interarrival * (1.0 - u).ln();
+            }
+            (t, q)
+        })
+        .collect()
+}
+
+/// A synthetic join mix over a federation's dictionary: `n` distinct
+/// chain/star queries of 2–3 relations, every third aggregated.
+pub fn synthetic_mix(dict: &SchemaDict, n: usize, seed: u64) -> Vec<Query> {
+    use crate::queries::{gen_join_query, QueryShape};
+    (0..n)
+        .map(|i| {
+            let shape = if i % 2 == 0 {
+                QueryShape::Chain
+            } else {
+                QueryShape::Star
+            };
+            gen_join_query(dict, shape, 2 + i % 2, i % 3 == 0, seed ^ (i as u64))
+        })
+        .collect()
+}
+
+/// The customer-care queries of the telecom scenario (per-office charge
+/// rollups and per-customer lookups) against a
+/// [`telecom_federation`](crate::telecom_federation) dictionary.
+pub fn telecom_mix(dict: &SchemaDict) -> Vec<Query> {
+    [
+        "SELECT office, SUM(charge) FROM customer, invoiceline \
+         WHERE customer.custid = invoiceline.custid GROUP BY office",
+        "SELECT custname, SUM(charge) FROM customer, invoiceline \
+         WHERE customer.custid = invoiceline.custid GROUP BY custname",
+        "SELECT custname, charge FROM customer, invoiceline \
+         WHERE customer.custid = invoiceline.custid AND charge > 5.0",
+    ]
+    .iter()
+    .map(|sql| parse_query(dict, sql).expect("telecom mix SQL parses"))
+    .collect()
+}
+
+/// The TPC-H-flavoured analytical queries against a
+/// [`tpch_federation`](crate::tpch_federation) dictionary.
+pub fn tpch_mix(dict: &SchemaDict) -> Vec<Query> {
+    use crate::tpch::queries::{BIG_ORDER_LINES, LINES_PER_SUPPLIER_NATION, REVENUE_PER_NATION};
+    [
+        REVENUE_PER_NATION,
+        BIG_ORDER_LINES,
+        LINES_PER_SUPPLIER_NATION,
+    ]
+    .iter()
+    .map(|sql| parse_query(dict, sql).expect("tpch mix SQL parses"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_federation, FederationSpec};
+
+    #[test]
+    fn arrivals_are_seed_deterministic_and_sorted() {
+        let fed = build_federation(&FederationSpec::default());
+        let mix = synthetic_mix(&fed.catalog.dict, 4, 9);
+        let spec = ArrivalSpec {
+            n_queries: 20,
+            mean_interarrival: 0.5,
+            seed: 42,
+        };
+        let a = gen_arrivals(&mix, &spec);
+        let b = gen_arrivals(&mix, &spec);
+        assert_eq!(a.len(), 20);
+        for ((ta, qa), (tb, qb)) in a.iter().zip(&b) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(qa.fingerprint(), qb.fingerprint());
+        }
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        let c = gen_arrivals(
+            &mix,
+            &ArrivalSpec {
+                seed: 43,
+                ..spec.clone()
+            },
+        );
+        assert!(
+            a.iter().zip(&c).any(|((ta, _), (tc, _))| ta != tc),
+            "different seeds should shift the stream"
+        );
+    }
+
+    #[test]
+    fn burst_spec_arrives_at_zero() {
+        let fed = build_federation(&FederationSpec::default());
+        let mix = synthetic_mix(&fed.catalog.dict, 3, 1);
+        let a = gen_arrivals(
+            &mix,
+            &ArrivalSpec {
+                n_queries: 5,
+                mean_interarrival: 0.0,
+                seed: 7,
+            },
+        );
+        assert!(a.iter().all(|(t, _)| *t == 0.0));
+    }
+
+    #[test]
+    fn canned_mixes_parse() {
+        let (cat, _) = crate::telecom_federation(&crate::TelecomSpec {
+            offices: 2,
+            customers_per_office: 5,
+            lines_per_customer: 2,
+            invoice_replicas: 1,
+            seed: 3,
+        });
+        assert_eq!(telecom_mix(&cat.dict).len(), 3);
+        let (cat, _, _) = crate::tpch_federation(&crate::TpchSpec::default());
+        assert_eq!(tpch_mix(&cat.dict).len(), 3);
+    }
+}

@@ -9,11 +9,13 @@
 //! * [`tpch`] — a TPC-H-like analytical star schema for the
 //!   internet-data-products flavor of federation.
 
+pub mod arrivals;
 pub mod federation;
 pub mod queries;
 pub mod telecom;
 pub mod tpch;
 
+pub use arrivals::{gen_arrivals, synthetic_mix, telecom_mix, tpch_mix, ArrivalSpec};
 pub use federation::{build_federation, Federation, FederationSpec};
 pub use queries::{gen_join_query, gen_join_query_with_cut, QueryShape};
 pub use telecom::{telecom_federation, TelecomSpec};
