@@ -194,6 +194,11 @@ pub fn run_baseline(
         timeouts: 0,
         degraded_rounds: 0,
         unreachable_sellers: Vec::new(),
+        contracts_awarded: 0,
+        contracts_repaired: 0,
+        reawards: 0,
+        rescoped_trades: 0,
+        contracts: Vec::new(),
         history: vec![IterationStats {
             round: 0,
             offers_received: offers.len(),

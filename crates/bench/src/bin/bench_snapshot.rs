@@ -241,6 +241,70 @@ fn fault_counters() -> (bool, u64, u64, u64, u64, u64) {
     )
 }
 
+struct FailoverStats {
+    completed: bool,
+    contracts_awarded: u64,
+    reawards: u64,
+    rescoped_trades: u64,
+    contracts_repaired: u64,
+    losses_detected: u64,
+}
+
+/// One deterministic contract-lifecycle failover run at replication 3: the
+/// fault-free winner crashes right after trading finishes, the lease
+/// machinery detects the loss, and the buyer re-awards or re-trades the lost
+/// slots. CI gates on `completed` — at replication ≥ 3 a single crashed
+/// winner must never cost the query its plan.
+fn failover_counters() -> FailoverStats {
+    use qt_core::run_qt_sim_with_faults;
+    use qt_net::{FaultPlan, Topology};
+    let fed = build_federation(&FederationSpec {
+        replication: 3,
+        ..spec(8)
+    });
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
+    let cfg = QtConfig {
+        enable_contracts: true,
+        ..QtConfig::default()
+    };
+    let (clean, _) = run_qt_sim_with_faults(
+        NodeId(0),
+        fed.catalog.dict.clone(),
+        &q,
+        engines(&fed, &cfg),
+        &cfg,
+        Topology::Uniform(cfg.link),
+        None,
+    );
+    let plan = clean.plan.as_ref().expect("fault-free plan");
+    let winner = plan
+        .purchases
+        .iter()
+        .map(|p| p.offer.seller)
+        .find(|&s| s != NodeId(0))
+        .expect("a remote winner");
+    let (out, m) = run_qt_sim_with_faults(
+        NodeId(0),
+        fed.catalog.dict.clone(),
+        &q,
+        engines(&fed, &cfg),
+        &cfg,
+        Topology::Uniform(cfg.link),
+        Some(FaultPlan::default().with_crash(winner, clean.optimization_time + 1e-6, 1e12)),
+    );
+    FailoverStats {
+        completed: out
+            .plan
+            .as_ref()
+            .is_some_and(|p| p.purchases.iter().all(|pu| pu.offer.seller != winner)),
+        contracts_awarded: out.contracts_awarded,
+        reawards: out.reawards,
+        rescoped_trades: out.rescoped_trades,
+        contracts_repaired: out.contracts_repaired,
+        losses_detected: m.lease_expiries + m.lost_awards,
+    }
+}
+
 struct ServeStats {
     qps: f64,
     p50: f64,
@@ -418,6 +482,32 @@ fn main() {
     let _ = writeln!(json, "    \"timeouts\": {timeouts},");
     let _ = writeln!(json, "    \"degraded_rounds\": {degraded},");
     let _ = writeln!(json, "    \"unreachable_sellers\": {unreachable}");
+    json.push_str("  },\n");
+    let failover = failover_counters();
+    json.push_str("  \"failover\": {\n");
+    let _ = writeln!(json, "    \"replication\": 3,");
+    let _ = writeln!(json, "    \"completed\": {},", failover.completed);
+    let _ = writeln!(
+        json,
+        "    \"contracts_awarded\": {},",
+        failover.contracts_awarded
+    );
+    let _ = writeln!(json, "    \"reawards\": {},", failover.reawards);
+    let _ = writeln!(
+        json,
+        "    \"rescoped_trades\": {},",
+        failover.rescoped_trades
+    );
+    let _ = writeln!(
+        json,
+        "    \"contracts_repaired\": {},",
+        failover.contracts_repaired
+    );
+    let _ = writeln!(
+        json,
+        "    \"losses_detected\": {}",
+        failover.losses_detected
+    );
     json.push_str("  }\n");
     json.push_str("}\n");
 

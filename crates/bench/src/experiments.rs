@@ -940,6 +940,113 @@ pub fn e19() -> Table {
     t
 }
 
+/// E20: contract-lifecycle failover. Sweeps winner-crash probability ×
+/// crash placement (during bidding vs. after the award) over 8- and
+/// 16-seller federations at replication 3, with the contract lifecycle on.
+/// Each cell trades 8 queries; for the chosen fraction of them the
+/// fault-free winner crashes either from t=0 ("bidding": the market routes
+/// around it, no contracts are harmed) or right after trading finishes
+/// ("post-award": the lease machinery must detect the loss and re-award or
+/// re-trade the lost slots). Reported: completion rate (plans valid after
+/// repair), re-awards, scoped re-trades, lease expiries + lost awards, and
+/// mean plan-cost inflation vs. the fault-free plan. At replication ≥ 3 the
+/// completion column must stay 1.000 — CI gates on it.
+pub fn e20() -> Table {
+    use qt_core::run_qt_sim_with_faults;
+    use qt_net::{FaultPlan, Topology};
+    let mut t = Table::new(
+        "E20",
+        "failover: crash prob x placement vs. completion, repairs, cost inflation; repl 3",
+        &[
+            "sellers",
+            "placement",
+            "crash prob",
+            "completion",
+            "reawards",
+            "rescoped",
+            "expiries+lost",
+            "cost inflation",
+        ],
+    );
+    const QUERIES: u64 = 8;
+    for nodes in [8u32, 16] {
+        let fed = build_federation(&spec(nodes, 3, 2, 3, 2000 + nodes as u64));
+        let cfg = QtConfig {
+            enable_contracts: true,
+            ..QtConfig::default()
+        };
+        // Fault-free reference runs: winner + trading end per query.
+        let clean: Vec<_> = (0..QUERIES)
+            .map(|i| {
+                let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, i % 2 == 0, i);
+                let (out, _) = run_qt_sim_with_faults(
+                    BUYER,
+                    fed.catalog.dict.clone(),
+                    &q,
+                    seller_engines(&fed, &cfg),
+                    &cfg,
+                    Topology::Uniform(cfg.link),
+                    None,
+                );
+                let plan = out.plan.as_ref().expect("fault-free plan");
+                let winner = plan
+                    .purchases
+                    .iter()
+                    .map(|p| p.offer.seller)
+                    .find(|&s| s != BUYER);
+                (q, winner, out.optimization_time, plan.est.additive_cost)
+            })
+            .collect();
+        for placement in ["bidding", "post-award"] {
+            for prob in [0.25f64, 0.5, 1.0] {
+                let crashed = (prob * QUERIES as f64).round() as u64;
+                let mut completed = 0u64;
+                let mut reawards = 0u64;
+                let mut rescoped = 0u64;
+                let mut losses = 0u64;
+                let mut inflation = 0.0f64;
+                for (i, (q, winner, t_fin, clean_cost)) in clean.iter().enumerate() {
+                    let faults = (*winner).filter(|_| (i as u64) < crashed).map(|w| {
+                        let t0 = if placement == "bidding" {
+                            0.0
+                        } else {
+                            t_fin + 1e-6
+                        };
+                        FaultPlan::default().with_crash(w, t0, 1e12)
+                    });
+                    let (out, m) = run_qt_sim_with_faults(
+                        BUYER,
+                        fed.catalog.dict.clone(),
+                        q,
+                        seller_engines(&fed, &cfg),
+                        &cfg,
+                        Topology::Uniform(cfg.link),
+                        faults,
+                    );
+                    if let Some(plan) = &out.plan {
+                        completed += 1;
+                        inflation += plan.est.additive_cost / clean_cost;
+                    }
+                    reawards += out.reawards;
+                    rescoped += out.rescoped_trades;
+                    losses += m.lease_expiries + m.lost_awards;
+                }
+                t.push(vec![
+                    nodes.to_string(),
+                    placement.to_string(),
+                    f(prob),
+                    f(completed as f64 / QUERIES as f64),
+                    reawards.to_string(),
+                    rescoped.to_string(),
+                    losses.to_string(),
+                    f(inflation / completed.max(1) as f64),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 pub fn all() -> Vec<Experiment> {
     vec![
         ("e1", e1 as fn() -> Table),
@@ -961,6 +1068,7 @@ pub fn all() -> Vec<Experiment> {
         ("e17", e17),
         ("e18", e18),
         ("e19", e19),
+        ("e20", e20),
     ]
 }
 
@@ -999,6 +1107,29 @@ mod tests {
         // Crashed sellers are reported unreachable.
         let unreachable: u64 = t.rows[4][8].parse().unwrap();
         assert!(unreachable >= 1, "{}", t.render());
+    }
+
+    #[test]
+    fn e20_failover_completes_everything_at_replication_3() {
+        let t = e20();
+        // The CI gate: at replication >= 3 every crash scenario completes.
+        assert!(
+            t.rows.iter().all(|r| r[3].parse::<f64>().unwrap() == 1.0),
+            "failover left queries without plans\n{}",
+            t.render()
+        );
+        // Post-award crashes exercise the repair machinery; bidding-time
+        // crashes are routed around by the market without any repair.
+        for r in &t.rows {
+            let repairs: u64 = r[4].parse::<u64>().unwrap() + r[5].parse::<u64>().unwrap();
+            let losses: u64 = r[6].parse().unwrap();
+            if r[1] == "post-award" {
+                assert!(repairs >= 1, "{}", t.render());
+                assert!(losses >= 1, "{}", t.render());
+            } else {
+                assert_eq!(repairs, 0, "{}", t.render());
+            }
+        }
     }
 
     #[test]

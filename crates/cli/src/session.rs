@@ -115,6 +115,8 @@ impl Session {
                  \\markup <x>          seller markup factor (1.0 = truthful)\n\
                  \\faults <p> [seed]   simulate with message-loss rate p (0 or 'off' to disable)\n\
                  \\serve <n> [c]       serve a burst of n demo queries at concurrency c (default 1)\n\
+                 \\contracts <SQL>     trade with the contract lifecycle on, crash the winner\n\
+                 \\                    post-award, and dump contract states + repair counters\n\
                  \\quit                leave"
                     .into(),
             ),
@@ -185,6 +187,13 @@ impl Session {
                     )),
                 }
             }
+            "contracts" => {
+                if rest.trim().is_empty() {
+                    Eval::Output("usage: \\contracts <SQL>".into())
+                } else {
+                    Eval::Output(self.contracts_demo(rest))
+                }
+            }
             "serve" => {
                 let mut parts = rest.split_whitespace();
                 let n = parts.next().and_then(|tok| tok.parse::<usize>().ok());
@@ -201,6 +210,114 @@ impl Session {
             }
             other => Eval::Output(format!("unknown command '\\{other}' (try \\help)")),
         }
+    }
+
+    /// The contract-lifecycle demo: trade `sql` with two-phase awards and
+    /// execution leases on, then crash the winning seller right after the
+    /// award and show the lease machinery detect the loss and repair the
+    /// plan from the bid book (or a scoped re-trade).
+    fn contracts_demo(&self, sql: &str) -> String {
+        let query = match parse_query(&self.catalog.dict, sql) {
+            Ok(q) => q,
+            Err(e) => return format!("parse error: {e}"),
+        };
+        let cfg = QtConfig {
+            enable_contracts: true,
+            ..self.config.clone()
+        };
+        let sellers = |cfg: &QtConfig| -> BTreeMap<NodeId, SellerEngine> {
+            self.catalog
+                .nodes
+                .iter()
+                .map(|&n| {
+                    (
+                        n,
+                        SellerEngine::new(self.catalog.holdings_of(n), cfg.clone()),
+                    )
+                })
+                .collect()
+        };
+        let run = |faults: Option<FaultPlan>| {
+            run_qt_sim_with_faults(
+                self.buyer,
+                self.catalog.dict.clone(),
+                &query,
+                sellers(&cfg),
+                &cfg,
+                Topology::Uniform(cfg.link),
+                faults,
+            )
+        };
+        let dump = |s: &mut String, out: &qt_core::QtOutcome| {
+            for c in &out.contracts {
+                let _ = writeln!(
+                    s,
+                    "  c{:<4} slot {:<2} -> {} offer {:<4} [{}]{}",
+                    c.id,
+                    c.slot,
+                    c.seller,
+                    c.offer,
+                    c.state,
+                    if c.replacement { " (replacement)" } else { "" }
+                );
+            }
+            let _ = writeln!(
+                s,
+                "  awarded {} | repaired {} | reawards {} | rescoped trades {}",
+                out.contracts_awarded, out.contracts_repaired, out.reawards, out.rescoped_trades
+            );
+        };
+        let (clean, _) = run(None);
+        let mut s = String::new();
+        let Some(plan) = &clean.plan else {
+            return "no plan: the federation does not cover this query".into();
+        };
+        let _ = writeln!(s, "fault-free contracts:");
+        dump(&mut s, &clean);
+        let Some(winner) = plan
+            .purchases
+            .iter()
+            .map(|p| p.offer.seller)
+            .find(|&n| n != self.buyer)
+        else {
+            let _ = write!(s, "plan is buyer-local: no remote winner to crash");
+            return s.trim_end().to_string();
+        };
+        let _ = writeln!(
+            s,
+            "crashing winner {winner} at t={:.3}s (post-award) ...",
+            clean.optimization_time
+        );
+        let (repaired, m) = run(Some(FaultPlan::default().with_crash(
+            winner,
+            clean.optimization_time + 1e-6,
+            1e12,
+        )));
+        let _ = writeln!(
+            s,
+            "detected: {} lost award(s), {} lease expiry(ies)",
+            m.lost_awards, m.lease_expiries
+        );
+        dump(&mut s, &repaired);
+        match &repaired.plan {
+            Some(p) => {
+                let survivors: Vec<String> = p
+                    .purchases
+                    .iter()
+                    .map(|pu| pu.offer.seller.to_string())
+                    .collect();
+                let _ = write!(
+                    s,
+                    "repaired plan executes on: {} (cost {:.3})",
+                    survivors.join(", "),
+                    p.est.additive_cost
+                );
+            }
+            None => {
+                let _ = write!(s, "repair failed: no runner-up coverage for the lost slots");
+            }
+        }
+        s.trim_end().to_string()
     }
 
     /// Throughput meta-benchmark: a burst of `n` demo-mix queries served
@@ -566,6 +683,33 @@ mod tests {
         assert!(matches!(s.eval("\\serve 2"), Eval::Output(o) if o.contains("concurrency 1")));
         assert!(matches!(s.eval("\\serve"), Eval::Output(o) if o.contains("invalid")));
         assert!(matches!(s.eval("\\serve 4 0"), Eval::Output(o) if o.contains("invalid")));
+    }
+
+    #[test]
+    fn contracts_command_crashes_and_repairs_the_winner() {
+        let mut s = Session::new(&Args {
+            demo: crate::Demo::Synthetic,
+            nodes: 8,
+            relations: 3,
+            partitions: 2,
+            replicas: 3,
+            seed: 3,
+        });
+        let Eval::Output(o) = s.eval(
+            "\\contracts SELECT r0.b, r2.c FROM r0, r1, r2 \
+             WHERE r0.a = r1.a AND r1.a = r2.a",
+        ) else {
+            panic!()
+        };
+        assert!(o.contains("fault-free contracts:"), "{o}");
+        assert!(o.contains("[completed]"), "{o}");
+        assert!(o.contains("crashing winner"), "{o}");
+        assert!(o.contains("repaired plan executes on:"), "{o}");
+        assert!(o.contains("(replacement)"), "{o}");
+        assert!(matches!(s.eval("\\contracts"), Eval::Output(o) if o.contains("usage")));
+        assert!(
+            matches!(s.eval("\\contracts nonsense"), Eval::Output(o) if o.contains("parse error"))
+        );
     }
 
     #[test]

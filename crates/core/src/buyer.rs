@@ -282,6 +282,24 @@ impl BuyerEngine {
     }
 }
 
+/// The seller nodes winning at least one purchase of `plan` — the single
+/// source of truth for award selection, shared by the direct driver, the
+/// simulator driver, and the serving layer.
+pub fn winner_set(plan: &DistributedPlan) -> BTreeSet<NodeId> {
+    plan.purchases.iter().map(|p| p.offer.seller).collect()
+}
+
+/// The remote award notices `plan` implies, in purchase (slot) order:
+/// `(slot, seller, offer id)` for every purchase not filled by the buyer's
+/// own data.
+pub fn remote_awards(plan: &DistributedPlan, buyer: NodeId) -> Vec<(usize, NodeId, u64)> {
+    plan.purchases
+        .iter()
+        .filter(|p| p.offer.seller != buyer)
+        .map(|p| (p.slot, p.offer.seller, p.offer.id))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,6 +65,35 @@ pub struct QtConfig {
     pub query_msg_bytes: f64,
     /// Approximate bytes of one serialized offer in protocol messages.
     pub offer_msg_bytes: f64,
+    /// Run the full contract lifecycle after trading converges: two-phase
+    /// awards (ack/decline with retransmission), execution leases renewed by
+    /// heartbeat, and deterministic failover to runner-up offers or scoped
+    /// re-trades when a winner is lost. Off by default — with it off, awards
+    /// stay the pre-lifecycle one-way notices and every run is bit-identical
+    /// to earlier releases.
+    pub enable_contracts: bool,
+    /// Seconds the buyer waits for an `AwardAck` before retransmitting the
+    /// award (capped exponential backoff, like RFB retries).
+    pub award_timeout: f64,
+    /// Award retransmissions before the winner is declared lost and the
+    /// contract fails over.
+    pub max_award_retries: u32,
+    /// Seconds between lease heartbeats the buyer sends to an awarded
+    /// seller. Heartbeats are zero-byte control traffic (counted in
+    /// `lease_events`, not `messages`) but ride the faultable network, so a
+    /// crashed or partitioned winner stops renewing.
+    pub lease_interval: f64,
+    /// Consecutive missed lease renewals before the lease expires and the
+    /// contract fails over.
+    pub max_lease_misses: u32,
+    /// Successful lease renewals after which the contract is considered
+    /// firmly held and completes (bounds the lifecycle phase in virtual
+    /// time).
+    pub lease_probes: u32,
+    /// Scoped re-trade rounds (mini QT rounds restricted to the lost
+    /// subqueries) the buyer may run per optimization when the bid book has
+    /// no runner-up left, before abandoning the slot.
+    pub max_retrade_rounds: u32,
     /// Fan seller offer generation out across OS threads: the direct driver
     /// evaluates sellers concurrently and each seller evaluates its RFB items
     /// concurrently. Deterministic — results merge in input order, so plans,
@@ -96,6 +125,13 @@ impl Default for QtConfig {
             cost_params: CostParams::reference(),
             query_msg_bytes: 256.0,
             offer_msg_bytes: 128.0,
+            enable_contracts: false,
+            award_timeout: 10.0,
+            max_award_retries: 2,
+            lease_interval: 15.0,
+            max_lease_misses: 2,
+            lease_probes: 2,
+            max_retrade_rounds: 2,
             parallel: true,
         }
     }
@@ -112,5 +148,15 @@ mod tests {
         assert!(c.max_partial_k >= 1);
         assert!(c.enable_buyer_analyser);
         assert_eq!(c.protocol, ProtocolKind::SealedBid);
+    }
+
+    #[test]
+    fn contracts_default_off_with_bounded_lifecycle() {
+        let c = QtConfig::default();
+        assert!(!c.enable_contracts, "lifecycle must be opt-in");
+        assert!(c.award_timeout > 0.0);
+        assert!(c.lease_interval > 0.0);
+        assert!(c.lease_probes >= 1, "the lease phase must terminate");
+        assert!(c.max_retrade_rounds >= 1);
     }
 }

@@ -3,8 +3,11 @@
 //! and message counts; the simulator additionally yields realistic timing
 //! under node/link contention.
 
-use crate::buyer::{BuyerEngine, IterationStats, RoundOutcome};
+use crate::buyer::{remote_awards, winner_set, BuyerEngine, IterationStats, RoundOutcome};
 use crate::config::QtConfig;
+use crate::contract::{
+    is_repair_round, ContractAction, ContractController, ContractReport, LEGACY_CONTRACT,
+};
 use crate::dist_plan::DistributedPlan;
 use crate::offer::{Offer, RfbItem};
 use crate::seller::SellerEngine;
@@ -45,6 +48,18 @@ pub struct QtOutcome {
     /// Sellers that never answered their last RFB (even after retries) and
     /// were traded around. A seller that answers a later round is removed.
     pub unreachable_sellers: Vec<NodeId>,
+    /// Contracts created over the run's lifecycle phase (0 with
+    /// `enable_contracts` off).
+    pub contracts_awarded: u64,
+    /// Distinct plan slots whose replacement contract completed after a
+    /// winner loss.
+    pub contracts_repaired: u64,
+    /// Re-awards to runner-up offers from the persisted bid book.
+    pub reawards: u64,
+    /// Scoped re-trade rounds run to repair slots the book could not cover.
+    pub rescoped_trades: u64,
+    /// Per-contract final standing (empty with `enable_contracts` off).
+    pub contracts: Vec<ContractReport>,
     /// Per-iteration statistics.
     pub history: Vec<IterationStats>,
 }
@@ -162,16 +177,23 @@ pub fn run_qt_direct(
             RoundOutcome::Done => break,
         }
     }
-    // Awards to the remote winning sellers.
+    // Awards to the remote winning sellers. The direct driver's network is
+    // perfect, so the lifecycle never repairs anything here; with
+    // `enable_contracts` on it still pays the two-phase protocol (award,
+    // ack, release per remote purchase — lease heartbeats are zero-byte
+    // control traffic and never count as messages).
+    let mut contracts_awarded = 0u64;
     if let Some(plan) = &buyer.best {
-        for p in &plan.purchases {
-            if p.offer.seller != buyer_node {
-                messages += 1;
-                bytes += config.offer_msg_bytes;
-            }
+        let awards = remote_awards(plan, buyer_node);
+        if config.enable_contracts {
+            contracts_awarded = plan.purchases.len() as u64;
+            messages += 3 * awards.len() as u64;
+            bytes += 3.0 * awards.len() as f64 * config.offer_msg_bytes;
+        } else {
+            messages += awards.len() as u64;
+            bytes += awards.len() as f64 * config.offer_msg_bytes;
         }
-        let winners: std::collections::BTreeSet<NodeId> =
-            plan.purchases.iter().map(|p| p.offer.seller).collect();
+        let winners = winner_set(plan);
         for (&node, engine) in sellers.iter_mut() {
             engine.observe_award(winners.contains(&node));
         }
@@ -190,6 +212,11 @@ pub fn run_qt_direct(
         timeouts: 0,
         degraded_rounds: 0,
         unreachable_sellers: Vec::new(),
+        contracts_awarded,
+        contracts_repaired: 0,
+        reawards: 0,
+        rescoped_trades: 0,
+        contracts: Vec::new(),
         history: buyer.history.clone(),
         plan: buyer.best,
     }
@@ -233,8 +260,58 @@ pub enum QtMsg {
     },
     /// Synthetic nested-negotiation traffic (auction rounds, bargaining).
     Negotiate,
-    /// Award notice to a winning seller.
-    Award,
+    /// Award notice to a winning seller. With the lifecycle off the contract
+    /// id is [`LEGACY_CONTRACT`] and the seller sends nothing back (the
+    /// pre-lifecycle one-way notice, bit-identical on the wire); otherwise
+    /// the seller must answer with [`QtMsg::AwardAck`] or
+    /// [`QtMsg::AwardDecline`].
+    Award {
+        /// Contract id (or [`LEGACY_CONTRACT`]).
+        contract: u64,
+        /// The awarded offer id.
+        offer: u64,
+    },
+    /// Seller → buyer: award accepted, lease begins.
+    AwardAck {
+        /// Contract id.
+        contract: u64,
+    },
+    /// Seller → buyer: award refused; the buyer fails the slot over.
+    AwardDecline {
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer → seller: zero-byte lease heartbeat (counted in
+    /// `lease_events`, not `messages`).
+    Lease {
+        /// Contract id.
+        contract: u64,
+    },
+    /// Seller → buyer: lease renewed (zero-byte, like the heartbeat).
+    LeaseAck {
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer → seller: the contract completed; release the lease.
+    Release {
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer-local timer: the award-ack deadline for a contract.
+    AwardTimeout {
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer-local timer: the periodic lease-renewal check for a contract.
+    LeaseTick {
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer-local timer: the response deadline of a scoped re-trade round.
+    RetradeTimeout {
+        /// Repair round number.
+        round: u32,
+    },
 }
 
 /// A federation node in the simulator: every node can sell; one also buys.
@@ -278,6 +355,9 @@ pub struct BuyerSim {
     pub done: bool,
     /// Virtual time at which trading finished.
     pub finish_time: f64,
+    /// Contract lifecycle driver (`enable_contracts` only); created when
+    /// trading converges and settled before the simulation drains.
+    pub controller: Option<ContractController>,
 }
 
 impl Handler<QtMsg> for QtNode {
@@ -312,7 +392,36 @@ impl Handler<QtMsg> for QtNode {
                     "offers",
                 );
             }
-            (QtNode::Seller(engine), QtMsg::Award) => engine.observe_award(true),
+            (QtNode::Seller(engine), QtMsg::Award { contract, .. }) => {
+                if contract == LEGACY_CONTRACT {
+                    // Pre-lifecycle one-way notice: record the win, send
+                    // nothing back.
+                    engine.observe_award(true);
+                } else {
+                    // Two-phase award: learn from the win exactly once, but
+                    // re-ack every (possibly retransmitted) award so a lost
+                    // ack does not strand the buyer.
+                    if engine.accept_award(contract) {
+                        engine.observe_award(true);
+                    }
+                    ctx.send(
+                        from,
+                        QtMsg::AwardAck { contract },
+                        engine_cfg(engine).offer_msg_bytes,
+                        "award-ack",
+                    );
+                }
+            }
+            (QtNode::Seller(engine), QtMsg::Lease { contract }) => {
+                // Renew only leases actually held; the reply rides the
+                // faultable network as zero-byte control traffic.
+                if engine.has_contract(contract) {
+                    ctx.send_lease(from, QtMsg::LeaseAck { contract }, "lease-ack");
+                }
+            }
+            (QtNode::Seller(engine), QtMsg::Release { contract }) => {
+                engine.release_contract(contract);
+            }
             (QtNode::Seller(_), _) => {}
             (QtNode::Buyer(b), QtMsg::Start) => {
                 let items = b.engine.start();
@@ -323,6 +432,12 @@ impl Handler<QtMsg> for QtNode {
                 // (round, seller) pair already consumed: discard it, so the
                 // offer pool and the awaiting count never double-book.
                 if !b.seen_replies.insert((round, from)) {
+                    return;
+                }
+                // Scoped re-trade replies feed the contract controller, not
+                // the (already converged) trading engine.
+                if is_repair_round(round) {
+                    b.ctl_event(ctx, |c| c.on_retrade_offers(from, round, offers));
                     return;
                 }
                 // A seller that answers — even late — is reachable.
@@ -381,6 +496,24 @@ impl Handler<QtMsg> for QtNode {
                     }
                     b.finish_round(ctx);
                 }
+            }
+            (QtNode::Buyer(b), QtMsg::AwardAck { contract }) => {
+                b.ctl_event(ctx, |c| c.on_award_ack(contract));
+            }
+            (QtNode::Buyer(b), QtMsg::AwardDecline { contract }) => {
+                b.ctl_event(ctx, |c| c.on_award_decline(contract));
+            }
+            (QtNode::Buyer(b), QtMsg::LeaseAck { contract }) => {
+                b.ctl_event(ctx, |c| c.on_lease_ack(contract));
+            }
+            (QtNode::Buyer(b), QtMsg::AwardTimeout { contract }) => {
+                b.ctl_event(ctx, |c| c.on_award_timeout(contract));
+            }
+            (QtNode::Buyer(b), QtMsg::LeaseTick { contract }) => {
+                b.ctl_event(ctx, |c| c.on_lease_tick(contract));
+            }
+            (QtNode::Buyer(b), QtMsg::RetradeTimeout { round }) => {
+                b.ctl_event(ctx, |c| c.on_retrade_timeout(round));
             }
             (QtNode::Buyer(_), _) => {}
         }
@@ -474,19 +607,109 @@ impl BuyerSim {
             }
             RoundOutcome::Done => {
                 self.finish_time = ctx.now();
-                if let Some(plan) = &self.engine.best {
-                    for p in &plan.purchases {
-                        if p.offer.seller != self.engine.node {
-                            ctx.send(
-                                p.offer.seller,
-                                QtMsg::Award,
-                                self.engine.config.offer_msg_bytes,
-                                "award",
-                            );
-                        }
+                if self.engine.config.enable_contracts {
+                    if let Some(plan) = self.engine.best.clone() {
+                        // Hand the plan to the contract controller: the
+                        // trading phase is over (finish_time is set), the
+                        // lifecycle runs after it.
+                        let (ctl, actions) = ContractController::new(
+                            self.engine.node,
+                            self.engine.config.clone(),
+                            plan,
+                            &self.engine.offers,
+                            self.remote_sellers.clone(),
+                            0,
+                        );
+                        self.controller = Some(ctl);
+                        self.apply_actions(ctx, actions);
+                    }
+                } else if let Some(plan) = &self.engine.best {
+                    for (_, seller, offer) in remote_awards(plan, self.engine.node) {
+                        ctx.send(
+                            seller,
+                            QtMsg::Award {
+                                contract: LEGACY_CONTRACT,
+                                offer,
+                            },
+                            self.engine.config.offer_msg_bytes,
+                            "award",
+                        );
                     }
                 }
                 self.done = true;
+            }
+        }
+    }
+
+    /// Route a contract event to the controller and put the resulting
+    /// actions on the wire.
+    fn ctl_event(
+        &mut self,
+        ctx: &mut Ctx<QtMsg>,
+        event: impl FnOnce(&mut ContractController) -> Vec<ContractAction>,
+    ) {
+        let Some(ctl) = self.controller.as_mut() else {
+            return;
+        };
+        let actions = event(ctl);
+        self.apply_actions(ctx, actions);
+    }
+
+    /// Translate controller actions into simulator traffic and timers.
+    fn apply_actions(&mut self, ctx: &mut Ctx<QtMsg>, actions: Vec<ContractAction>) {
+        let cfg = &self.engine.config;
+        for a in actions {
+            match a {
+                ContractAction::SendAward {
+                    seller,
+                    contract,
+                    offer,
+                } => ctx.send(
+                    seller,
+                    QtMsg::Award { contract, offer },
+                    cfg.offer_msg_bytes,
+                    "award",
+                ),
+                ContractAction::ArmAwardTimer { contract, delay } => {
+                    ctx.schedule(delay, QtMsg::AwardTimeout { contract }, "award-timeout");
+                }
+                ContractAction::SendLease { seller, contract } => {
+                    ctx.send_lease(seller, QtMsg::Lease { contract }, "lease");
+                }
+                ContractAction::ArmLeaseTimer { contract, delay } => {
+                    ctx.schedule(delay, QtMsg::LeaseTick { contract }, "lease-tick");
+                }
+                ContractAction::SendRelease { seller, contract } => ctx.send(
+                    seller,
+                    QtMsg::Release { contract },
+                    cfg.offer_msg_bytes,
+                    "release",
+                ),
+                ContractAction::SendRetrade {
+                    targets,
+                    round,
+                    items,
+                } => {
+                    let bytes = items.len() as f64 * cfg.query_msg_bytes;
+                    let items = Arc::new(items);
+                    let hints: Arc<Vec<Offer>> = Arc::new(Vec::new());
+                    for t in targets {
+                        ctx.send(
+                            t,
+                            QtMsg::Rfb {
+                                req: round as u64,
+                                round,
+                                items: Arc::clone(&items),
+                                hints: Arc::clone(&hints),
+                            },
+                            bytes,
+                            "rfb-repair",
+                        );
+                    }
+                }
+                ContractAction::ArmRetradeTimer { round, delay } => {
+                    ctx.schedule(delay, QtMsg::RetradeTimeout { round }, "retrade-timeout");
+                }
             }
         }
     }
@@ -571,6 +794,7 @@ pub fn run_qt_sim_with_faults(
         unreachable: std::collections::BTreeSet::new(),
         done: false,
         finish_time: 0.0,
+        controller: None,
     };
     sim.add_node(buyer_node, QtNode::Buyer(Box::new(buyer)));
     for (node, engine) in sellers {
@@ -609,8 +833,28 @@ pub fn run_qt_sim_with_faults(
     metrics.timeouts = b.timeouts_fired;
     metrics.degraded_rounds = b.degraded_rounds as u64;
     let engine = &b.engine;
+    // With the lifecycle on, the controller owns the (possibly repaired)
+    // plan; a plan with abandoned slots references lost nodes and is not
+    // returned.
+    let mut plan = engine.best.clone();
+    let mut contract_stats = crate::contract::ContractStats::default();
+    let mut contracts = Vec::new();
+    if let Some(ctl) = &b.controller {
+        assert!(
+            ctl.settled,
+            "simulation drained with contracts still in flight"
+        );
+        contract_stats = ctl.stats;
+        contracts = ctl.reports();
+        plan = ctl.plan_valid().then(|| ctl.plan.clone());
+    }
+    metrics.awards_sent = contract_stats.awards_sent;
+    metrics.award_retries = contract_stats.award_retries;
+    metrics.lost_awards = contract_stats.lost_awards;
+    metrics.lease_expiries = contract_stats.lease_expiries;
+    metrics.reawards = contract_stats.reawards;
     let outcome = QtOutcome {
-        plan: engine.best.clone(),
+        plan,
         iterations: engine.round + 1,
         // Exclude the kick-off event from protocol message counts (timers
         // are tracked separately by the simulator and never land here).
@@ -625,6 +869,11 @@ pub fn run_qt_sim_with_faults(
         timeouts: b.timeouts_fired,
         degraded_rounds: b.degraded_rounds,
         unreachable_sellers: b.unreachable.iter().copied().collect(),
+        contracts_awarded: contract_stats.contracts_awarded,
+        contracts_repaired: contract_stats.contracts_repaired,
+        reawards: contract_stats.reawards,
+        rescoped_trades: contract_stats.rescoped_trades,
+        contracts,
         history: engine.history.clone(),
     };
     (outcome, metrics)

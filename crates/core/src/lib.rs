@@ -26,6 +26,7 @@
 pub mod analyser;
 pub mod buyer;
 pub mod config;
+pub mod contract;
 pub mod dist_plan;
 pub mod driver;
 pub mod offer;
@@ -34,8 +35,12 @@ pub mod relset;
 pub mod seller;
 pub mod session;
 
-pub use buyer::BuyerEngine;
+pub use buyer::{remote_awards, winner_set, BuyerEngine};
 pub use config::QtConfig;
+pub use contract::{
+    is_repair_round, ContractAction, ContractController, ContractReport, ContractStats,
+    LEGACY_CONTRACT, REPAIR_ROUND_BASE,
+};
 pub use dist_plan::{DistributedPlan, PlanEstimate, Purchase};
 pub use driver::{
     run_qt_direct, run_qt_sim, run_qt_sim_with_faults, run_qt_sim_with_topology, QtOutcome,
@@ -44,5 +49,6 @@ pub use offer::{Offer, OfferKind, RfbItem};
 pub use relset::RelSet;
 pub use seller::{session_req, SellerEngine, SessionRfb};
 pub use session::{
-    run_qt_serve, ServeConfig, ServeMsg, ServeNode, ServeOutcome, SessionManager, SessionReport,
+    run_qt_serve, run_qt_serve_with_faults, ServeConfig, ServeMsg, ServeNode, ServeOutcome,
+    SessionManager, SessionReport,
 };

@@ -76,6 +76,11 @@ pub struct SellerEngine {
     /// RFBs answered from the request-id dedup table (retransmissions and
     /// duplicated deliveries; cumulative).
     pub duplicate_rfbs: u64,
+    /// Contracts currently held (awarded and not yet released). Serve-path
+    /// ids embed the session (`(session + 1) << 32 | n`), so
+    /// [`forget_session`](Self::forget_session) can release one session's
+    /// leases without touching the others'.
+    contracts: std::collections::BTreeSet<u64>,
     config: QtConfig,
     next_offer: u64,
     /// Per-session offer-id counters for the multiplexed serving path: a
@@ -104,6 +109,7 @@ impl SellerEngine {
             cache_hits: 0,
             cache_misses: 0,
             duplicate_rfbs: 0,
+            contracts: std::collections::BTreeSet::new(),
             config,
             next_offer: 0,
             session_offers: std::collections::HashMap::new(),
@@ -402,6 +408,33 @@ impl SellerEngine {
         self.session_offers.remove(&session);
         self.rfb_replies
             .retain(|&req, _| (req >> 32) != session.0 + 1);
+        self.contracts.retain(|&c| (c >> 32) != session.0 + 1);
+    }
+
+    /// Record an incoming award. Returns `true` the first time `contract` is
+    /// seen — the caller fires [`observe_award`](Self::observe_award) exactly
+    /// once; retransmitted awards are re-acked without re-learning.
+    pub fn accept_award(&mut self, contract: u64) -> bool {
+        self.contracts.insert(contract)
+    }
+
+    /// Whether this seller currently holds `contract` (lease renewals only
+    /// answer for contracts actually held).
+    pub fn has_contract(&self, contract: u64) -> bool {
+        self.contracts.contains(&contract)
+    }
+
+    /// The buyer released `contract` (completed). Idempotent.
+    pub fn release_contract(&mut self, contract: u64) {
+        self.contracts.remove(&contract);
+    }
+
+    /// Whether any live contract belongs to `session` (serve path: the
+    /// seller's per-session state is kept until the last lease is released).
+    pub fn session_has_contracts(&self, session: SessionId) -> bool {
+        let lo = (session.0 + 1) << 32;
+        let hi = (session.0 + 2) << 32;
+        self.contracts.range(lo..hi).next().is_some()
     }
 
     fn eval_item(&self, round: u32, q: &Query, hints: &[Offer]) -> SellerResponse {
@@ -920,6 +953,32 @@ mod tests {
         seller.observe_award(false);
         seller.respond(1, &rfb(&q));
         assert_eq!((seller.cache_hits, seller.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn contracts_are_idempotent_and_session_scoped() {
+        let cat = catalog();
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        let s0 = SessionId(0);
+        let s1 = SessionId(1);
+        let c0 = (s0.0 + 1) << 32;
+        let c1 = (s1.0 + 1) << 32;
+        assert!(seller.accept_award(c0), "first award is new");
+        assert!(!seller.accept_award(c0), "retransmission is not");
+        assert!(seller.accept_award(c1));
+        assert!(seller.has_contract(c0));
+        assert!(seller.session_has_contracts(s0));
+        // Forgetting one session releases only its leases.
+        seller.forget_session(s0);
+        assert!(!seller.has_contract(c0));
+        assert!(!seller.session_has_contracts(s0));
+        assert!(seller.has_contract(c1));
+        seller.release_contract(c1);
+        seller.release_contract(c1); // idempotent
+        assert!(!seller.session_has_contracts(s1));
+        // Single-query ids (< 2³²) belong to no session.
+        assert!(seller.accept_award(3));
+        assert!(!seller.session_has_contracts(SessionId(0)));
     }
 
     #[test]

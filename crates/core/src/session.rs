@@ -23,13 +23,16 @@
 //!   identical under any `QT_THREADS`. `crates/core/tests/serve.rs` holds
 //!   the proptest.
 
-use crate::buyer::{BuyerEngine, RoundOutcome};
+use crate::buyer::{remote_awards, BuyerEngine, RoundOutcome};
 use crate::config::QtConfig;
+use crate::contract::{
+    is_repair_round, ContractAction, ContractController, ContractStats, LEGACY_CONTRACT,
+};
 use crate::dist_plan::DistributedPlan;
 use crate::offer::{Offer, RfbItem};
 use crate::seller::{session_req, SellerEngine, SessionRfb};
 use qt_catalog::{NodeId, SchemaDict};
-use qt_net::{Ctx, Handler, Simulator, Topology};
+use qt_net::{Ctx, FaultPlan, Handler, Simulator, Topology};
 use qt_query::Query;
 use qt_trade::SessionId;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -83,10 +86,75 @@ pub enum ServeMsg {
         /// The round it was armed for.
         round: u32,
     },
-    /// Award notice to a winning seller.
+    /// Award notice to a winning seller. With the lifecycle off the contract
+    /// id is [`LEGACY_CONTRACT`]: the seller records the win and drops the
+    /// session's memos, sending nothing back (the pre-lifecycle one-way
+    /// notice). Otherwise the seller answers with ack/decline and holds an
+    /// execution lease until released.
     Award {
-        /// The finished session (lets the seller drop its reply memos).
+        /// The finished session.
         session: SessionId,
+        /// Contract id (or [`LEGACY_CONTRACT`]).
+        contract: u64,
+        /// The awarded offer id.
+        offer: u64,
+    },
+    /// Seller → buyer: award accepted, lease begins.
+    AwardAck {
+        /// The owning session.
+        session: SessionId,
+        /// Contract id.
+        contract: u64,
+    },
+    /// Seller → buyer: award refused; the buyer fails the slot over.
+    AwardDecline {
+        /// The owning session.
+        session: SessionId,
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer → seller: zero-byte lease heartbeat.
+    Lease {
+        /// The owning session.
+        session: SessionId,
+        /// Contract id.
+        contract: u64,
+    },
+    /// Seller → buyer: lease renewed (zero-byte).
+    LeaseAck {
+        /// The owning session.
+        session: SessionId,
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer → seller: contract completed; release the lease (and, once the
+    /// seller holds no more contracts of the session, its memos).
+    Release {
+        /// The owning session.
+        session: SessionId,
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer-local timer: award-ack deadline.
+    AwardTimeout {
+        /// The owning session.
+        session: SessionId,
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer-local timer: periodic lease-renewal check.
+    LeaseTick {
+        /// The owning session.
+        session: SessionId,
+        /// Contract id.
+        contract: u64,
+    },
+    /// Buyer-local timer: scoped re-trade response deadline.
+    RetradeTimeout {
+        /// The owning session.
+        session: SessionId,
+        /// Repair round number.
+        round: u32,
     },
     /// Synthetic nested-negotiation traffic (auction rounds, bargaining).
     Negotiate,
@@ -136,8 +204,14 @@ pub struct SessionReport {
     pub finished: f64,
     /// Trading iterations executed.
     pub iterations: u32,
-    /// The final plan (None = no coverage).
+    /// The final plan (None = no coverage, or an unrepairable winner loss).
     pub plan: Option<DistributedPlan>,
+    /// Contracts re-awarded to runner-up offers (lifecycle only).
+    pub reawards: u64,
+    /// Scoped re-trade rounds run to refill an exhausted bid book.
+    pub rescoped_trades: u64,
+    /// Whether any slot of the plan was repaired after a winner loss.
+    pub repaired: bool,
 }
 
 impl SessionReport {
@@ -177,6 +251,11 @@ pub struct SessionManager {
     pub degraded_rounds: u64,
     /// Sellers that never answered their last RFB (any session).
     pub unreachable: BTreeSet<NodeId>,
+    /// Per-session contract lifecycles still running (the contract phase
+    /// continues in the background after the trading slot is freed).
+    lifecycles: BTreeMap<SessionId, ContractController>,
+    /// Lifecycle counters aggregated over settled sessions.
+    pub contract_stats: ContractStats,
 }
 
 impl Handler<ServeMsg> for ServeNode {
@@ -195,9 +274,41 @@ impl Handler<ServeMsg> for ServeNode {
                     .collect();
                 ctx.send(from, ServeMsg::Offers { replies }, bytes, "offers");
             }
-            (ServeNode::Seller(engine), ServeMsg::Award { session }) => {
-                engine.observe_award(true);
-                engine.forget_session(session);
+            (
+                ServeNode::Seller(engine),
+                ServeMsg::Award {
+                    session,
+                    contract,
+                    offer: _,
+                },
+            ) => {
+                if contract == LEGACY_CONTRACT {
+                    // Lifecycle off: one-way notice, exactly the old protocol.
+                    engine.observe_award(true);
+                    engine.forget_session(session);
+                } else {
+                    if engine.accept_award(contract) {
+                        engine.observe_award(true);
+                    }
+                    let bytes = engine.config().offer_msg_bytes;
+                    ctx.send(
+                        from,
+                        ServeMsg::AwardAck { session, contract },
+                        bytes,
+                        "award-ack",
+                    );
+                }
+            }
+            (ServeNode::Seller(engine), ServeMsg::Lease { session, contract }) => {
+                if engine.has_contract(contract) {
+                    ctx.send_lease(from, ServeMsg::LeaseAck { session, contract }, "lease-ack");
+                }
+            }
+            (ServeNode::Seller(engine), ServeMsg::Release { session, contract }) => {
+                engine.release_contract(contract);
+                if !engine.session_has_contracts(session) {
+                    engine.forget_session(session);
+                }
             }
             (ServeNode::Seller(_), _) => {}
             (ServeNode::Buyer(m), ServeMsg::Arrive { session }) => {
@@ -212,6 +323,24 @@ impl Handler<ServeMsg> for ServeNode {
             (ServeNode::Buyer(m), ServeMsg::Flush) => m.flush(ctx),
             (ServeNode::Buyer(m), ServeMsg::Timeout { session, round }) => {
                 m.on_timeout(ctx, session, round)
+            }
+            (ServeNode::Buyer(m), ServeMsg::AwardAck { session, contract }) => {
+                m.ctl_event(ctx, session, |c| c.on_award_ack(contract));
+            }
+            (ServeNode::Buyer(m), ServeMsg::AwardDecline { session, contract }) => {
+                m.ctl_event(ctx, session, |c| c.on_award_decline(contract));
+            }
+            (ServeNode::Buyer(m), ServeMsg::LeaseAck { session, contract }) => {
+                m.ctl_event(ctx, session, |c| c.on_lease_ack(contract));
+            }
+            (ServeNode::Buyer(m), ServeMsg::AwardTimeout { session, contract }) => {
+                m.ctl_event(ctx, session, |c| c.on_award_timeout(contract));
+            }
+            (ServeNode::Buyer(m), ServeMsg::LeaseTick { session, contract }) => {
+                m.ctl_event(ctx, session, |c| c.on_lease_tick(contract));
+            }
+            (ServeNode::Buyer(m), ServeMsg::RetradeTimeout { session, round }) => {
+                m.ctl_event(ctx, session, |c| c.on_retrade_timeout(round));
             }
             (ServeNode::Buyer(_), _) => {}
         }
@@ -347,6 +476,12 @@ impl SessionManager {
         offers: Vec<Offer>,
     ) {
         self.unreachable.remove(&from);
+        if is_repair_round(round) {
+            // Scoped re-trade replies belong to the session's contract
+            // lifecycle, which outlives the trading session itself.
+            self.ctl_event(ctx, session, |c| c.on_retrade_offers(from, round, offers));
+            return;
+        }
         let complete = {
             let Some(sess) = self.sessions.get_mut(&session) else {
                 return; // straggler for an already-finished session
@@ -467,18 +602,37 @@ impl SessionManager {
     }
 
     /// Session over: award the winners, free the slot, report, admit next.
+    /// With the lifecycle on, the awards run as a background
+    /// [`ContractController`] (id base `(s+1) << 32`, so seller-side releases
+    /// stay session-scoped) and the report's plan/repair counters are patched
+    /// once it settles.
     fn finalize(&mut self, ctx: &mut Ctx<ServeMsg>, s: SessionId) {
         let sess = self.sessions.remove(&s).expect("finalizing a live session");
-        if let Some(plan) = &sess.engine.best {
-            for p in &plan.purchases {
-                if p.offer.seller != self.node {
-                    ctx.send(
-                        p.offer.seller,
-                        ServeMsg::Award { session: s },
-                        self.config.offer_msg_bytes,
-                        "award",
-                    );
-                }
+        if self.config.enable_contracts {
+            if let Some(plan) = sess.engine.best.clone() {
+                let (ctl, actions) = ContractController::new(
+                    self.node,
+                    self.config.clone(),
+                    plan,
+                    &sess.engine.offers,
+                    self.remote_sellers.clone(),
+                    (s.0 + 1) << 32,
+                );
+                self.lifecycles.insert(s, ctl);
+                self.apply_actions(ctx, s, actions);
+            }
+        } else if let Some(plan) = &sess.engine.best {
+            for (_, seller, offer) in remote_awards(plan, self.node) {
+                ctx.send(
+                    seller,
+                    ServeMsg::Award {
+                        session: s,
+                        contract: LEGACY_CONTRACT,
+                        offer,
+                    },
+                    self.config.offer_msg_bytes,
+                    "award",
+                );
             }
         }
         if let Some(local) = &mut self.local_seller {
@@ -491,8 +645,135 @@ impl SessionManager {
             finished: ctx.now(),
             iterations: sess.engine.round + 1,
             plan: sess.engine.best,
+            reawards: 0,
+            rescoped_trades: 0,
+            repaired: false,
         });
+        self.settle_lifecycle(s);
         self.admit(ctx);
+    }
+
+    /// Route a lifecycle event to `s`'s controller (no-op once settled and
+    /// removed), apply the actions it emits, and fold it into the report if
+    /// it just settled.
+    fn ctl_event(
+        &mut self,
+        ctx: &mut Ctx<ServeMsg>,
+        s: SessionId,
+        event: impl FnOnce(&mut ContractController) -> Vec<ContractAction>,
+    ) {
+        let Some(ctl) = self.lifecycles.get_mut(&s) else {
+            return; // stale timer or straggler after settlement
+        };
+        let actions = event(ctl);
+        self.apply_actions(ctx, s, actions);
+        self.settle_lifecycle(s);
+    }
+
+    /// Turn controller actions into serve-protocol traffic and timers.
+    fn apply_actions(
+        &mut self,
+        ctx: &mut Ctx<ServeMsg>,
+        s: SessionId,
+        actions: Vec<ContractAction>,
+    ) {
+        for action in actions {
+            match action {
+                ContractAction::SendAward {
+                    seller,
+                    contract,
+                    offer,
+                } => ctx.send(
+                    seller,
+                    ServeMsg::Award {
+                        session: s,
+                        contract,
+                        offer,
+                    },
+                    self.config.offer_msg_bytes,
+                    "award",
+                ),
+                ContractAction::ArmAwardTimer { contract, delay } => ctx.schedule(
+                    delay,
+                    ServeMsg::AwardTimeout {
+                        session: s,
+                        contract,
+                    },
+                    "award-timeout",
+                ),
+                ContractAction::SendLease { seller, contract } => ctx.send_lease(
+                    seller,
+                    ServeMsg::Lease {
+                        session: s,
+                        contract,
+                    },
+                    "lease",
+                ),
+                ContractAction::ArmLeaseTimer { contract, delay } => ctx.schedule(
+                    delay,
+                    ServeMsg::LeaseTick {
+                        session: s,
+                        contract,
+                    },
+                    "lease-tick",
+                ),
+                ContractAction::SendRelease { seller, contract } => ctx.send(
+                    seller,
+                    ServeMsg::Release {
+                        session: s,
+                        contract,
+                    },
+                    self.config.offer_msg_bytes,
+                    "release",
+                ),
+                ContractAction::SendRetrade {
+                    targets,
+                    round,
+                    items,
+                } => {
+                    let entry = SessionRfb {
+                        session: s,
+                        req: session_req(s, round),
+                        round,
+                        items: Arc::new(items),
+                        hints: Arc::new(Vec::new()),
+                    };
+                    let bytes = entry.items.len() as f64 * self.config.query_msg_bytes;
+                    for seller in targets {
+                        ctx.send(
+                            seller,
+                            ServeMsg::Rfb {
+                                entries: vec![entry.clone()],
+                            },
+                            bytes,
+                            "rfb-repair",
+                        );
+                    }
+                }
+                ContractAction::ArmRetradeTimer { round, delay } => ctx.schedule(
+                    delay,
+                    ServeMsg::RetradeTimeout { session: s, round },
+                    "retrade-timeout",
+                ),
+            }
+        }
+    }
+
+    /// If `s`'s lifecycle has settled, retire it: accumulate its counters and
+    /// patch the session's report with the (possibly repaired) plan.
+    fn settle_lifecycle(&mut self, s: SessionId) {
+        let settled = self.lifecycles.get(&s).map(|c| c.settled).unwrap_or(false);
+        if !settled {
+            return;
+        }
+        let ctl = self.lifecycles.remove(&s).expect("checked above");
+        self.contract_stats.accumulate(&ctl.stats);
+        if let Some(report) = self.completed.iter_mut().find(|r| r.session == s) {
+            report.plan = ctl.plan_valid().then(|| ctl.plan.clone());
+            report.reawards = ctl.stats.reawards;
+            report.rescoped_trades = ctl.stats.rescoped_trades;
+            report.repaired = ctl.stats.contracts_repaired > 0;
+        }
     }
 }
 
@@ -521,6 +802,8 @@ pub struct ServeOutcome {
     pub offer_cache_hits: u64,
     /// RFB items evaluated fresh.
     pub offer_cache_misses: u64,
+    /// Aggregated contract-lifecycle counters (zeros with the lifecycle off).
+    pub contracts: ContractStats,
 }
 
 /// Serve `arrivals` — `(virtual arrival time, query)` pairs, arrival times
@@ -534,9 +817,27 @@ pub fn run_qt_serve(
     buyer_node: NodeId,
     dict: Arc<SchemaDict>,
     arrivals: Vec<(f64, Query)>,
+    sellers: BTreeMap<NodeId, SellerEngine>,
+    config: &QtConfig,
+    serve: &ServeConfig,
+) -> ServeOutcome {
+    run_qt_serve_with_faults(buyer_node, dict, arrivals, sellers, config, serve, None)
+}
+
+/// [`run_qt_serve`] under an injected [`FaultPlan`] — message drops,
+/// duplicates, jitter, crash windows, partitions. With
+/// `config.enable_contracts` the per-session contract lifecycles detect
+/// winner losses and repair the affected sessions' plans; a session whose
+/// plan could not be repaired reports `plan: None` while every other session
+/// completes untouched.
+pub fn run_qt_serve_with_faults(
+    buyer_node: NodeId,
+    dict: Arc<SchemaDict>,
+    arrivals: Vec<(f64, Query)>,
     mut sellers: BTreeMap<NodeId, SellerEngine>,
     config: &QtConfig,
     serve: &ServeConfig,
+    faults: Option<FaultPlan>,
 ) -> ServeOutcome {
     assert!(serve.concurrency >= 1, "concurrency must be at least 1");
     let n = arrivals.len();
@@ -569,8 +870,13 @@ pub fn run_qt_serve(
         timeouts_fired: 0,
         degraded_rounds: 0,
         unreachable: BTreeSet::new(),
+        lifecycles: BTreeMap::new(),
+        contract_stats: ContractStats::default(),
     };
     let mut sim: Simulator<ServeMsg, ServeNode> = Simulator::new(Topology::Uniform(config.link));
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
+    }
     sim.add_node(buyer_node, ServeNode::Buyer(Box::new(manager)));
     for (node, engine) in sellers {
         sim.add_node(node, ServeNode::Seller(Box::new(engine)));
@@ -607,6 +913,10 @@ pub fn run_qt_serve(
         n,
         "simulation drained with sessions unfinished"
     );
+    assert!(
+        m.lifecycles.is_empty(),
+        "simulation drained with contract lifecycles unsettled"
+    );
     if let Some(local) = &m.local_seller {
         seller_effort += local.total_effort;
         cache_hits += local.cache_hits;
@@ -617,6 +927,12 @@ pub fn run_qt_serve(
     metrics.retries = m.retries;
     metrics.timeouts = m.timeouts_fired;
     metrics.degraded_rounds = m.degraded_rounds;
+    let contracts = m.contract_stats;
+    metrics.awards_sent = contracts.awards_sent;
+    metrics.award_retries = contracts.award_retries;
+    metrics.lost_awards = contracts.lost_awards;
+    metrics.lease_expiries = contracts.lease_expiries;
+    metrics.reawards = contracts.reawards;
     let mut reports = std::mem::take(&mut m.completed);
     reports.sort_by_key(|r| r.session);
 
@@ -650,6 +966,7 @@ pub fn run_qt_serve(
         seller_effort,
         offer_cache_hits: metrics.offer_cache_hits,
         offer_cache_misses: metrics.offer_cache_misses,
+        contracts,
         makespan,
         reports,
         metrics,

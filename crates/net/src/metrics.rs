@@ -42,6 +42,25 @@ pub struct Metrics {
     pub offer_cache_hits: u64,
     /// Seller offer-cache misses across all nodes.
     pub offer_cache_misses: u64,
+    /// Lease heartbeats and their acknowledgments delivered
+    /// (`Ctx::send_lease`) — control-plane chatter excluded from
+    /// `messages`/`bytes`, mirroring the `timer_events` split.
+    pub lease_events: u64,
+    /// Award messages sent (initial awards, retransmissions, and re-awards;
+    /// filled by the QT driver after the run).
+    pub awards_sent: u64,
+    /// Award retransmissions after an unanswered ack deadline (filled by the
+    /// QT driver after the run).
+    pub award_retries: u64,
+    /// Awards whose ack never arrived within the retry budget (filled by the
+    /// QT driver after the run).
+    pub lost_awards: u64,
+    /// Execution leases that expired after consecutive missed renewals
+    /// (filled by the QT driver after the run).
+    pub lease_expiries: u64,
+    /// Contracts re-awarded to a runner-up offer from the bid book (filled
+    /// by the QT driver after the run).
+    pub reawards: u64,
 }
 
 impl Metrics {
@@ -55,6 +74,13 @@ impl Metrics {
     /// Record one timer firing (no link, no bytes, not a message).
     pub fn record_timer(&mut self, kind: &'static str) {
         self.timer_events += 1;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Record one delivered lease heartbeat/ack (a real network event, but
+    /// control-plane: excluded from `messages`/`bytes`).
+    pub fn record_lease(&mut self, kind: &'static str) {
+        self.lease_events += 1;
         *self.by_kind.entry(kind).or_insert(0) += 1;
     }
 
@@ -97,6 +123,18 @@ mod tests {
         assert_eq!(m.bytes, 100.0);
         assert_eq!(m.timer_events, 2);
         assert_eq!(m.kind_count("timeout"), 2, "timers still visible by kind");
+    }
+
+    #[test]
+    fn leases_are_not_messages() {
+        let mut m = Metrics::default();
+        m.record_message("award", 128.0);
+        m.record_lease("lease");
+        m.record_lease("lease-ack");
+        assert_eq!(m.messages, 1, "leases must not inflate message counts");
+        assert_eq!(m.bytes, 128.0);
+        assert_eq!(m.lease_events, 2);
+        assert_eq!(m.kind_count("lease"), 1, "leases still visible by kind");
     }
 
     #[test]

@@ -31,6 +31,7 @@ struct Outgoing<M> {
     kind: &'static str,
     extra_delay: f64,
     timer: bool,
+    lease: bool,
 }
 
 impl<M> Ctx<M> {
@@ -61,6 +62,26 @@ impl<M> Ctx<M> {
             kind,
             extra_delay: 0.0,
             timer: false,
+            lease: false,
+        });
+    }
+
+    /// Send a lease heartbeat (or its acknowledgment) to `to`. Lease traffic
+    /// rides the real network — it pays latency and is subject to fault
+    /// injection, which is the whole point: a crashed or partitioned lessee
+    /// stops answering — but it is control-plane chatter, not protocol data:
+    /// it carries no payload bytes and counts in
+    /// [`Metrics::lease_events`](crate::Metrics), never in
+    /// `messages`/`bytes` (mirroring the timer split).
+    pub fn send_lease(&mut self, to: NodeId, msg: M, kind: &'static str) {
+        self.outbox.push(Outgoing {
+            to,
+            msg,
+            bytes: 0.0,
+            kind,
+            extra_delay: 0.0,
+            timer: false,
+            lease: true,
         });
     }
 
@@ -76,6 +97,7 @@ impl<M> Ctx<M> {
             kind,
             extra_delay: delay.max(0.0),
             timer: true,
+            lease: false,
         });
     }
 }
@@ -89,6 +111,7 @@ struct Event<M> {
     bytes: f64,
     kind: &'static str,
     timer: bool,
+    lease: bool,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -243,6 +266,7 @@ impl<M, H: Handler<M>> Simulator<M, H> {
             bytes: 0.0,
             kind,
             timer: false,
+            lease: false,
         }));
     }
 
@@ -312,6 +336,8 @@ impl<M, H: Handler<M>> Simulator<M, H> {
             self.metrics.events += 1;
             if ev.timer {
                 self.metrics.record_timer(ev.kind);
+            } else if ev.lease {
+                self.metrics.record_lease(ev.kind);
             } else {
                 self.metrics.record_message(ev.kind, ev.bytes);
             }
@@ -359,6 +385,7 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                                 bytes: out.bytes,
                                 kind: out.kind,
                                 timer: false,
+                                lease: out.lease,
                             }));
                         }
                         time = arrive + plan.jitter_for(seq);
@@ -373,6 +400,7 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                     bytes: out.bytes,
                     kind: out.kind,
                     timer: out.timer,
+                    lease: out.lease,
                 }));
             }
         }
@@ -661,6 +689,60 @@ mod tests {
         assert_eq!(sim.metrics.timer_events, 1);
         assert_eq!(sim.metrics.kind_count("alarm"), 1);
         assert_eq!(sim.metrics.events, 2);
+    }
+
+    #[test]
+    fn lease_traffic_counts_separately_but_still_faults() {
+        struct Lessee;
+        struct Lessor {
+            acks: u32,
+        }
+        #[derive(Clone)]
+        enum L {
+            Beat,
+            Ack,
+        }
+        enum N {
+            Lessee(Lessee),
+            Lessor(Lessor),
+        }
+        impl Handler<L> for N {
+            fn on_message(&mut self, ctx: &mut Ctx<L>, from: NodeId, msg: L) {
+                match (self, msg) {
+                    (N::Lessee(_), L::Beat) => ctx.send_lease(from, L::Ack, "lease-ack"),
+                    (N::Lessor(l), L::Ack) => l.acks += 1,
+                    _ => {}
+                }
+            }
+        }
+        let build = || {
+            let mut sim: Simulator<L, N> = Simulator::new(Topology::default());
+            sim.add_node(NodeId(0), N::Lessor(Lessor { acks: 0 }));
+            sim.add_node(NodeId(1), N::Lessee(Lessee));
+            sim
+        };
+        // Healthy lessee: the heartbeat round-trips, nothing lands in the
+        // data-message counters.
+        let mut sim = build();
+        sim.inject(0.0, NodeId(0), NodeId(1), L::Beat, "lease");
+        sim.run(100);
+        let N::Lessor(l) = sim.handler(NodeId(0)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(l.acks, 1);
+        assert_eq!(sim.metrics.messages, 1, "only the injected beat counts");
+        assert_eq!(sim.metrics.lease_events, 1);
+        assert_eq!(sim.metrics.kind_count("lease-ack"), 1);
+        // Crashed lessee: the heartbeat is lost — leases are not fault-exempt.
+        let mut sim = build();
+        sim.set_fault_plan(FaultPlan::default().with_crash(NodeId(1), 0.0, 10.0));
+        sim.inject(0.0, NodeId(0), NodeId(1), L::Beat, "lease");
+        sim.run(100);
+        let N::Lessor(l) = sim.handler(NodeId(0)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(l.acks, 0);
+        assert_eq!(sim.metrics.dropped_by_cause["crash"], 1);
     }
 
     #[test]

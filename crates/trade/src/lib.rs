@@ -13,10 +13,12 @@
 //! nothing about queries — it negotiates abstract items whose buyer-side
 //! scores and seller-side costs are already known.
 
+pub mod contract;
 pub mod offer;
 pub mod protocol;
 pub mod strategy;
 
+pub use contract::{ContractId, ContractState};
 pub use offer::{Bid, NegotiationOutcome};
 pub use protocol::{ProtocolKind, SessionId, MAX_ENGLISH_ROUNDS};
 pub use strategy::{BuyerValueBook, SellerStrategy};
