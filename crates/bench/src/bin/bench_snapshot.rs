@@ -386,6 +386,154 @@ fn bench_serve() -> ServeStats {
     stats
 }
 
+struct RealTransportStats {
+    direct_single_wall: f64,
+    direct_threads_wall: f64,
+    direct_speedup: f64,
+    direct_sim_virtual: f64,
+    serve_single_wall: f64,
+    serve_threads_wall: f64,
+    serve_speedup: f64,
+    serve_sim_qps_virtual: f64,
+    wire_bytes: u64,
+    sim_estimate_bytes: f64,
+    wire_bytes_vs_sim_estimate: f64,
+}
+
+/// The real thread-per-node transport vs. single-threaded execution of the
+/// same workloads, host wall-clock best of 3. The sim's *virtual*-time
+/// numbers ride along for context but live in separate fields — the two
+/// clocks must never be conflated. Also audits the wire codec's byte
+/// accounting: actual encoded frame bytes vs. the analytic
+/// `query_msg_bytes`/`offer_msg_bytes` estimates the sim charges.
+fn bench_real_transport() -> RealTransportStats {
+    use qt_core::{
+        run_qt_direct, run_qt_real, run_qt_serve, run_qt_serve_real, run_qt_sim, ServeConfig,
+    };
+    use qt_net::RealConfig;
+    use qt_workload::{gen_arrivals, synthetic_mix, ArrivalSpec};
+    let best3 = |mut f: Box<dyn FnMut() + '_>| {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let fed = build_federation(&spec(16));
+    let q = gen_join_query(&fed.catalog.dict, QueryShape::Chain, 3, true, 5);
+    // Serial in-node execution for both arms, so the speedup measures the
+    // transport's parallelism and nothing else.
+    let cfg = QtConfig {
+        parallel: false,
+        ..QtConfig::default()
+    };
+    let (sim_out, _) = run_qt_sim(
+        NodeId(0),
+        fed.catalog.dict.clone(),
+        &q,
+        engines(&fed, &cfg),
+        &cfg,
+    );
+    let (_, threads_metrics) = run_qt_real(
+        NodeId(0),
+        fed.catalog.dict.clone(),
+        &q,
+        engines(&fed, &cfg),
+        &cfg,
+        RealConfig::default(),
+    );
+    let direct_single_wall = best3(Box::new(|| {
+        let mut sellers = engines(&fed, &cfg);
+        std::hint::black_box(run_qt_direct(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            &q,
+            &mut sellers,
+            &cfg,
+        ));
+    }));
+    let direct_threads_wall = best3(Box::new(|| {
+        std::hint::black_box(run_qt_real(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            &q,
+            engines(&fed, &cfg),
+            &cfg,
+            RealConfig::default(),
+        ));
+    }));
+    let mix = synthetic_mix(&fed.catalog.dict, 6, 5);
+    let arrivals = gen_arrivals(
+        &mix,
+        &ArrivalSpec {
+            n_queries: 32,
+            mean_interarrival: 0.0,
+            seed: 5,
+        },
+    );
+    let serve_cfg = QtConfig {
+        seller_timeout: 300.0,
+        ..cfg.clone()
+    };
+    let sc = ServeConfig {
+        concurrency: 8,
+        batch_rfbs: true,
+    };
+    let serve_sim = run_qt_serve(
+        NodeId(0),
+        fed.catalog.dict.clone(),
+        arrivals.clone(),
+        engines(&fed, &serve_cfg),
+        &serve_cfg,
+        &sc,
+    );
+    let serve_single_wall = best3(Box::new(|| {
+        std::hint::black_box(run_qt_serve(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            arrivals.clone(),
+            engines(&fed, &serve_cfg),
+            &serve_cfg,
+            &sc,
+        ));
+    }));
+    let serve_threads_wall = best3(Box::new(|| {
+        std::hint::black_box(run_qt_serve_real(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            arrivals.clone(),
+            engines(&fed, &serve_cfg),
+            &serve_cfg,
+            &sc,
+            RealConfig::default(),
+        ));
+    }));
+    let stats = RealTransportStats {
+        direct_single_wall,
+        direct_threads_wall,
+        direct_speedup: direct_single_wall / direct_threads_wall.max(1e-12),
+        direct_sim_virtual: sim_out.optimization_time,
+        serve_single_wall,
+        serve_threads_wall,
+        serve_speedup: serve_single_wall / serve_threads_wall.max(1e-12),
+        serve_sim_qps_virtual: serve_sim.qps,
+        wire_bytes: threads_metrics.wire_bytes,
+        sim_estimate_bytes: threads_metrics.bytes,
+        wire_bytes_vs_sim_estimate: threads_metrics.wire_bytes as f64
+            / threads_metrics.bytes.max(1.0),
+    };
+    eprintln!(
+        "{:40} direct {:.2}x, serve conc8 {:.2}x wall vs single-thread (codec/sim bytes {:.3})",
+        "real_transport/threads/16_sellers",
+        stats.direct_speedup,
+        stats.serve_speedup,
+        stats.wire_bytes_vs_sim_estimate
+    );
+    stats
+}
+
 fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -471,6 +619,62 @@ fn main() {
         json,
         "    \"serve_speedup_conc8\": {:.3}",
         serve.speedup_conc8
+    );
+    json.push_str("  },\n");
+    let real = bench_real_transport();
+    json.push_str("  \"real_transport\": {\n");
+    let _ = writeln!(json, "    \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "    \"transport\": \"threads\",");
+    json.push_str("    \"qt_direct_16_sellers\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"sim_virtual_time\": {:.6},",
+        real.direct_sim_virtual
+    );
+    let _ = writeln!(
+        json,
+        "      \"single_thread_wall\": {:.6},",
+        real.direct_single_wall
+    );
+    let _ = writeln!(
+        json,
+        "      \"threads_wall\": {:.6},",
+        real.direct_threads_wall
+    );
+    let _ = writeln!(
+        json,
+        "      \"threads_speedup\": {:.3}",
+        real.direct_speedup
+    );
+    json.push_str("    },\n");
+    json.push_str("    \"serve_conc8\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"sim_qps_virtual\": {:.3},",
+        real.serve_sim_qps_virtual
+    );
+    let _ = writeln!(
+        json,
+        "      \"single_thread_wall\": {:.6},",
+        real.serve_single_wall
+    );
+    let _ = writeln!(
+        json,
+        "      \"threads_wall\": {:.6},",
+        real.serve_threads_wall
+    );
+    let _ = writeln!(json, "      \"threads_speedup\": {:.3}", real.serve_speedup);
+    json.push_str("    },\n");
+    let _ = writeln!(json, "    \"wire_bytes\": {},", real.wire_bytes);
+    let _ = writeln!(
+        json,
+        "    \"sim_estimate_bytes\": {:.1},",
+        real.sim_estimate_bytes
+    );
+    let _ = writeln!(
+        json,
+        "    \"wire_bytes_vs_sim_estimate\": {:.4}",
+        real.wire_bytes_vs_sim_estimate
     );
     json.push_str("  },\n");
     let (plan_found, dropped, retries, timeouts, degraded, unreachable) = fault_counters();

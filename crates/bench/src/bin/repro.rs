@@ -3,15 +3,34 @@
 //! ```text
 //! cargo run -p qt-bench --bin repro --release -- all
 //! cargo run -p qt-bench --bin repro --release -- e3 e4
+//! cargo run -p qt-bench --bin repro --release -- e21 --transport threads
 //! ```
 //!
 //! Each experiment prints its table and writes `results/<id>.csv`.
+//! `--transport {sim,threads,tcp}` restricts the transport-comparison
+//! experiments (E21) to one runtime; the default measures all of them.
 
 use qt_bench::experiments;
 use std::path::Path;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--transport") {
+        let value = args.get(i + 1).cloned();
+        match value.as_deref() {
+            Some(v @ ("sim" | "threads" | "tcp")) => {
+                // The experiments read this env var; a flag keeps the
+                // registry signature uniform (every experiment is `fn() ->
+                // Table`).
+                std::env::set_var("QT_BENCH_TRANSPORT", v);
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("--transport needs one of: sim, threads, tcp");
+                std::process::exit(2);
+            }
+        }
+    }
     let registry = experiments::all();
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         registry.iter().map(|(id, _)| *id).collect()

@@ -1047,6 +1047,94 @@ pub fn e20() -> Table {
     t
 }
 
+/// E21: the serving benchmark across transports — the discrete-event
+/// simulator vs. the real thread-per-node runtime over in-process channels
+/// and loopback TCP. Plans are bit-identical across all three (the
+/// conformance suite in `qt-core` proves it); what differs is the clock:
+/// the sim reports *virtual* seconds, the real transports *wall-clock*
+/// seconds on however many cores the host has. Respects
+/// `QT_BENCH_TRANSPORT` (`sim` | `threads` | `tcp` | `all`), set by the
+/// repro binary's `--transport` flag, so a row subset can be regenerated.
+pub fn e21() -> Table {
+    use qt_core::{run_qt_serve, run_qt_serve_real, ServeConfig};
+    use qt_net::{RealConfig, RealTransport};
+    use qt_workload::{gen_arrivals, synthetic_mix, ArrivalSpec};
+    let which = std::env::var("QT_BENCH_TRANSPORT").unwrap_or_else(|_| "all".into());
+    let mut t = Table::new(
+        "E21",
+        "serving across transports: sim in virtual s, threads/tcp in wall-clock s; conc 8, 24-query burst",
+        &[
+            "transport",
+            "sellers",
+            "qps",
+            "p50 latency",
+            "p95 latency",
+            "msgs/query",
+        ],
+    );
+    for nodes in [8u32, 16] {
+        let fed = build_federation(&spec(nodes, 3, 2, 2, 900 + nodes as u64));
+        let mix = synthetic_mix(&fed.catalog.dict, 4, 9);
+        let arrivals = gen_arrivals(
+            &mix,
+            &ArrivalSpec {
+                n_queries: 24,
+                mean_interarrival: 0.0,
+                seed: 9,
+            },
+        );
+        let cfg = QtConfig {
+            // Admission-queued sessions must not trip response deadlines.
+            seller_timeout: 300.0,
+            ..QtConfig::default()
+        };
+        let serve_cfg = ServeConfig {
+            concurrency: 8,
+            batch_rfbs: true,
+        };
+        for transport in ["sim", "threads", "tcp"] {
+            if which != "all" && which != transport {
+                continue;
+            }
+            let out = match transport {
+                "sim" => run_qt_serve(
+                    BUYER,
+                    fed.catalog.dict.clone(),
+                    arrivals.clone(),
+                    seller_engines(&fed, &cfg),
+                    &cfg,
+                    &serve_cfg,
+                ),
+                _ => run_qt_serve_real(
+                    BUYER,
+                    fed.catalog.dict.clone(),
+                    arrivals.clone(),
+                    seller_engines(&fed, &cfg),
+                    &cfg,
+                    &serve_cfg,
+                    RealConfig {
+                        transport: if transport == "threads" {
+                            RealTransport::Threads
+                        } else {
+                            RealTransport::Tcp
+                        },
+                        ..RealConfig::default()
+                    },
+                ),
+            };
+            t.push(vec![
+                transport.to_string(),
+                nodes.to_string(),
+                f(out.qps),
+                f(out.p50_latency),
+                f(out.p95_latency),
+                f(out.messages_per_query),
+            ]);
+        }
+    }
+    t
+}
+
 pub fn all() -> Vec<Experiment> {
     vec![
         ("e1", e1 as fn() -> Table),
@@ -1069,6 +1157,7 @@ pub fn all() -> Vec<Experiment> {
         ("e18", e18),
         ("e19", e19),
         ("e20", e20),
+        ("e21", e21),
     ]
 }
 

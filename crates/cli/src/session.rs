@@ -115,6 +115,7 @@ impl Session {
                  \\markup <x>          seller markup factor (1.0 = truthful)\n\
                  \\faults <p> [seed]   simulate with message-loss rate p (0 or 'off' to disable)\n\
                  \\serve <n> [c]       serve a burst of n demo queries at concurrency c (default 1)\n\
+                 \\real <n> [c]        like \\serve, but thread-per-node on real cores (wall clock)\n\
                  \\contracts <SQL>     trade with the contract lifecycle on, crash the winner\n\
                  \\                    post-award, and dump contract states + repair counters\n\
                  \\quit                leave"
@@ -205,6 +206,20 @@ impl Session {
                     (Some(n), Some(conc)) if n >= 1 => Eval::Output(self.serve(n, conc)),
                     _ => Eval::Output(format!(
                         "invalid '\\serve {rest}' (need \\serve <n_queries> [concurrency >= 1])"
+                    )),
+                }
+            }
+            "real" => {
+                let mut parts = rest.split_whitespace();
+                let n = parts.next().and_then(|tok| tok.parse::<usize>().ok());
+                let conc = match parts.next() {
+                    Some(tok) => tok.parse::<usize>().ok().filter(|c| *c >= 1),
+                    None => Some(1),
+                };
+                match (n, conc) {
+                    (Some(n), Some(conc)) if n >= 1 => Eval::Output(self.real_serve(n, conc)),
+                    _ => Eval::Output(format!(
+                        "invalid '\\real {rest}' (need \\real <n_queries> [concurrency >= 1])"
                     )),
                 }
             }
@@ -386,6 +401,82 @@ impl Session {
             s,
             "messages: {} total, {:.1} per query",
             out.messages, out.messages_per_query
+        );
+        s
+    }
+
+    /// [`Self::serve`] on the real thread-per-node transport: every node is
+    /// an OS thread, messages cross bounded channels through the wire codec,
+    /// and the reported figures are wall clock. The plans are bit-identical
+    /// to the simulated run — the conformance suite in `qt-core` proves it —
+    /// so this command is about *feeling* the parallel runtime, not about
+    /// different answers.
+    fn real_serve(&self, n: usize, conc: usize) -> String {
+        use qt_core::{run_qt_serve_real, ServeConfig};
+        let mix = match self.demo {
+            Demo::Telecom => qt_workload::telecom_mix(&self.catalog.dict),
+            Demo::Synthetic => qt_workload::synthetic_mix(&self.catalog.dict, 4, 1),
+        };
+        let arrivals = qt_workload::gen_arrivals(
+            &mix,
+            &qt_workload::ArrivalSpec {
+                n_queries: n,
+                mean_interarrival: 0.0,
+                seed: 1,
+            },
+        );
+        let sellers: BTreeMap<NodeId, SellerEngine> = self
+            .catalog
+            .nodes
+            .iter()
+            .map(|&node| {
+                (
+                    node,
+                    SellerEngine::new(self.catalog.holdings_of(node), self.config.clone()),
+                )
+            })
+            .collect();
+        let cfg = QtConfig {
+            // Admission-queued sessions must not trip response deadlines.
+            seller_timeout: self.config.seller_timeout.max(300.0),
+            ..self.config.clone()
+        };
+        let out = run_qt_serve_real(
+            self.buyer,
+            self.catalog.dict.clone(),
+            arrivals,
+            sellers,
+            &cfg,
+            &ServeConfig {
+                concurrency: conc,
+                batch_rfbs: true,
+            },
+            qt_net::RealConfig::default(),
+        );
+        let planned = out.reports.iter().filter(|r| r.plan.is_some()).count();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "served {n} queries at concurrency {conc} ({planned} planned) on {} node threads",
+            self.catalog.nodes.len()
+        );
+        if self.fault_loss > 0.0 {
+            let _ = writeln!(s, "note: \\faults applies to SQL runs, not \\real");
+        }
+        let _ = writeln!(
+            s,
+            "throughput: {:.2} queries/s over {:.4}s wall clock",
+            out.qps, out.makespan
+        );
+        let _ = writeln!(
+            s,
+            "latency: p50 {:.4}s, p95 {:.4}s (wall clock)",
+            out.p50_latency, out.p95_latency
+        );
+        let _ = write!(
+            s,
+            "messages: {} total, {:.1} per query, {} codec bytes on the wire",
+            out.messages, out.messages_per_query, out.metrics.wire_bytes
         );
         s
     }
@@ -683,6 +774,22 @@ mod tests {
         assert!(matches!(s.eval("\\serve 2"), Eval::Output(o) if o.contains("concurrency 1")));
         assert!(matches!(s.eval("\\serve"), Eval::Output(o) if o.contains("invalid")));
         assert!(matches!(s.eval("\\serve 4 0"), Eval::Output(o) if o.contains("invalid")));
+    }
+
+    #[test]
+    fn real_command_serves_on_threads_with_wall_clock_figures() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval("\\real 4 2") else {
+            panic!()
+        };
+        assert!(o.contains("served 4 queries at concurrency 2"), "{o}");
+        assert!(o.contains("(4 planned)"), "{o}");
+        assert!(o.contains("node threads"), "{o}");
+        assert!(o.contains("wall clock"), "{o}");
+        assert!(o.contains("codec bytes on the wire"), "{o}");
+        assert!(matches!(s.eval("\\real 2"), Eval::Output(o) if o.contains("concurrency 1")));
+        assert!(matches!(s.eval("\\real"), Eval::Output(o) if o.contains("invalid")));
+        assert!(matches!(s.eval("\\real 4 0"), Eval::Output(o) if o.contains("invalid")));
     }
 
     #[test]

@@ -227,7 +227,7 @@ pub fn run_qt_direct(
 // ---------------------------------------------------------------------------
 
 /// Protocol messages of the QT trading loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QtMsg {
     /// Kick off the optimization at the buyer.
     Start,
@@ -329,8 +329,13 @@ pub struct BuyerSim {
     /// The buyer's own seller side (its local data also competes).
     pub local_seller: Option<SellerEngine>,
     remote_sellers: Vec<NodeId>,
-    /// Sellers heard from in the current round.
-    answered: std::collections::BTreeSet<NodeId>,
+    /// Current-round replies buffered until the round closes, keyed by
+    /// seller. Feeding the engine at round close in ascending seller order
+    /// (not arrival order) makes the trading outcome insensitive to message
+    /// scheduling — the property that lets the real transport reproduce the
+    /// simulator's plans bit-for-bit, and the same rule the serving layer
+    /// and the direct driver already follow.
+    pending: std::collections::BTreeMap<NodeId, Vec<Offer>>,
     /// Every `(round, seller)` reply already consumed — duplicated
     /// deliveries and dedup resends are discarded, so a seller's offers
     /// enter the pool exactly once per round.
@@ -442,14 +447,17 @@ impl Handler<QtMsg> for QtNode {
                 }
                 // A seller that answers — even late — is reachable.
                 b.unreachable.remove(&from);
-                // All market information is welcome, even stragglers...
-                b.engine.receive_offers(offers);
-                // ...but only current-round replies advance the round.
                 if b.round_open && round == b.engine.round {
-                    b.answered.insert(from);
-                    if b.answered.len() == b.remote_sellers.len() {
+                    // Buffer current-round replies; they enter the pool in
+                    // ascending seller order when the round closes.
+                    b.pending.insert(from, offers);
+                    if b.pending.len() == b.remote_sellers.len() {
                         b.finish_round(ctx);
                     }
+                } else {
+                    // A straggler from an already-closed round: all market
+                    // information is welcome, it just can't advance a round.
+                    b.engine.receive_offers(offers);
                 }
             }
             (QtNode::Buyer(b), QtMsg::Timeout { round }) => {
@@ -461,7 +469,7 @@ impl Handler<QtMsg> for QtNode {
                     .remote_sellers
                     .iter()
                     .copied()
-                    .filter(|s| !b.answered.contains(s))
+                    .filter(|s| !b.pending.contains_key(s))
                     .collect();
                 if !missing.is_empty() && b.attempt < b.engine.config.max_rfb_retries {
                     // Retransmit only to the unanswered sellers, then re-arm
@@ -540,7 +548,7 @@ impl BuyerSim {
             ctx.charge_compute(resp.effort as f64 * self.engine.config.per_subplan_seconds);
             self.engine.receive_offers(resp.offers);
         }
-        self.answered.clear();
+        self.pending.clear();
         self.attempt = 0;
         self.round_open = true;
         let bytes = (items.len() + hints.len()) as f64 * self.engine.config.query_msg_bytes;
@@ -572,6 +580,12 @@ impl BuyerSim {
 
     fn finish_round(&mut self, ctx: &mut Ctx<QtMsg>) {
         self.round_open = false;
+        // Drain the round's replies in ascending seller order — the same
+        // sequence the direct driver's merge produces — so the offer pool's
+        // contents are independent of delivery timing.
+        for (_, offers) in std::mem::take(&mut self.pending) {
+            self.engine.receive_offers(offers);
+        }
         let outcome = self.engine.close_round();
         let considered = self
             .engine
@@ -780,7 +794,7 @@ pub fn run_qt_sim_with_faults(
         engine: BuyerEngine::new(buyer_node, dict, query.clone(), config.clone()),
         local_seller,
         remote_sellers: remote,
-        answered: std::collections::BTreeSet::new(),
+        pending: std::collections::BTreeMap::new(),
         seen_replies: std::collections::BTreeSet::new(),
         attempt: 0,
         cur_items: Arc::new(Vec::new()),
@@ -816,7 +830,31 @@ pub fn run_qt_sim_with_faults(
     let QtNode::Buyer(b) = sim.handler(buyer_node).expect("buyer registered") else {
         panic!("buyer node is not a buyer");
     };
-    assert!(b.done, "simulation drained without finishing trading");
+    let outcome = finish_qt_outcome(
+        b,
+        seller_effort,
+        cache_hits,
+        cache_misses,
+        cache_hits_before,
+        cache_misses_before,
+        &mut metrics,
+    );
+    (outcome, metrics)
+}
+
+/// Shared post-processing for the simulator and real-transport drivers:
+/// fold the buyer's state and the sellers' effort/cache counters into a
+/// [`QtOutcome`], patching the driver-filled fields of `metrics`.
+fn finish_qt_outcome(
+    b: &BuyerSim,
+    mut seller_effort: u64,
+    mut cache_hits: u64,
+    mut cache_misses: u64,
+    cache_hits_before: u64,
+    cache_misses_before: u64,
+    metrics: &mut qt_net::Metrics,
+) -> QtOutcome {
+    assert!(b.done, "run drained without finishing trading");
     // Trailing (stale) timers may run after trading completed; the
     // optimization finished when the buyer said so.
     let end_time = b.finish_time;
@@ -840,10 +878,7 @@ pub fn run_qt_sim_with_faults(
     let mut contract_stats = crate::contract::ContractStats::default();
     let mut contracts = Vec::new();
     if let Some(ctl) = &b.controller {
-        assert!(
-            ctl.settled,
-            "simulation drained with contracts still in flight"
-        );
+        assert!(ctl.settled, "run drained with contracts still in flight");
         contract_stats = ctl.stats;
         contracts = ctl.reports();
         plan = ctl.plan_valid().then(|| ctl.plan.clone());
@@ -853,11 +888,11 @@ pub fn run_qt_sim_with_faults(
     metrics.lost_awards = contract_stats.lost_awards;
     metrics.lease_expiries = contract_stats.lease_expiries;
     metrics.reawards = contract_stats.reawards;
-    let outcome = QtOutcome {
+    QtOutcome {
         plan,
         iterations: engine.round + 1,
         // Exclude the kick-off event from protocol message counts (timers
-        // are tracked separately by the simulator and never land here).
+        // are tracked separately by the runtime and never land here).
         messages: metrics.messages - metrics.kind_count("start"),
         bytes: metrics.bytes,
         optimization_time: end_time,
@@ -875,6 +910,85 @@ pub fn run_qt_sim_with_faults(
         rescoped_trades: contract_stats.rescoped_trades,
         contracts,
         history: engine.history.clone(),
+    }
+}
+
+/// Run QT on the real thread-per-node transport (`qt_net::real`): buyer and
+/// sellers execute on actual OS threads, connected by bounded channels or
+/// loopback TCP per `real`. The protocol handlers are the exact ones the
+/// simulator runs, so plans, cost bits, and offer ids are bit-identical to
+/// [`run_qt_sim`] under the same configuration (the conformance suite
+/// asserts this). The returned outcome's `optimization_time` is **wall
+/// clock**, not virtual time — never compare it against simulator numbers.
+pub fn run_qt_real(
+    buyer_node: NodeId,
+    dict: Arc<SchemaDict>,
+    query: &Query,
+    mut sellers: BTreeMap<NodeId, SellerEngine>,
+    config: &QtConfig,
+    real: qt_net::RealConfig,
+) -> (QtOutcome, qt_net::Metrics) {
+    let cache_hits_before: u64 = sellers.values().map(|s| s.cache_hits).sum();
+    let cache_misses_before: u64 = sellers.values().map(|s| s.cache_misses).sum();
+    let local_seller = sellers.remove(&buyer_node);
+    let remote: Vec<NodeId> = sellers.keys().copied().collect();
+    let buyer = BuyerSim {
+        engine: BuyerEngine::new(buyer_node, dict, query.clone(), config.clone()),
+        local_seller,
+        remote_sellers: remote,
+        pending: std::collections::BTreeMap::new(),
+        seen_replies: std::collections::BTreeSet::new(),
+        attempt: 0,
+        cur_items: Arc::new(Vec::new()),
+        cur_hints: Arc::new(Vec::new()),
+        round_open: false,
+        prev_neg_msgs: 0,
+        prev_neg_rts: 0,
+        retries: 0,
+        timeouts_fired: 0,
+        degraded_rounds: 0,
+        unreachable: std::collections::BTreeSet::new(),
+        done: false,
+        finish_time: 0.0,
+        controller: None,
     };
+    let mut rt: qt_net::RealRuntime<QtMsg, QtNode> = qt_net::RealRuntime::new(real);
+    rt.add_node(buyer_node, QtNode::Buyer(Box::new(buyer)));
+    for (node, engine) in sellers {
+        rt.add_node(node, QtNode::Seller(Box::new(engine)));
+    }
+    rt.inject(0.0, buyer_node, buyer_node, QtMsg::Start, "start");
+    // Trading is over when the buyer converged and (with the lifecycle on)
+    // every contract settled; channel FIFO guarantees trailing awards and
+    // releases are delivered before the shutdown marker.
+    let out = rt.run(buyer_node, |h| {
+        matches!(h, QtNode::Buyer(b)
+            if b.done && b.controller.as_ref().is_none_or(|c| c.settled))
+    });
+    let mut metrics = out.metrics;
+    let mut seller_effort = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut buyer_back = None;
+    for (_, handler) in out.handlers {
+        match handler {
+            QtNode::Seller(e) => {
+                seller_effort += e.total_effort;
+                cache_hits += e.cache_hits;
+                cache_misses += e.cache_misses;
+            }
+            QtNode::Buyer(b) => buyer_back = Some(b),
+        }
+    }
+    let b = buyer_back.expect("buyer handler returned");
+    let outcome = finish_qt_outcome(
+        &b,
+        seller_effort,
+        cache_hits,
+        cache_misses,
+        cache_hits_before,
+        cache_misses_before,
+        &mut metrics,
+    );
     (outcome, metrics)
 }

@@ -21,7 +21,10 @@
 //! used for plan-quality experiments and tests) or *on the simulator*
 //! (`qt-net` handlers with virtual time — used for optimization-time and
 //! message-count experiments). Both produce identical plans and message
-//! counts by construction; a test asserts it.
+//! counts by construction; a test asserts it. A third runtime,
+//! `qt_net::real`, executes the same handlers thread-per-node on real cores
+//! (in-process channels or TCP via [`wire`]); the conformance suite in
+//! `tests/real_transport.rs` proves its plans bit-identical to the sim's.
 
 pub mod analyser;
 pub mod buyer;
@@ -34,6 +37,7 @@ pub mod plangen;
 pub mod relset;
 pub mod seller;
 pub mod session;
+pub mod wire;
 
 pub use buyer::{remote_awards, winner_set, BuyerEngine};
 pub use config::QtConfig;
@@ -43,12 +47,13 @@ pub use contract::{
 };
 pub use dist_plan::{DistributedPlan, PlanEstimate, Purchase};
 pub use driver::{
-    run_qt_direct, run_qt_sim, run_qt_sim_with_faults, run_qt_sim_with_topology, QtOutcome,
+    run_qt_direct, run_qt_real, run_qt_sim, run_qt_sim_with_faults, run_qt_sim_with_topology,
+    QtOutcome,
 };
 pub use offer::{Offer, OfferKind, RfbItem};
 pub use relset::RelSet;
 pub use seller::{session_req, SellerEngine, SessionRfb};
 pub use session::{
-    run_qt_serve, run_qt_serve_with_faults, ServeConfig, ServeMsg, ServeNode, ServeOutcome,
-    SessionManager, SessionReport,
+    run_qt_serve, run_qt_serve_real, run_qt_serve_with_faults, ServeConfig, ServeMsg, ServeNode,
+    ServeOutcome, SessionManager, SessionReport,
 };

@@ -24,7 +24,7 @@ pub struct SellerResponse {
 /// session's current-round request to the same seller into one message, and
 /// each entry is what a stand-alone [`QtMsg::Rfb`](crate::driver::QtMsg)
 /// would have carried.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionRfb {
     /// The negotiation this entry belongs to.
     pub session: SessionId,

@@ -59,7 +59,7 @@ impl Default for ServeConfig {
 }
 
 /// Protocol messages of the serving layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServeMsg {
     /// A query arrives at the buyer node (injected by the driver; excluded
     /// from protocol message counts like the single-session `Start`).
@@ -894,7 +894,7 @@ pub fn run_qt_serve_with_faults(
     }
     sim.run(100_000_000);
 
-    let mut metrics = sim.metrics.clone();
+    let metrics = sim.metrics.clone();
     let mut seller_effort = 0u64;
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
@@ -908,14 +908,36 @@ pub fn run_qt_serve_with_faults(
     let Some(ServeNode::Buyer(m)) = sim.handler_mut(buyer_node) else {
         panic!("buyer node is not a session manager");
     };
-    assert_eq!(
-        m.completed.len(),
+    finish_serve_outcome(
+        m,
         n,
-        "simulation drained with sessions unfinished"
-    );
+        seller_effort,
+        cache_hits,
+        cache_misses,
+        cache_hits_before,
+        cache_misses_before,
+        metrics,
+    )
+}
+
+/// Shared post-processing for the simulator and real-transport serving
+/// drivers: fold the manager's state and seller counters into a
+/// [`ServeOutcome`], patching the driver-filled fields of `metrics`.
+#[allow(clippy::too_many_arguments)]
+fn finish_serve_outcome(
+    m: &mut SessionManager,
+    n: usize,
+    mut seller_effort: u64,
+    mut cache_hits: u64,
+    mut cache_misses: u64,
+    cache_hits_before: u64,
+    cache_misses_before: u64,
+    mut metrics: qt_net::Metrics,
+) -> ServeOutcome {
+    assert_eq!(m.completed.len(), n, "run drained with sessions unfinished");
     assert!(
         m.lifecycles.is_empty(),
-        "simulation drained with contract lifecycles unsettled"
+        "run drained with contract lifecycles unsettled"
     );
     if let Some(local) = &m.local_seller {
         seller_effort += local.total_effort;
@@ -936,7 +958,7 @@ pub fn run_qt_serve_with_faults(
     let mut reports = std::mem::take(&mut m.completed);
     reports.sort_by_key(|r| r.session);
 
-    let t0 = arrive_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let t0 = m.arrive_times.iter().copied().fold(f64::INFINITY, f64::min);
     let t_end = reports.iter().map(|r| r.finished).fold(0.0f64, f64::max);
     let makespan = if n == 0 { 0.0 } else { t_end - t0 };
     let mut latencies: Vec<f64> = reports.iter().map(|r| r.latency()).collect();
@@ -971,6 +993,106 @@ pub fn run_qt_serve_with_faults(
         reports,
         metrics,
     }
+}
+
+/// [`run_qt_serve`] on the real thread-per-node transport (`qt_net::real`):
+/// the session manager and every seller run on their own OS thread,
+/// connected by bounded channels or loopback TCP per `real`. The handlers
+/// are the exact ones the simulator runs, so per-session plans are
+/// bit-identical to [`run_qt_serve`] under the same configuration. Latency
+/// and makespan figures are **wall clock** — never compare them against the
+/// simulator's virtual-time numbers.
+pub fn run_qt_serve_real(
+    buyer_node: NodeId,
+    dict: Arc<SchemaDict>,
+    arrivals: Vec<(f64, Query)>,
+    mut sellers: BTreeMap<NodeId, SellerEngine>,
+    config: &QtConfig,
+    serve: &ServeConfig,
+    real: qt_net::RealConfig,
+) -> ServeOutcome {
+    assert!(serve.concurrency >= 1, "concurrency must be at least 1");
+    let n = arrivals.len();
+    let cache_hits_before: u64 = sellers.values().map(|s| s.cache_hits).sum();
+    let cache_misses_before: u64 = sellers.values().map(|s| s.cache_misses).sum();
+    let local_seller = sellers.remove(&buyer_node);
+    let remote: Vec<NodeId> = sellers.keys().copied().collect();
+    let mut arrive_times = Vec::with_capacity(n);
+    let mut queries = Vec::with_capacity(n);
+    for (at, q) in arrivals {
+        arrive_times.push(at);
+        queries.push(Some(q));
+    }
+    let manager = SessionManager {
+        node: buyer_node,
+        dict,
+        config: config.clone(),
+        serve: serve.clone(),
+        remote_sellers: remote,
+        local_seller,
+        queries,
+        arrive_times: arrive_times.clone(),
+        sessions: BTreeMap::new(),
+        waiting: VecDeque::new(),
+        stage: BTreeMap::new(),
+        flush_pending: false,
+        completed: Vec::new(),
+        retries: 0,
+        timeouts_fired: 0,
+        degraded_rounds: 0,
+        unreachable: BTreeSet::new(),
+        lifecycles: BTreeMap::new(),
+        contract_stats: ContractStats::default(),
+    };
+    let mut rt: qt_net::RealRuntime<ServeMsg, ServeNode> = qt_net::RealRuntime::new(real);
+    rt.add_node(buyer_node, ServeNode::Buyer(Box::new(manager)));
+    for (node, engine) in sellers {
+        rt.add_node(node, ServeNode::Seller(Box::new(engine)));
+    }
+    for (i, &at) in arrive_times.iter().enumerate() {
+        rt.inject(
+            at,
+            buyer_node,
+            buyer_node,
+            ServeMsg::Arrive {
+                session: SessionId(i as u64),
+            },
+            "arrive",
+        );
+    }
+    // Serving is over when every session completed and (with the lifecycle
+    // on) every contract settled; channel FIFO guarantees trailing awards
+    // and releases are delivered before the shutdown marker.
+    let out = rt.run(
+        buyer_node,
+        |h| matches!(h, ServeNode::Buyer(m) if m.completed.len() == n && m.lifecycles.is_empty()),
+    );
+    let metrics = out.metrics;
+    let mut seller_effort = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut manager_back = None;
+    for (_, handler) in out.handlers {
+        match handler {
+            ServeNode::Seller(e) => {
+                seller_effort += e.total_effort;
+                cache_hits += e.cache_hits;
+                cache_misses += e.cache_misses;
+            }
+            ServeNode::Buyer(m) => manager_back = Some(m),
+        }
+    }
+    let mut m = manager_back.expect("session manager returned");
+    finish_serve_outcome(
+        &mut m,
+        n,
+        seller_effort,
+        cache_hits,
+        cache_misses,
+        cache_hits_before,
+        cache_misses_before,
+        metrics,
+    )
 }
 
 #[cfg(test)]

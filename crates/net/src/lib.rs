@@ -17,13 +17,22 @@
 //!
 //! The simulator is generic over the protocol message type `M`; the QT
 //! protocol itself lives in `qt-core`.
+//!
+//! Next to the simulator sits [`real`]: a thread-per-node runtime (bounded
+//! channels or loopback TCP) that executes the *same* [`Handler`]s on real
+//! cores for honest wall-clock numbers, with the simulator kept as the
+//! conformance oracle.
 
 pub mod fault;
 pub mod metrics;
+pub mod real;
+pub mod runtime;
 pub mod sim;
 pub mod topology;
 
 pub use fault::{CrashWindow, FaultPlan, Partition};
 pub use metrics::Metrics;
-pub use sim::{Ctx, Handler, Simulator};
+pub use real::{RealConfig, RealOutcome, RealRuntime, RealTransport};
+pub use runtime::{Ctx, Handler};
+pub use sim::Simulator;
 pub use topology::Topology;

@@ -61,6 +61,15 @@ pub struct Metrics {
     /// Contracts re-awarded to a runner-up offer from the bid book (filled
     /// by the QT driver after the run).
     pub reawards: u64,
+    /// Actual encoded frame bytes put on the wire by the real transport
+    /// (send side, including frame headers). Zero under the simulator, whose
+    /// `bytes` are hand-estimated message sizes — the
+    /// `wire_bytes_vs_sim_estimate` bench ratio audits the two against each
+    /// other.
+    pub wire_bytes: u64,
+    /// Sends that found a bounded channel full and had to block (real
+    /// transport backpressure; zero under the simulator).
+    pub send_backpressure: u64,
 }
 
 impl Metrics {
@@ -93,6 +102,37 @@ impl Metrics {
     /// Messages of one kind.
     pub fn kind_count(&self, kind: &str) -> u64 {
         self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Fold another node's counters into this one (the real transport keeps
+    /// per-thread metrics and merges them after join).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        for (k, v) in &other.by_kind {
+            *self.by_kind.entry(k).or_insert(0) += v;
+        }
+        self.compute_seconds += other.compute_seconds;
+        self.events += other.events;
+        self.timer_events += other.timer_events;
+        self.dropped += other.dropped;
+        for (k, v) in &other.dropped_by_cause {
+            *self.dropped_by_cause.entry(k).or_insert(0) += v;
+        }
+        self.duplicated += other.duplicated;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.degraded_rounds += other.degraded_rounds;
+        self.offer_cache_hits += other.offer_cache_hits;
+        self.offer_cache_misses += other.offer_cache_misses;
+        self.lease_events += other.lease_events;
+        self.awards_sent += other.awards_sent;
+        self.award_retries += other.award_retries;
+        self.lost_awards += other.lost_awards;
+        self.lease_expiries += other.lease_expiries;
+        self.reawards += other.reawards;
+        self.wire_bytes += other.wire_bytes;
+        self.send_backpressure += other.send_backpressure;
     }
 }
 
@@ -135,6 +175,29 @@ mod tests {
         assert_eq!(m.bytes, 128.0);
         assert_eq!(m.lease_events, 2);
         assert_eq!(m.kind_count("lease"), 1, "leases still visible by kind");
+    }
+
+    #[test]
+    fn merge_folds_all_counters() {
+        let mut a = Metrics::default();
+        a.record_message("rfb", 100.0);
+        a.record_timer("timeout");
+        a.wire_bytes = 180;
+        let mut b = Metrics::default();
+        b.record_message("offers", 50.0);
+        b.record_message("rfb", 25.0);
+        b.record_drop("loss");
+        b.send_backpressure = 2;
+        b.wire_bytes = 90;
+        a.merge(&b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bytes, 175.0);
+        assert_eq!(a.kind_count("rfb"), 2);
+        assert_eq!(a.kind_count("offers"), 1);
+        assert_eq!(a.timer_events, 1);
+        assert_eq!(a.dropped, 1);
+        assert_eq!(a.wire_bytes, 270);
+        assert_eq!(a.send_backpressure, 2);
     }
 
     #[test]

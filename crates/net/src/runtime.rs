@@ -1,0 +1,134 @@
+//! The runtime abstraction shared by every transport.
+//!
+//! A *runtime* delivers messages to per-node [`Handler`]s. Handlers never
+//! see the runtime itself — all their side effects (replies, compute
+//! charges, timers) go through the [`Ctx`] collector, which makes the same
+//! protocol code portable across:
+//!
+//! * [`Simulator`](crate::Simulator) — the single-threaded discrete-event
+//!   simulator with virtual time, fault injection, and full determinism;
+//! * [`real`](crate::real) — thread-per-node execution on real cores, over
+//!   in-process channels or TCP sockets, with wall-clock time.
+//!
+//! The simulator remains the oracle: the conformance suite in `qt-core`
+//! asserts both runtimes produce bit-identical plans from the same seeds.
+
+use qt_catalog::NodeId;
+
+/// A node's protocol behavior. Implementations hold the node's private state
+/// (holdings, optimizer, strategy); the runtime owns one handler per node.
+pub trait Handler<M> {
+    /// React to a delivered message. Use `ctx` to send replies and charge
+    /// virtual compute time; everything queued on `ctx` takes effect after
+    /// the handler returns.
+    fn on_message(&mut self, ctx: &mut Ctx<M>, from: NodeId, msg: M);
+}
+
+/// Side-effect collector passed to handlers.
+pub struct Ctx<M> {
+    now: f64,
+    node: NodeId,
+    compute: f64,
+    outbox: Vec<Outgoing<M>>,
+}
+
+/// One queued side effect: a send, a lease heartbeat, or a self-timer.
+pub(crate) struct Outgoing<M> {
+    pub(crate) to: NodeId,
+    pub(crate) msg: M,
+    pub(crate) bytes: f64,
+    pub(crate) kind: &'static str,
+    pub(crate) extra_delay: f64,
+    pub(crate) timer: bool,
+    pub(crate) lease: bool,
+}
+
+impl<M> Ctx<M> {
+    /// Fresh collector for one delivery at time `now` on `node`.
+    pub(crate) fn new(now: f64, node: NodeId) -> Self {
+        Ctx {
+            now,
+            node,
+            compute: 0.0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Total compute charged during the handler call.
+    pub(crate) fn compute_charged(&self) -> f64 {
+        self.compute
+    }
+
+    /// Drain the queued side effects (runtime-internal).
+    pub(crate) fn take_outbox(&mut self) -> Vec<Outgoing<M>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Current time at the start of handling (seconds). Virtual time under
+    /// the simulator; wall-clock seconds since run start on the real
+    /// transport.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The node this handler runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Charge `seconds` of local compute time. The node is busy for that
+    /// long: later messages queue behind it, and replies depart after it.
+    pub fn charge_compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute charge");
+        self.compute += seconds.max(0.0);
+    }
+
+    /// Send `msg` of `bytes` payload bytes to `to`, labeled `kind` for the
+    /// message-count metrics. Departs when the handler's compute finishes.
+    pub fn send(&mut self, to: NodeId, msg: M, bytes: f64, kind: &'static str) {
+        self.outbox.push(Outgoing {
+            to,
+            msg,
+            bytes,
+            kind,
+            extra_delay: 0.0,
+            timer: false,
+            lease: false,
+        });
+    }
+
+    /// Send a lease heartbeat (or its acknowledgment) to `to`. Lease traffic
+    /// rides the real network — it pays latency and is subject to fault
+    /// injection, which is the whole point: a crashed or partitioned lessee
+    /// stops answering — but it is control-plane chatter, not protocol data:
+    /// it carries no payload bytes and counts in
+    /// [`Metrics::lease_events`](crate::Metrics), never in
+    /// `messages`/`bytes` (mirroring the timer split).
+    pub fn send_lease(&mut self, to: NodeId, msg: M, kind: &'static str) {
+        self.outbox.push(Outgoing {
+            to,
+            msg,
+            bytes: 0.0,
+            kind,
+            extra_delay: 0.0,
+            timer: false,
+            lease: true,
+        });
+    }
+
+    /// Schedule `msg` to be delivered *to this node itself* after `delay`
+    /// seconds (a timer: no link, no bytes, never counted as a network
+    /// message, and exempt from fault injection).
+    pub fn schedule(&mut self, delay: f64, msg: M, kind: &'static str) {
+        debug_assert!(delay >= 0.0, "negative timer delay");
+        self.outbox.push(Outgoing {
+            to: self.node,
+            msg,
+            bytes: 0.0,
+            kind,
+            extra_delay: delay.max(0.0),
+            timer: true,
+            lease: false,
+        });
+    }
+}

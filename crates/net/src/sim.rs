@@ -3,104 +3,13 @@
 use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
 use crate::topology::Topology;
+// `Ctx` and `Handler` live in [`crate::runtime`], shared with the real
+// transport; re-exported here so historical `qt_net::sim::{Ctx, Handler}`
+// paths keep working.
+pub use crate::runtime::{Ctx, Handler};
 use qt_catalog::NodeId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-
-/// A node's protocol behavior. Implementations hold the node's private state
-/// (holdings, optimizer, strategy); the simulator owns one handler per node.
-pub trait Handler<M> {
-    /// React to a delivered message. Use `ctx` to send replies and charge
-    /// virtual compute time; everything queued on `ctx` takes effect after
-    /// the handler returns.
-    fn on_message(&mut self, ctx: &mut Ctx<M>, from: NodeId, msg: M);
-}
-
-/// Side-effect collector passed to handlers.
-pub struct Ctx<M> {
-    now: f64,
-    node: NodeId,
-    compute: f64,
-    outbox: Vec<Outgoing<M>>,
-}
-
-struct Outgoing<M> {
-    to: NodeId,
-    msg: M,
-    bytes: f64,
-    kind: &'static str,
-    extra_delay: f64,
-    timer: bool,
-    lease: bool,
-}
-
-impl<M> Ctx<M> {
-    /// Current virtual time at the start of handling (seconds).
-    pub fn now(&self) -> f64 {
-        self.now
-    }
-
-    /// The node this handler runs on.
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// Charge `seconds` of local compute time. The node is busy for that
-    /// long: later messages queue behind it, and replies depart after it.
-    pub fn charge_compute(&mut self, seconds: f64) {
-        debug_assert!(seconds >= 0.0, "negative compute charge");
-        self.compute += seconds.max(0.0);
-    }
-
-    /// Send `msg` of `bytes` payload bytes to `to`, labeled `kind` for the
-    /// message-count metrics. Departs when the handler's compute finishes.
-    pub fn send(&mut self, to: NodeId, msg: M, bytes: f64, kind: &'static str) {
-        self.outbox.push(Outgoing {
-            to,
-            msg,
-            bytes,
-            kind,
-            extra_delay: 0.0,
-            timer: false,
-            lease: false,
-        });
-    }
-
-    /// Send a lease heartbeat (or its acknowledgment) to `to`. Lease traffic
-    /// rides the real network — it pays latency and is subject to fault
-    /// injection, which is the whole point: a crashed or partitioned lessee
-    /// stops answering — but it is control-plane chatter, not protocol data:
-    /// it carries no payload bytes and counts in
-    /// [`Metrics::lease_events`](crate::Metrics), never in
-    /// `messages`/`bytes` (mirroring the timer split).
-    pub fn send_lease(&mut self, to: NodeId, msg: M, kind: &'static str) {
-        self.outbox.push(Outgoing {
-            to,
-            msg,
-            bytes: 0.0,
-            kind,
-            extra_delay: 0.0,
-            timer: false,
-            lease: true,
-        });
-    }
-
-    /// Schedule `msg` to be delivered *to this node itself* after `delay`
-    /// virtual seconds (a timer: no link, no bytes, never counted as a
-    /// network message, and exempt from fault injection).
-    pub fn schedule(&mut self, delay: f64, msg: M, kind: &'static str) {
-        debug_assert!(delay >= 0.0, "negative timer delay");
-        self.outbox.push(Outgoing {
-            to: self.node,
-            msg,
-            bytes: 0.0,
-            kind,
-            extra_delay: delay.max(0.0),
-            timer: true,
-            lease: false,
-        });
-    }
-}
 
 struct Event<M> {
     time: f64,
@@ -342,18 +251,13 @@ impl<M, H: Handler<M>> Simulator<M, H> {
                 self.metrics.record_message(ev.kind, ev.bytes);
             }
 
-            let mut ctx = Ctx {
-                now: start,
-                node: ev.to,
-                compute: 0.0,
-                outbox: Vec::new(),
-            };
+            let mut ctx = Ctx::new(start, ev.to);
             handler.on_message(&mut ctx, ev.from, ev.msg);
 
-            self.metrics.compute_seconds += ctx.compute;
-            let done = start + ctx.compute;
+            self.metrics.compute_seconds += ctx.compute_charged();
+            let done = start + ctx.compute_charged();
             self.busy_until[ev.to.0 as usize] = done;
-            for out in ctx.outbox {
+            for out in ctx.take_outbox() {
                 let link = self.topology.link(ev.to, out.to);
                 let arrive = done + link.transfer_time(out.bytes) + out.extra_delay;
                 let seq = self.seq;

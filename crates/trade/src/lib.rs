@@ -17,8 +17,10 @@ pub mod contract;
 pub mod offer;
 pub mod protocol;
 pub mod strategy;
+pub mod wire;
 
 pub use contract::{ContractId, ContractState};
 pub use offer::{Bid, NegotiationOutcome};
 pub use protocol::{ProtocolKind, SessionId, MAX_ENGLISH_ROUNDS};
 pub use strategy::{BuyerValueBook, SellerStrategy};
+pub use wire::{Wire, WireError};

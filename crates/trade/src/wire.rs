@@ -1,0 +1,673 @@
+//! Hand-rolled length-prefixed binary codec for trading messages.
+//!
+//! The real transport (`qt_net::real`) moves protocol messages between
+//! threads and across TCP sockets, so every message needs an explicit,
+//! versionless byte encoding — no serde, no reflection, crates.io is out of
+//! reach. The format is deliberately boring:
+//!
+//! * fixed-width little-endian integers;
+//! * `f64` as its IEEE-754 bit pattern (`to_bits`), so round-trips are
+//!   **bit-exact** — the conformance oracle compares cost bits, not
+//!   approximate floats;
+//! * enums as a one-byte tag followed by the variant's fields;
+//! * collections and strings as a `u32` length prefix followed by the
+//!   elements.
+//!
+//! Decoding is total: any input — truncated frames, garbage bytes, trailing
+//! junk — yields a [`WireError`], never a panic. Collection lengths are
+//! validated against the remaining buffer before any allocation so a
+//! corrupted length prefix cannot cause an absurd reservation.
+//!
+//! This module owns the [`Wire`] trait and the implementations for every
+//! `protocol.rs`, `offer.rs`, and `contract.rs` type plus the catalog/cost
+//! primitives they embed. Frame *boundaries* (the outer `u32` length prefix
+//! on a socket) belong to the transport, not to the codec.
+
+use crate::{Bid, ContractId, ContractState, NegotiationOutcome, ProtocolKind, SessionId};
+use qt_catalog::{NodeId, RelId, Value};
+use qt_cost::AnswerProperties;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a decode failed. All failure paths return this; none panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// A complete value was decoded but bytes remained (this many).
+    Trailing(usize),
+    /// An enum tag byte was out of range for the named type.
+    BadTag(&'static str, u8),
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// A length or index did not fit the platform's `usize`.
+    BadLen,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::BadTag(what, tag) => write!(f, "bad tag {tag} for {what}"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::BadLen => write!(f, "length out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over an immutable byte buffer. Every read checks bounds.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take exactly `n` bytes or fail.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.bytes(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Read an `f64` from its bit pattern (bit-exact, including inf/NaN).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `u16` stored little-endian.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a bool encoded as 0/1; other bytes are bad tags.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag("bool", t)),
+        }
+    }
+
+    /// Read a collection length and validate it against the remaining bytes
+    /// (each element needs at least `min_elem_bytes`), so a corrupt prefix
+    /// can neither over-allocate nor loop long.
+    pub fn len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = usize::try_from(self.u32()?).map_err(|_| WireError::BadLen)?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let n = self.len(1)?;
+        let b = self.bytes(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Assert the value consumed the whole buffer.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Trailing(n)),
+        }
+    }
+}
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_u64(out, v as u64);
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a bool as 0/1.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Append a collection length (panics only if a collection exceeds `u32`,
+/// which no protocol message can reach).
+pub fn put_len(out: &mut Vec<u8>, n: usize) {
+    put_u32(out, u32::try_from(n).expect("collection fits u32 length"));
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A self-describing binary encoding: `decode(encode(x)) == x`, bit-exact.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+
+    /// Parse one value from the reader, leaving the cursor after it.
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        self.put(&mut out);
+        out
+    }
+
+    /// Decode a complete value; trailing bytes are an error.
+    fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let v = Self::get(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Wire for u32 {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_u32(out, *self);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u32()
+    }
+}
+
+impl Wire for u64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+impl Wire for f64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_f64(out, *self);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.f64()
+    }
+}
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_bool(out, *self);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.bool()
+    }
+}
+
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_str(out, self);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.string()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_len(out, self.len());
+        for v in self {
+            v.put(out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.len(1)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::get(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => put_u8(out, 0),
+            Some(v) => {
+                put_u8(out, 1);
+                v.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::get(r)?)),
+            t => Err(WireError::BadTag("Option", t)),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Arc<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        T::put(self, out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Arc::new(T::get(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::get(r)?, B::get(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::get(r)?, B::get(r)?, C::get(r)?))
+    }
+}
+
+impl Wire for NodeId {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.0);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(r.u32()?))
+    }
+}
+
+impl Wire for RelId {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.0);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RelId(r.u32()?))
+    }
+}
+
+impl Wire for Value {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                put_u8(out, 0);
+                put_i64(out, *i);
+            }
+            Value::Float(x) => {
+                put_u8(out, 1);
+                put_f64(out, *x);
+            }
+            Value::Str(s) => {
+                put_u8(out, 2);
+                put_str(out, s);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Value::Int(r.i64()?)),
+            1 => Ok(Value::Float(r.f64()?)),
+            2 => Ok(Value::str(&r.string()?)),
+            t => Err(WireError::BadTag("Value", t)),
+        }
+    }
+}
+
+impl Wire for AnswerProperties {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.total_time);
+        put_f64(out, self.first_row_time);
+        put_f64(out, self.rows_per_sec);
+        put_f64(out, self.rows);
+        put_f64(out, self.bytes);
+        put_f64(out, self.freshness);
+        put_f64(out, self.completeness);
+        put_f64(out, self.price);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AnswerProperties {
+            total_time: r.f64()?,
+            first_row_time: r.f64()?,
+            rows_per_sec: r.f64()?,
+            rows: r.f64()?,
+            bytes: r.f64()?,
+            freshness: r.f64()?,
+            completeness: r.f64()?,
+            price: r.f64()?,
+        })
+    }
+}
+
+impl Wire for SessionId {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SessionId(r.u64()?))
+    }
+}
+
+impl Wire for ContractId {
+    fn put(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ContractId(r.u64()?))
+    }
+}
+
+impl Wire for ContractState {
+    fn put(&self, out: &mut Vec<u8>) {
+        let tag = match self {
+            ContractState::Proposed => 0,
+            ContractState::Awarded => 1,
+            ContractState::Acked => 2,
+            ContractState::Leased => 3,
+            ContractState::Completed => 4,
+            ContractState::Expired => 5,
+            ContractState::Declined => 6,
+            ContractState::Abandoned => 7,
+        };
+        put_u8(out, tag);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ContractState::Proposed,
+            1 => ContractState::Awarded,
+            2 => ContractState::Acked,
+            3 => ContractState::Leased,
+            4 => ContractState::Completed,
+            5 => ContractState::Expired,
+            6 => ContractState::Declined,
+            7 => ContractState::Abandoned,
+            t => return Err(WireError::BadTag("ContractState", t)),
+        })
+    }
+}
+
+impl Wire for ProtocolKind {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            ProtocolKind::SealedBid => put_u8(out, 0),
+            ProtocolKind::Vickrey => put_u8(out, 1),
+            ProtocolKind::English { decrement } => {
+                put_u8(out, 2);
+                put_f64(out, *decrement);
+            }
+            ProtocolKind::Bargaining { max_rounds } => {
+                put_u8(out, 3);
+                put_u32(out, *max_rounds);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ProtocolKind::SealedBid,
+            1 => ProtocolKind::Vickrey,
+            2 => ProtocolKind::English {
+                decrement: r.f64()?,
+            },
+            3 => ProtocolKind::Bargaining {
+                max_rounds: r.u32()?,
+            },
+            t => return Err(WireError::BadTag("ProtocolKind", t)),
+        })
+    }
+}
+
+impl Wire for Bid {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.seller.put(out);
+        put_f64(out, self.ask);
+        put_f64(out, self.reserve);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Bid {
+            seller: NodeId::get(r)?,
+            ask: r.f64()?,
+            reserve: r.f64()?,
+        })
+    }
+}
+
+impl Wire for NegotiationOutcome {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self.winner {
+            None => put_u8(out, 0),
+            Some(i) => {
+                put_u8(out, 1);
+                put_u64(out, i as u64);
+            }
+        }
+        put_f64(out, self.agreed_value);
+        put_u64(out, self.extra_messages);
+        put_u64(out, self.extra_round_trips);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let winner = match r.u8()? {
+            0 => None,
+            1 => Some(usize::try_from(r.u64()?).map_err(|_| WireError::BadLen)?),
+            t => return Err(WireError::BadTag("winner", t)),
+        };
+        Ok(NegotiationOutcome {
+            winner,
+            agreed_value: r.f64()?,
+            extra_messages: r.u64()?,
+            extra_round_trips: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.encode();
+        let back = T::decode(&bytes).expect("decode(encode(v))");
+        assert_eq!(&back, v);
+        // Every strict prefix must error (never panic, never mis-decode).
+        for cut in 0..bytes.len() {
+            assert!(T::decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+        // Trailing garbage must be rejected.
+        let mut extended = bytes.clone();
+        extended.push(0xAB);
+        assert!(T::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn contract_state_all_variants_roundtrip() {
+        use ContractState::*;
+        for s in [
+            Proposed, Awarded, Acked, Leased, Completed, Expired, Declined, Abandoned,
+        ] {
+            roundtrip(&s);
+        }
+        assert_eq!(
+            ContractState::decode(&[99]),
+            Err(WireError::BadTag("ContractState", 99))
+        );
+    }
+
+    #[test]
+    fn protocol_kind_all_variants_roundtrip() {
+        roundtrip(&ProtocolKind::SealedBid);
+        roundtrip(&ProtocolKind::Vickrey);
+        roundtrip(&ProtocolKind::English { decrement: 0.05 });
+        roundtrip(&ProtocolKind::Bargaining { max_rounds: 7 });
+        assert!(matches!(
+            ProtocolKind::decode(&[9]),
+            Err(WireError::BadTag("ProtocolKind", 9))
+        ));
+    }
+
+    #[test]
+    fn infinity_and_nan_bits_survive() {
+        let v = NegotiationOutcome::no_deal();
+        let back = NegotiationOutcome::decode(&v.encode()).unwrap();
+        assert_eq!(back.agreed_value.to_bits(), f64::INFINITY.to_bits());
+        let bits = f64::NAN.to_bits();
+        let mut out = Vec::new();
+        put_f64(&mut out, f64::NAN);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.f64().unwrap().to_bits(), bits);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_errors_without_allocating() {
+        // A Vec<u64> claiming 4 billion elements in a 12-byte buffer.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        buf.extend_from_slice(&[0u8; 8]);
+        assert_eq!(Vec::<u64>::decode(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn empty_and_tiny_buffers_error() {
+        assert_eq!(Bid::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(SessionId::decode(&[1, 2]), Err(WireError::Truncated));
+        assert!(Vec::<Bid>::decode(&[]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn session_and_contract_ids_roundtrip(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            roundtrip(&SessionId(a));
+            roundtrip(&ContractId(b));
+        }
+
+        #[test]
+        fn bids_roundtrip(seller in 0u32..64, ask in -1e9f64..1e9, reserve in -1e9f64..1e9) {
+            roundtrip(&Bid::new(NodeId(seller), ask, reserve));
+            roundtrip(&vec![Bid::new(NodeId(seller), ask, reserve); 3]);
+        }
+
+        #[test]
+        fn outcomes_roundtrip(
+            won in any::<bool>(),
+            idx in 0u64..1024,
+            val in -1e9f64..1e9,
+            msgs in 0u64..1000,
+            rts in 0u64..1000,
+        ) {
+            roundtrip(&NegotiationOutcome {
+                winner: if won { Some(idx as usize) } else { None },
+                agreed_value: val,
+                extra_messages: msgs,
+                extra_round_trips: rts,
+            });
+        }
+
+        #[test]
+        fn english_and_bargaining_roundtrip(dec in 0.0f64..1.0, rounds in 0u32..1000) {
+            roundtrip(&ProtocolKind::English { decrement: dec });
+            roundtrip(&ProtocolKind::Bargaining { max_rounds: rounds });
+        }
+
+        #[test]
+        fn values_roundtrip(i in -1000i64..1000, x in -1e6f64..1e6) {
+            roundtrip(&Value::Int(i));
+            roundtrip(&Value::Float(x));
+            roundtrip(&Value::str("corfu"));
+        }
+
+        #[test]
+        fn props_roundtrip(t in 0.0f64..1e6, rows in 0.0f64..1e9) {
+            roundtrip(&AnswerProperties {
+                total_time: t,
+                first_row_time: t / 2.0,
+                rows_per_sec: rows.max(1.0),
+                rows,
+                bytes: rows * 64.0,
+                freshness: 1.0,
+                completeness: 1.0,
+                price: 0.0,
+            });
+        }
+
+        #[test]
+        fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+            // Any of these may Ok or Err; none may panic.
+            let _ = ContractState::decode(&bytes);
+            let _ = ProtocolKind::decode(&bytes);
+            let _ = Bid::decode(&bytes);
+            let _ = NegotiationOutcome::decode(&bytes);
+            let _ = Vec::<Bid>::decode(&bytes);
+            let _ = Value::decode(&bytes);
+            let _ = AnswerProperties::decode(&bytes);
+            let _ = Option::<SessionId>::decode(&bytes);
+        }
+    }
+}

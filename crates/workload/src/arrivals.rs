@@ -58,6 +58,50 @@ pub fn gen_arrivals(mix: &[Query], spec: &ArrivalSpec) -> Vec<(f64, Query)> {
         .collect()
 }
 
+/// Like [`gen_arrivals`], but query picks follow a Zipf distribution over
+/// the mix instead of a uniform one: query `i` (0-based) is drawn with
+/// probability proportional to `1 / (i + 1)^skew`. Real serving traffic is
+/// skewed — a few hot queries dominate — and a skewed stream is what makes
+/// seller offer caches earn their keep, so throughput experiments use this
+/// next to the uniform stream. `skew = 0.0` degenerates to the uniform
+/// distribution (but consumes the RNG identically to this function's other
+/// skews, not identically to [`gen_arrivals`]). Deterministic in
+/// `spec.seed`.
+///
+/// Panics if the mix is empty or `skew` is negative/non-finite.
+pub fn gen_arrivals_zipf(mix: &[Query], spec: &ArrivalSpec, skew: f64) -> Vec<(f64, Query)> {
+    assert!(
+        !mix.is_empty(),
+        "arrival stream needs a non-empty query mix"
+    );
+    assert!(
+        skew.is_finite() && skew >= 0.0,
+        "zipf skew must be a finite non-negative number"
+    );
+    // Cumulative unnormalized weights; a uniform draw in [0, total) is then
+    // inverted by linear scan (mixes are small).
+    let mut cum = Vec::with_capacity(mix.len());
+    let mut total = 0.0f64;
+    for i in 0..mix.len() {
+        total += 1.0 / ((i + 1) as f64).powf(skew);
+        cum.push(total);
+    }
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut t = 0.0f64;
+    (0..spec.n_queries)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..total);
+            let idx = cum.iter().position(|&c| u < c).unwrap_or(mix.len() - 1);
+            let q = mix[idx].clone();
+            if spec.mean_interarrival > 0.0 {
+                let v: f64 = rng.random_range(0.0..1.0);
+                t += -spec.mean_interarrival * (1.0 - v).ln();
+            }
+            (t, q)
+        })
+        .collect()
+}
+
 /// A synthetic join mix over a federation's dictionary: `n` distinct
 /// chain/star queries of 2–3 relations, every third aggregated.
 pub fn synthetic_mix(dict: &SchemaDict, n: usize, seed: u64) -> Vec<Query> {
@@ -153,6 +197,53 @@ mod tests {
             },
         );
         assert!(a.iter().all(|(t, _)| *t == 0.0));
+    }
+
+    #[test]
+    fn zipf_arrivals_are_seed_deterministic_and_skewed() {
+        let fed = build_federation(&FederationSpec::default());
+        let mix = synthetic_mix(&fed.catalog.dict, 4, 9);
+        let spec = ArrivalSpec {
+            n_queries: 400,
+            mean_interarrival: 0.25,
+            seed: 42,
+        };
+        let a = gen_arrivals_zipf(&mix, &spec, 1.2);
+        let b = gen_arrivals_zipf(&mix, &spec, 1.2);
+        assert_eq!(a.len(), 400);
+        for ((ta, qa), (tb, qb)) in a.iter().zip(&b) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(qa.fingerprint(), qb.fingerprint());
+        }
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Skew must actually concentrate mass on the head of the mix: the
+        // hottest query outdraws the coldest by a wide margin.
+        let count = |stream: &[(f64, Query)], q: &Query| {
+            stream
+                .iter()
+                .filter(|(_, s)| s.fingerprint() == q.fingerprint())
+                .count()
+        };
+        let hot = count(&a, &mix[0]);
+        let cold = count(&a, &mix[3]);
+        assert!(
+            hot >= 2 * cold.max(1),
+            "zipf skew 1.2 should favour the head: hot={hot} cold={cold}"
+        );
+        // Different seeds shift the stream.
+        let c = gen_arrivals_zipf(
+            &mix,
+            &ArrivalSpec {
+                seed: 43,
+                ..spec.clone()
+            },
+            1.2,
+        );
+        assert!(a.iter().zip(&c).any(|((ta, _), (tc, _))| ta != tc));
+        // skew = 0 is a valid uniform stream.
+        let u = gen_arrivals_zipf(&mix, &spec, 0.0);
+        assert_eq!(u.len(), 400);
+        assert!((1..4).any(|i| count(&u, &mix[i]) > 0));
     }
 
     #[test]

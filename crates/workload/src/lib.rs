@@ -15,7 +15,9 @@ pub mod queries;
 pub mod telecom;
 pub mod tpch;
 
-pub use arrivals::{gen_arrivals, synthetic_mix, telecom_mix, tpch_mix, ArrivalSpec};
+pub use arrivals::{
+    gen_arrivals, gen_arrivals_zipf, synthetic_mix, telecom_mix, tpch_mix, ArrivalSpec,
+};
 pub use federation::{build_federation, Federation, FederationSpec};
 pub use queries::{gen_join_query, gen_join_query_with_cut, QueryShape};
 pub use telecom::{telecom_federation, TelecomSpec};
