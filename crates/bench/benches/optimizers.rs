@@ -18,6 +18,7 @@ fn bench_enumerators(c: &mut Criterion) {
             partitions_per_relation: 2,
             replication: 1,
             rows_per_partition: 100_000,
+            scale: 1,
             seed: 1,
             with_data: false,
             speed_spread: 1.0,
@@ -43,6 +44,7 @@ fn bench_plan_generator(c: &mut Criterion) {
         partitions_per_relation: 4,
         replication: 2,
         rows_per_partition: 100_000,
+        scale: 1,
         seed: 2,
         with_data: false,
         speed_spread: 1.0,

@@ -13,6 +13,7 @@ fn bench_rewrite(c: &mut Criterion) {
         partitions_per_relation: 8,
         replication: 2,
         rows_per_partition: 100_000,
+        scale: 1,
         seed: 3,
         with_data: false,
         speed_spread: 1.0,
@@ -32,6 +33,7 @@ fn bench_view_match(c: &mut Criterion) {
         partitions_per_relation: 2,
         replication: 1,
         rows_per_partition: 100_000,
+        scale: 1,
         seed: 4,
         with_data: false,
         speed_spread: 1.0,

@@ -14,6 +14,7 @@ fn bench_full_trading_run(c: &mut Criterion) {
         partitions_per_relation: 2,
         replication: 2,
         rows_per_partition: 100_000,
+        scale: 1,
         seed: 5,
         with_data: false,
         speed_spread: 1.0,

@@ -82,6 +82,7 @@ fn spec(nodes: u32) -> FederationSpec {
         partitions_per_relation: 2,
         replication: 2,
         rows_per_partition: 100_000,
+        scale: 1,
         seed: 5,
         with_data: false,
         speed_spread: 1.0,
@@ -185,6 +186,7 @@ fn dp_setup(rels: usize) -> (Federation, qt_query::Query) {
         partitions_per_relation: 2,
         replication: 1,
         rows_per_partition: 100_000,
+        scale: 1,
         seed: 7,
         with_data: false,
         speed_spread: 1.0,
@@ -309,6 +311,8 @@ struct ServeStats {
     qps: f64,
     p50: f64,
     p95: f64,
+    p99: f64,
+    p999: f64,
     msgs_per_query: f64,
     msgs_per_query_unbatched: f64,
     /// Fraction of per-query messages removed by batching (conc 8, 16 sellers).
@@ -371,6 +375,8 @@ fn bench_serve() -> ServeStats {
         qps: conc8.qps,
         p50: conc8.p50_latency,
         p95: conc8.p95_latency,
+        p99: conc8.p99_latency,
+        p999: conc8.p999_latency,
         msgs_per_query: conc8.messages_per_query,
         msgs_per_query_unbatched: unbatched.messages_per_query,
         batching_msg_reduction: 1.0 - conc8.messages_per_query / unbatched.messages_per_query,
@@ -395,6 +401,8 @@ struct RealTransportStats {
     serve_threads_wall: f64,
     serve_speedup: f64,
     serve_sim_qps_virtual: f64,
+    serve_sim_p99_virtual: f64,
+    serve_sim_p999_virtual: f64,
     wire_bytes: u64,
     sim_estimate_bytes: f64,
     wire_bytes_vs_sim_estimate: f64,
@@ -519,6 +527,8 @@ fn bench_real_transport() -> RealTransportStats {
         serve_threads_wall,
         serve_speedup: serve_single_wall / serve_threads_wall.max(1e-12),
         serve_sim_qps_virtual: serve_sim.qps,
+        serve_sim_p99_virtual: serve_sim.p99_latency,
+        serve_sim_p999_virtual: serve_sim.p999_latency,
         wire_bytes: threads_metrics.wire_bytes,
         sim_estimate_bytes: threads_metrics.bytes,
         wire_bytes_vs_sim_estimate: threads_metrics.wire_bytes as f64
@@ -604,6 +614,8 @@ fn main() {
     let _ = writeln!(json, "    \"qps\": {:.3},", serve.qps);
     let _ = writeln!(json, "    \"p50_latency\": {:.6},", serve.p50);
     let _ = writeln!(json, "    \"p95_latency\": {:.6},", serve.p95);
+    let _ = writeln!(json, "    \"p99_latency\": {:.6},", serve.p99);
+    let _ = writeln!(json, "    \"p999_latency\": {:.6},", serve.p999);
     let _ = writeln!(json, "    \"msgs_per_query\": {:.3},", serve.msgs_per_query);
     let _ = writeln!(
         json,
@@ -655,6 +667,16 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "      \"sim_p99_latency_virtual\": {:.6},",
+        real.serve_sim_p99_virtual
+    );
+    let _ = writeln!(
+        json,
+        "      \"sim_p999_latency_virtual\": {:.6},",
+        real.serve_sim_p999_virtual
+    );
+    let _ = writeln!(
+        json,
         "      \"single_thread_wall\": {:.6},",
         real.serve_single_wall
     );
@@ -686,6 +708,39 @@ fn main() {
     let _ = writeln!(json, "    \"timeouts\": {timeouts},");
     let _ = writeln!(json, "    \"degraded_rounds\": {degraded},");
     let _ = writeln!(json, "    \"unreachable_sellers\": {unreachable}");
+    json.push_str("  },\n");
+    let col = qt_bench::experiments::columnar_snapshot();
+    eprintln!(
+        "{:40} {:>12.1} rows/s  ({:.2}x vs row, {} spill files, calib err {:.3} -> {:.3})",
+        "columnar_exec/100x_dataset",
+        col.columnar_rows_per_s,
+        col.speedup,
+        col.spill_files,
+        col.calib_error_before,
+        col.calib_error_after
+    );
+    json.push_str("  \"columnar_exec\": {\n");
+    let _ = writeln!(json, "    \"input_rows\": {},", col.input_rows);
+    let _ = writeln!(json, "    \"row_rows_per_sec\": {:.3},", col.row_rows_per_s);
+    let _ = writeln!(
+        json,
+        "    \"columnar_rows_per_sec\": {:.3},",
+        col.columnar_rows_per_s
+    );
+    let _ = writeln!(json, "    \"speedup\": {:.3},", col.speedup);
+    let _ = writeln!(json, "    \"spill_files\": {},", col.spill_files);
+    let _ = writeln!(json, "    \"spill_rows\": {},", col.spill_rows);
+    let _ = writeln!(json, "    \"spill_bytes\": {},", col.spill_bytes);
+    let _ = writeln!(
+        json,
+        "    \"calib_error_before\": {:.6},",
+        col.calib_error_before
+    );
+    let _ = writeln!(
+        json,
+        "    \"calib_error_after\": {:.6}",
+        col.calib_error_after
+    );
     json.push_str("  },\n");
     let failover = failover_counters();
     json.push_str("  \"failover\": {\n");

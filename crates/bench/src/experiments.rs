@@ -25,6 +25,7 @@ fn spec(nodes: u32, relations: usize, parts: u16, repl: u32, seed: u64) -> Feder
         partitions_per_relation: parts,
         replication: repl,
         rows_per_partition: 100_000,
+        scale: 1,
         seed,
         with_data: false,
         speed_spread: 1.0,
@@ -372,6 +373,7 @@ pub fn e10() -> Table {
         partitions_per_relation: 1,
         replication: 1,
         rows_per_partition: 100_000,
+        scale: 1,
         seed: 1000,
         with_data: false,
         speed_spread: 1.0,
@@ -660,6 +662,7 @@ pub fn e16() -> Table {
         partitions_per_relation: 1,
         replication: 1,
         rows_per_partition: 20_000,
+        scale: 1,
         seed: 1600,
         with_data: true,
         speed_spread: 1.0,
@@ -895,6 +898,8 @@ pub fn e19() -> Table {
             "qps",
             "p50 latency",
             "p95 latency",
+            "p99 latency",
+            "p99.9 latency",
             "msgs/query",
         ],
     );
@@ -933,6 +938,8 @@ pub fn e19() -> Table {
                 f(out.qps),
                 f(out.p50_latency),
                 f(out.p95_latency),
+                f(out.p99_latency),
+                f(out.p999_latency),
                 f(out.messages_per_query),
             ]);
         }
@@ -1069,6 +1076,8 @@ pub fn e21() -> Table {
             "qps",
             "p50 latency",
             "p95 latency",
+            "p99 latency",
+            "p99.9 latency",
             "msgs/query",
         ],
     );
@@ -1128,10 +1137,254 @@ pub fn e21() -> Table {
                 f(out.qps),
                 f(out.p50_latency),
                 f(out.p95_latency),
+                f(out.p99_latency),
+                f(out.p999_latency),
                 f(out.messages_per_query),
             ]);
         }
     }
+    t
+}
+
+/// Convert columnar executor timings into calibration observations.
+pub fn observations_from(stats: &qt_exec::ColExecStats) -> Vec<qt_cost::Observation> {
+    stats
+        .timings
+        .iter()
+        .map(|t| qt_cost::Observation {
+            op: t.op.to_string(),
+            rows_in: t.rows_in,
+            rows_out: t.rows_out,
+            bytes_in: t.bytes_in,
+            secs: t.secs,
+        })
+        .collect()
+}
+
+/// The 100x-scaled analytical plan E22 measures throughput on:
+/// filter → hash join → hash aggregate over r0 ⋈ r1.
+fn e22_plan(dict: &qt_catalog::SchemaDict) -> qt_exec::PhysPlan {
+    use qt_exec::{AggSpec, PhysPlan};
+    use qt_query::{AggFunc, Col, CompOp, Predicate};
+    let union_scan = |rel: qt_catalog::RelId| PhysPlan::Union {
+        inputs: dict
+            .parts_of(rel)
+            .map(|part| PhysPlan::Scan { part, arity: 3 })
+            .collect(),
+    };
+    let r0 = qt_catalog::RelId(0);
+    let r1 = qt_catalog::RelId(1);
+    PhysPlan::HashAggregate {
+        input: Box::new(PhysPlan::HashJoin {
+            left: Box::new(PhysPlan::Filter {
+                input: Box::new(union_scan(r0)),
+                predicates: vec![Predicate::with_const(Col::new(r0, 1), CompOp::Lt, 50i64)],
+            }),
+            right: Box::new(union_scan(r1)),
+            left_keys: vec![Col::new(r0, 0)],
+            right_keys: vec![Col::new(r1, 0)],
+        }),
+        group_by: vec![Col::new(r1, 1)],
+        aggs: vec![
+            AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(Col::new(r0, 2)),
+            },
+            AggSpec {
+                func: AggFunc::Count,
+                arg: None,
+            },
+        ],
+    }
+}
+
+/// The measured core of E22: columnar-vs-row throughput on the 100x
+/// dataset, spill counters from a memory-constrained rerun, and the cost
+/// calibration fit. Shared with `bench_snapshot`, which gates CI on the
+/// speedup, the spill counters, and the error reduction.
+pub struct ColumnarSnapshot {
+    pub input_rows: u64,
+    pub row_rows_per_s: f64,
+    pub columnar_rows_per_s: f64,
+    pub speedup: f64,
+    pub spill_files: u64,
+    pub spill_rows: u64,
+    pub spill_bytes: u64,
+    pub calib_error_before: f64,
+    pub calib_error_after: f64,
+    pub calibrated: qt_cost::CostParams,
+}
+
+/// Run the columnar/row throughput comparison (best of 3 per executor,
+/// results asserted bit-identical), the 64 KiB spill-budget rerun, and the
+/// calibration fit over the columnar run's operator timings.
+pub fn columnar_snapshot() -> ColumnarSnapshot {
+    use qt_cost::{cost_error, CalibrationTable, CostParams};
+    use qt_exec::{execute, execute_columnar_with_stats, ColumnarConfig};
+    use std::time::Instant;
+    let fed = build_federation(&FederationSpec {
+        nodes: 4,
+        relations: 2,
+        partitions_per_relation: 2,
+        replication: 1,
+        rows_per_partition: 1_000,
+        scale: 100,
+        seed: 2200,
+        with_data: true,
+        speed_spread: 1.0,
+        data_skew: 0.0,
+    });
+    let all = fed.union_store();
+    let plan = e22_plan(&fed.catalog.dict);
+    let input_rows: u64 = fed
+        .catalog
+        .dict
+        .rel_ids()
+        .flat_map(|r| fed.catalog.dict.parts_of(r))
+        .map(|p| fed.catalog.stats(p).rows)
+        .sum();
+
+    let mut row_secs = f64::INFINITY;
+    let mut row_result = Vec::new();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        row_result = execute(&plan, &all, &[]).expect("row exec");
+        row_secs = row_secs.min(t0.elapsed().as_secs_f64().max(1e-9));
+    }
+
+    let cfg = ColumnarConfig::default();
+    let mut col_secs = f64::INFINITY;
+    let mut stats = qt_exec::ColExecStats::default();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let (col_result, s) =
+            execute_columnar_with_stats(&plan, &all, &[], &cfg).expect("columnar");
+        col_secs = col_secs.min(t0.elapsed().as_secs_f64().max(1e-9));
+        assert_eq!(col_result, row_result, "columnar must match the row oracle");
+        stats = s;
+    }
+
+    let spill_cfg = ColumnarConfig {
+        mem_budget_bytes: 64 * 1024,
+        ..ColumnarConfig::default()
+    };
+    let (spill_result, spill_stats) =
+        execute_columnar_with_stats(&plan, &all, &[], &spill_cfg).expect("columnar spill");
+    assert_eq!(
+        spill_result, row_result,
+        "spilled run must match the oracle"
+    );
+    assert!(spill_stats.spill_files > 0, "64 KiB budget must spill");
+
+    let obs = observations_from(&stats);
+    let analytic = CostParams::reference();
+    let calibrated = CalibrationTable::fit(&obs).apply(&analytic);
+    ColumnarSnapshot {
+        input_rows,
+        row_rows_per_s: input_rows as f64 / row_secs,
+        columnar_rows_per_s: input_rows as f64 / col_secs,
+        speedup: row_secs / col_secs,
+        spill_files: spill_stats.spill_files,
+        spill_rows: spill_stats.spill_rows,
+        spill_bytes: spill_stats.spill_bytes,
+        calib_error_before: cost_error(&analytic, &obs),
+        calib_error_after: cost_error(&calibrated, &obs),
+        calibrated,
+    }
+}
+
+/// E22 (extension, ROADMAP item 4): columnar execution and the cost
+/// calibration loop.
+///
+/// (a) Throughput of the columnar executor vs the row oracle on a
+/// 100x-scaled dataset (same plan, bit-identical results — asserted), plus a
+/// spill-constrained run whose memory budget is far below the join build
+/// side. (b) The loop closed: execute a traded plan columnar, fit a
+/// `qt_cost::CalibrationTable` from its measured operator timings, and
+/// compare estimated-vs-measured cost error before and after calibration —
+/// then re-trade with calibrated params and execute that plan too.
+///
+/// Unlike the negotiation experiments this one reports *wall-clock* numbers;
+/// rows and plans stay seed-deterministic, timings vary with the host.
+pub fn e22() -> Table {
+    use qt_cost::CostParams;
+    use qt_exec::ColumnarConfig;
+    use std::time::Instant;
+    let mut t = Table::new(
+        "E22",
+        "columnar executor vs row oracle on a 100x dataset; cost calibration closes the estimate loop",
+        &["metric", "value"],
+    );
+    // (a) Throughput on the 100x dataset, spill correctness, calibration.
+    let snap = columnar_snapshot();
+    t.push(vec!["input rows".into(), snap.input_rows.to_string()]);
+    t.push(vec!["row exec rows/s".into(), f(snap.row_rows_per_s)]);
+    t.push(vec!["columnar rows/s".into(), f(snap.columnar_rows_per_s)]);
+    t.push(vec!["columnar speedup".into(), f(snap.speedup)]);
+    t.push(vec![
+        "spill files (64 KiB budget)".into(),
+        snap.spill_files.to_string(),
+    ]);
+    t.push(vec!["spill rows".into(), snap.spill_rows.to_string()]);
+    t.push(vec![
+        "cost error (analytic)".into(),
+        f(snap.calib_error_before),
+    ]);
+    t.push(vec![
+        "cost error (calibrated)".into(),
+        f(snap.calib_error_after),
+    ]);
+
+    // (b) Re-trade with calibrated params; execute both traded plans.
+    let analytic = CostParams::reference();
+    let calibrated = snap.calibrated.clone();
+    let cfg = ColumnarConfig::default();
+    let trade_fed = build_federation(&FederationSpec {
+        nodes: 4,
+        relations: 3,
+        partitions_per_relation: 2,
+        replication: 2,
+        rows_per_partition: 200,
+        scale: 100,
+        seed: 2201,
+        with_data: true,
+        speed_spread: 1.0,
+        data_skew: 0.0,
+    });
+    let q = gen_join_query(&trade_fed.catalog.dict, QueryShape::Chain, 2, true, 2202);
+    let mut exec_secs = Vec::new();
+    for params in [analytic.clone(), calibrated.clone()] {
+        let cfg_trade = QtConfig {
+            cost_params: params,
+            ..QtConfig::default()
+        };
+        let mut sellers = seller_engines(&trade_fed, &cfg_trade);
+        let out = run_qt_direct(
+            BUYER,
+            trade_fed.catalog.dict.clone(),
+            &q,
+            &mut sellers,
+            &cfg_trade,
+        );
+        let dplan = out.plan.expect("trade converges");
+        let t0 = Instant::now();
+        let (result, _) = dplan
+            .execute_columnar_on(&trade_fed.catalog.dict, &trade_fed.stores, &cfg)
+            .expect("plan executes");
+        exec_secs.push((t0.elapsed().as_secs_f64().max(1e-9), result.len()));
+    }
+    t.push(vec![
+        "traded plan exec s (analytic)".into(),
+        f(exec_secs[0].0),
+    ]);
+    t.push(vec![
+        "traded plan exec s (calibrated)".into(),
+        f(exec_secs[1].0),
+    ]);
+    t.push(vec![
+        "calibrated/analytic exec ratio".into(),
+        f(exec_secs[1].0 / exec_secs[0].0),
+    ]);
     t
 }
 
@@ -1158,6 +1411,7 @@ pub fn all() -> Vec<Experiment> {
         ("e19", e19),
         ("e20", e20),
         ("e21", e21),
+        ("e22", e22),
     ]
 }
 

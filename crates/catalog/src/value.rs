@@ -8,13 +8,17 @@ use std::sync::Arc;
 /// A single attribute value.
 ///
 /// The QT reproduction restricts itself to three scalar types, which is all
-/// the paper's select-project-join workload needs. `Value` implements a
-/// *total* order (floats compare via [`f64::total_cmp`]) so it can be used in
-/// range restrictions and sort keys; cross-type comparisons order by type tag
-/// (`Int < Float < Str`), which never arises in well-typed queries but keeps
-/// the order total.
+/// the paper's select-project-join workload needs, plus SQL `NULL`, which
+/// only arises as the result of an aggregate over zero input rows (stored
+/// data is never null). `Value` implements a *total* order (floats compare
+/// via [`f64::total_cmp`]) so it can be used in range restrictions and sort
+/// keys; cross-type comparisons order by type tag
+/// (`Null < Int < Float < Str`), which never arises in well-typed queries
+/// but keeps the order total.
 #[derive(Debug, Clone)]
 pub enum Value {
+    /// SQL NULL. Produced only by `MIN`/`MAX`/`SUM` over an empty group.
+    Null,
     /// 64-bit signed integer.
     Int(i64),
     /// 64-bit float (totally ordered via `total_cmp`).
@@ -33,9 +37,15 @@ impl Value {
     /// the network-transfer cost model.
     pub fn byte_width(&self) -> u64 {
         match self {
+            Value::Null => 1,
             Value::Int(_) | Value::Float(_) => 8,
             Value::Str(s) => s.len() as u64,
         }
+    }
+
+    /// Whether this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
     }
 
     /// Integer payload, if this is an `Int`.
@@ -51,7 +61,7 @@ impl Value {
         match self {
             Value::Int(i) => Some(*i as f64),
             Value::Float(f) => Some(*f),
-            Value::Str(_) => None,
+            Value::Str(_) | Value::Null => None,
         }
     }
 
@@ -65,9 +75,10 @@ impl Value {
 
     fn type_rank(&self) -> u8 {
         match self {
-            Value::Int(_) => 0,
-            Value::Float(_) => 1,
-            Value::Str(_) => 2,
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Str(_) => 3,
         }
     }
 }
@@ -100,6 +111,7 @@ impl Ord for Value {
 impl std::hash::Hash for Value {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         match self {
+            Value::Null => 3u8.hash(state),
             Value::Int(i) => {
                 0u8.hash(state);
                 i.hash(state);
@@ -119,6 +131,7 @@ impl std::hash::Hash for Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Value::Null => write!(f, "NULL"),
             Value::Int(i) => write!(f, "{i}"),
             // Keep a decimal point so float literals reparse as floats.
             Value::Float(x) if x.is_finite() && x.fract() == 0.0 => write!(f, "{x:.1}"),
@@ -192,6 +205,18 @@ mod tests {
         assert_eq!(Value::str("s").as_f64(), None);
         assert_eq!(Value::str("s").as_str(), Some("s"));
         assert_eq!(Value::Int(7).as_int(), Some(7));
+    }
+
+    #[test]
+    fn null_orders_below_everything() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Float(f64::NEG_INFINITY));
+        assert!(Value::Null < Value::str(""));
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Null.byte_width(), 1);
     }
 
     #[test]

@@ -63,6 +63,7 @@ impl Session {
                     partitions_per_relation: args.partitions,
                     replication: args.replicas,
                     rows_per_partition: 200,
+                    scale: 1,
                     seed: args.seed,
                     with_data: true,
                     speed_spread: 1.0,
@@ -114,6 +115,8 @@ impl Session {
                  \\protocol <p>        sealed-bid | vickrey | english | bargaining\n\
                  \\markup <x>          seller markup factor (1.0 = truthful)\n\
                  \\faults <p> [seed]   simulate with message-loss rate p (0 or 'off' to disable)\n\
+                 \\exec <rows> [batch] trade on a scaled synthetic federation (~rows input rows),\n\
+                 \\                    execute row vs columnar, show per-operator timings\n\
                  \\serve <n> [c]       serve a burst of n demo queries at concurrency c (default 1)\n\
                  \\real <n> [c]        like \\serve, but thread-per-node on real cores (wall clock)\n\
                  \\contracts <SQL>     trade with the contract lifecycle on, crash the winner\n\
@@ -195,6 +198,20 @@ impl Session {
                     Eval::Output(self.contracts_demo(rest))
                 }
             }
+            "exec" => {
+                let mut parts = rest.split_whitespace();
+                let n = parts.next().and_then(|tok| tok.parse::<u64>().ok());
+                let batch = match parts.next() {
+                    Some(tok) => tok.parse::<usize>().ok().filter(|b| *b >= 1),
+                    None => Some(qt_exec::DEFAULT_BATCH_ROWS),
+                };
+                match (n, batch) {
+                    (Some(n), Some(batch)) if n >= 1 => Eval::Output(self.exec_bench(n, batch)),
+                    _ => Eval::Output(format!(
+                        "invalid '\\exec {rest}' (need \\exec <n_rows> [batch_rows >= 1])"
+                    )),
+                }
+            }
             "serve" => {
                 let mut parts = rest.split_whitespace();
                 let n = parts.next().and_then(|tok| tok.parse::<usize>().ok());
@@ -225,6 +242,145 @@ impl Session {
             }
             other => Eval::Output(format!("unknown command '\\{other}' (try \\help)")),
         }
+    }
+
+    /// The columnar-execution demo: build a scaled synthetic federation of
+    /// roughly `n_rows` streamed input rows (independent of the session's
+    /// demo data), trade a chain join on it, then execute the purchased plan
+    /// through both executors and print per-operator columnar timings. The
+    /// executors must agree bit-for-bit; the comparison is printed, not
+    /// assumed.
+    fn exec_bench(&self, n_rows: u64, batch: usize) -> String {
+        use std::time::Instant;
+        // Relation 0 holds parts * rows_per_partition * scale rows; the
+        // second relation is smaller by the generator's 1/(1+0.5i) taper.
+        let scale = (n_rows / 500).max(1);
+        let fed = qt_workload::build_federation(&qt_workload::FederationSpec {
+            nodes: 4,
+            relations: 2,
+            partitions_per_relation: 2,
+            replication: 1,
+            rows_per_partition: 250,
+            scale,
+            seed: 22,
+            with_data: true,
+            speed_spread: 1.0,
+            data_skew: 0.0,
+        });
+        let input_rows: u64 = fed
+            .catalog
+            .dict
+            .rel_ids()
+            .flat_map(|r| fed.catalog.dict.parts_of(r))
+            .map(|p| fed.catalog.stats(p).rows)
+            .sum();
+        let query = qt_workload::gen_join_query(
+            &fed.catalog.dict,
+            qt_workload::QueryShape::Chain,
+            2,
+            true,
+            22,
+        );
+        let mut sellers: BTreeMap<NodeId, SellerEngine> = fed
+            .catalog
+            .nodes
+            .iter()
+            .map(|&n| {
+                (
+                    n,
+                    SellerEngine::new(fed.catalog.holdings_of(n), self.config.clone()),
+                )
+            })
+            .collect();
+        let out = run_qt_direct(
+            NodeId(0),
+            fed.catalog.dict.clone(),
+            &query,
+            &mut sellers,
+            &self.config,
+        );
+        let Some(plan) = out.plan else {
+            return "no plan: the scaled federation does not cover the demo query".into();
+        };
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "federation: 2 relations x 2 partitions at scale {scale} -> {input_rows} input rows"
+        );
+        let _ = writeln!(
+            s,
+            "trading: {} iteration(s), {} purchase(s)",
+            out.iterations,
+            plan.purchases.len()
+        );
+
+        let t0 = Instant::now();
+        let row_rows = match plan.execute_on(&fed.catalog.dict, &fed.stores) {
+            Ok(r) => r,
+            Err(e) => return format!("{s}row execution failed: {e}"),
+        };
+        let row_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let cfg = qt_exec::ColumnarConfig {
+            batch_rows: batch,
+            ..qt_exec::ColumnarConfig::default()
+        };
+        let t0 = Instant::now();
+        let (col_rows, stats) = match plan.execute_columnar_on(&fed.catalog.dict, &fed.stores, &cfg)
+        {
+            Ok(r) => r,
+            Err(e) => return format!("{s}columnar execution failed: {e}"),
+        };
+        let col_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let _ = writeln!(
+            s,
+            "row executor:      {row_secs:.4}s  ({:.0} rows/s)",
+            input_rows as f64 / row_secs
+        );
+        let _ = writeln!(
+            s,
+            "columnar executor: {col_secs:.4}s  ({:.0} rows/s, batch {batch})  speedup {:.2}x",
+            input_rows as f64 / col_secs,
+            row_secs / col_secs
+        );
+        let _ = writeln!(
+            s,
+            "results identical: {} ({} row(s))",
+            if col_rows == row_rows { "yes" } else { "NO" },
+            col_rows.len()
+        );
+
+        // Aggregate per-operator timings across all plan fragments.
+        let mut by_op: BTreeMap<&'static str, (u64, u64, u64, f64)> = BTreeMap::new();
+        for t in &stats.timings {
+            let e = by_op.entry(t.op).or_default();
+            e.0 += 1;
+            e.1 += t.rows_in;
+            e.2 += t.rows_out;
+            e.3 += t.secs;
+        }
+        let _ = writeln!(s, "operator timings (columnar):");
+        let _ = writeln!(
+            s,
+            "  {:<16} {:>6} {:>12} {:>12} {:>10}",
+            "op", "calls", "rows_in", "rows_out", "secs"
+        );
+        let mut ops: Vec<_> = by_op.into_iter().collect();
+        ops.sort_by(|a, b| b.1 .3.total_cmp(&a.1 .3));
+        for (op, (calls, rows_in, rows_out, secs)) in ops {
+            let _ = writeln!(
+                s,
+                "  {op:<16} {calls:>6} {rows_in:>12} {rows_out:>12} {secs:>10.4}"
+            );
+        }
+        let _ = writeln!(
+            s,
+            "spill: {} file(s), {} row(s), {} byte(s)",
+            stats.spill_files, stats.spill_rows, stats.spill_bytes
+        );
+        s.trim_end().to_string()
     }
 
     /// The contract-lifecycle demo: trade `sql` with two-phase awards and
@@ -790,6 +946,25 @@ mod tests {
         assert!(matches!(s.eval("\\real 2"), Eval::Output(o) if o.contains("concurrency 1")));
         assert!(matches!(s.eval("\\real"), Eval::Output(o) if o.contains("invalid")));
         assert!(matches!(s.eval("\\real 4 0"), Eval::Output(o) if o.contains("invalid")));
+    }
+
+    #[test]
+    fn exec_command_compares_executors_and_prints_timings() {
+        let mut s = session();
+        let Eval::Output(o) = s.eval("\\exec 2000 64") else {
+            panic!()
+        };
+        assert!(o.contains("input rows"), "{o}");
+        assert!(o.contains("row executor:"), "{o}");
+        assert!(o.contains("columnar executor:"), "{o}");
+        assert!(o.contains("batch 64"), "{o}");
+        assert!(o.contains("results identical: yes"), "{o}");
+        assert!(o.contains("operator timings (columnar):"), "{o}");
+        assert!(o.contains("spill:"), "{o}");
+        // The default batch is DEFAULT_BATCH_ROWS; bad args are rejected.
+        assert!(matches!(s.eval("\\exec 1000"), Eval::Output(o) if o.contains("batch 1024")));
+        assert!(matches!(s.eval("\\exec"), Eval::Output(o) if o.contains("invalid")));
+        assert!(matches!(s.eval("\\exec 100 0"), Eval::Output(o) if o.contains("invalid")));
     }
 
     #[test]

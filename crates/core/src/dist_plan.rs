@@ -129,7 +129,10 @@ impl DistributedPlan {
         let empty = DataStore::new();
         let mut inputs: Vec<Table> = vec![Vec::new(); self.purchases.len()];
         for p in &self.purchases {
-            let plan = naive_plan(dict, &p.offer.query);
+            // Sink the naive plan's top-level filter into the join tree:
+            // order-preserving, and it keeps scaled fragments from
+            // materializing cross products.
+            let plan = qt_optimizer::sink_predicates(&naive_plan(dict, &p.offer.query));
             inputs[p.slot] = if p.offer.subcontracts.is_empty() {
                 let store = stores.get(&p.offer.seller).unwrap_or(&empty);
                 execute(&plan, store, &[])?
@@ -157,6 +160,49 @@ impl DistributedPlan {
         let inputs = self.fetch_inputs(dict, stores)?;
         let empty = DataStore::new();
         execute(&self.assembly, &empty, &inputs)
+    }
+
+    /// Like [`execute_on`](Self::execute_on), but running every seller-side
+    /// plan and the buyer assembly through the columnar executor. Returns
+    /// the result (bit-identical to `execute_on` — the row executor is the
+    /// oracle) plus merged spill counters and per-operator timings, which
+    /// feed the `qt_cost::calibrate` loop.
+    pub fn execute_columnar_on(
+        &self,
+        dict: &SchemaDict,
+        stores: &BTreeMap<NodeId, DataStore>,
+        cfg: &qt_exec::ColumnarConfig,
+    ) -> Result<(Table, qt_exec::ColExecStats), ExecError> {
+        let empty = DataStore::new();
+        let mut merged_stats = qt_exec::ColExecStats::default();
+        let absorb = |s: qt_exec::ColExecStats, into: &mut qt_exec::ColExecStats| {
+            into.spill_files += s.spill_files;
+            into.spill_rows += s.spill_rows;
+            into.spill_bytes += s.spill_bytes;
+            into.timings.extend(s.timings);
+        };
+        let mut inputs: Vec<Table> = vec![Vec::new(); self.purchases.len()];
+        for p in &self.purchases {
+            let plan = qt_optimizer::sink_predicates(&naive_plan(dict, &p.offer.query));
+            let (rows, stats) = if p.offer.subcontracts.is_empty() {
+                let store = stores.get(&p.offer.seller).unwrap_or(&empty);
+                qt_exec::execute_columnar_with_stats(&plan, store, &[], cfg)?
+            } else {
+                let mut merged = stores.get(&p.offer.seller).cloned().unwrap_or_default();
+                for (sub, _) in &p.offer.subcontracts {
+                    if let Some(s) = stores.get(sub) {
+                        merged.merge_from(s);
+                    }
+                }
+                qt_exec::execute_columnar_with_stats(&plan, &merged, &[], cfg)?
+            };
+            inputs[p.slot] = rows;
+            absorb(stats, &mut merged_stats);
+        }
+        let (result, stats) =
+            qt_exec::execute_columnar_with_stats(&self.assembly, &empty, &inputs, cfg)?;
+        absorb(stats, &mut merged_stats);
+        Ok((result, merged_stats))
     }
 }
 

@@ -792,6 +792,10 @@ pub struct ServeOutcome {
     pub p50_latency: f64,
     /// 95th-percentile session latency, virtual seconds.
     pub p95_latency: f64,
+    /// 99th-percentile session latency, virtual seconds.
+    pub p99_latency: f64,
+    /// 99.9th-percentile tail latency, virtual seconds.
+    pub p999_latency: f64,
     /// Protocol messages exchanged (arrival injections excluded).
     pub messages: u64,
     /// `messages / sessions`.
@@ -963,11 +967,14 @@ fn finish_serve_outcome(
     let makespan = if n == 0 { 0.0 } else { t_end - t0 };
     let mut latencies: Vec<f64> = reports.iter().map(|r| r.latency()).collect();
     latencies.sort_by(f64::total_cmp);
-    let pct = |p: usize| -> f64 {
+    // Per-mille indexing so p99.9 is expressible; `(len-1)*500/1000` floors
+    // to the same index as the old `(len-1)*50/100`, keeping p50/p95
+    // bit-identical to earlier releases.
+    let pct = |p_milli: usize| -> f64 {
         if latencies.is_empty() {
             0.0
         } else {
-            latencies[(latencies.len() - 1) * p / 100]
+            latencies[(latencies.len() - 1) * p_milli / 1000]
         }
     };
     let messages = metrics.messages - metrics.kind_count("arrive");
@@ -977,8 +984,10 @@ fn finish_serve_outcome(
         } else {
             0.0
         },
-        p50_latency: pct(50),
-        p95_latency: pct(95),
+        p50_latency: pct(500),
+        p95_latency: pct(950),
+        p99_latency: pct(990),
+        p999_latency: pct(999),
         messages,
         messages_per_query: if n > 0 {
             messages as f64 / n as f64
@@ -1107,6 +1116,7 @@ mod tests {
             partitions_per_relation: 2,
             replication: 2,
             rows_per_partition: 20_000,
+            scale: 1,
             seed,
             with_data: false,
             speed_spread: 1.0,

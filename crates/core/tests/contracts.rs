@@ -30,6 +30,7 @@ fn spec(nodes: u32, seed: u64) -> FederationSpec {
         partitions_per_relation: 2,
         replication: 3,
         rows_per_partition: 100_000,
+        scale: 1,
         seed,
         with_data: false,
         speed_spread: 2.0,

@@ -18,6 +18,7 @@
 //! * [`cardinality`] — statistics-based cardinality and width estimation for
 //!   [`qt_query::Query`] fragments.
 
+pub mod calibrate;
 pub mod cardinality;
 pub mod memo;
 pub mod network;
@@ -25,6 +26,7 @@ pub mod params;
 pub mod properties;
 pub mod resources;
 
+pub use calibrate::{cost_error, CalibrationTable, Observation};
 pub use cardinality::{CardEstimate, CardinalityEstimator, RelProfile, StatsSource};
 pub use memo::SubsetCardMemo;
 pub use network::NetLink;

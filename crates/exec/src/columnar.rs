@@ -1,0 +1,1829 @@
+//! Columnar vectorized executor.
+//!
+//! Executes the same [`PhysPlan`] trees as the row executor in
+//! [`crate::exec`], but operator-at-a-time over typed column batches instead
+//! of row-at-a-time over `Vec<Value>` rows:
+//!
+//! * [`ColBatch`] — up to `batch_rows` (default 1024) rows as typed column
+//!   vectors (`Vec<i64>` / `Vec<f64>` / dictionary-coded strings) with
+//!   validity bitmaps for NULLs, plus a `Mixed` fallback for dynamically
+//!   typed columns;
+//! * vectorized filter/project kernels over column slices;
+//! * hash join build/probe over column keys with batch-wise probe output
+//!   (probe batches run in parallel via `qt-par`);
+//! * hash aggregation over grouped batches;
+//! * grace-hash spilling: join build sides and aggregate state whose input
+//!   exceeds [`ColumnarConfig::mem_budget_bytes`] partition to disk via the
+//!   hand-rolled framing in [`crate::spill`] and are processed one
+//!   partition at a time.
+//!
+//! The row executor stays the correctness oracle: for every plan,
+//! [`execute_columnar`] returns a table **bit-identical** to
+//! [`crate::execute`] — same rows in the same order — whatever the batch
+//! size, memory budget (spill on/off), or `QT_THREADS`. Spilled operators
+//! tag every row with a sequence number and restore the oracle's order when
+//! merging partitions; parallel sections map over fixed batch boundaries and
+//! reassemble in order. Per-operator wall-clock timings and row counts are
+//! recorded in [`ColExecStats::timings`] ([`OpTiming`]) — the measurements
+//! the `qt-cost` calibration loop consumes.
+
+use crate::error::ExecError;
+use crate::exec::{AggState, RowSource};
+use crate::plan::{AggSpec, PhysPlan};
+use crate::spill::{SpillFile, SpillWriter};
+use crate::trace::OpTiming;
+use crate::{Row, Table};
+use qt_catalog::{PartId, Value};
+use qt_query::{AggFunc, Col, CompOp, Operand, Predicate};
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default rows per column batch.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// Knobs for the columnar executor. The defaults (1024-row batches,
+/// unlimited memory, 8 spill partitions) match the row executor's behavior
+/// exactly; every setting changes only performance, never results.
+#[derive(Debug, Clone)]
+pub struct ColumnarConfig {
+    /// Rows per batch produced by scans and inputs.
+    pub batch_rows: usize,
+    /// Memory budget for a hash-join build side or hash-aggregate input;
+    /// above it the operator grace-hash partitions to disk.
+    pub mem_budget_bytes: usize,
+    /// Number of spill partitions per spilling operator.
+    pub spill_partitions: usize,
+}
+
+impl Default for ColumnarConfig {
+    fn default() -> Self {
+        ColumnarConfig {
+            batch_rows: DEFAULT_BATCH_ROWS,
+            mem_budget_bytes: usize::MAX,
+            spill_partitions: 8,
+        }
+    }
+}
+
+/// Counters and per-operator timings from one columnar execution.
+#[derive(Debug, Clone, Default)]
+pub struct ColExecStats {
+    /// Spill partition files written (build + probe + aggregate inputs).
+    pub spill_files: u64,
+    /// Rows written to spill files.
+    pub spill_rows: u64,
+    /// Bytes written to spill files.
+    pub spill_bytes: u64,
+    /// Per-operator measured timings, post-order (children before parents).
+    pub timings: Vec<OpTiming>,
+}
+
+// ---------------------------------------------------------------------------
+// Column batches
+// ---------------------------------------------------------------------------
+
+/// Validity bitmap: `None` = all rows valid; bit set = valid.
+type Validity = Option<Vec<u64>>;
+
+fn bit_get(v: &Validity, i: usize) -> bool {
+    match v {
+        None => true,
+        Some(words) => words[i / 64] >> (i % 64) & 1 == 1,
+    }
+}
+
+fn all_valid_words(len: usize) -> Vec<u64> {
+    vec![u64::MAX; len.div_ceil(64)]
+}
+
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
+}
+
+/// One typed column of a batch.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers, with NULLs marked invalid in the bitmap.
+    Int { vals: Vec<i64>, validity: Validity },
+    /// 64-bit floats (bit-exact; never reordered within a column).
+    Float { vals: Vec<f64>, validity: Validity },
+    /// Dictionary-coded strings: `codes[i]` indexes `dict`.
+    Str {
+        dict: Vec<Arc<str>>,
+        codes: Vec<u32>,
+        validity: Validity,
+    },
+    /// Fallback for columns mixing value types (rare: only hand-built data).
+    Mixed(Vec<Value>),
+}
+
+impl Column {
+    /// Approximate heap bytes, used for spill budgeting.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Column::Int { vals, validity } => {
+                vals.len() * 8 + validity.as_ref().map_or(0, |w| w.len() * 8)
+            }
+            Column::Float { vals, validity } => {
+                vals.len() * 8 + validity.as_ref().map_or(0, |w| w.len() * 8)
+            }
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => {
+                codes.len() * 4
+                    + dict.iter().map(|s| s.len()).sum::<usize>()
+                    + validity.as_ref().map_or(0, |w| w.len() * 8)
+            }
+            Column::Mixed(v) => v.iter().map(|x| x.byte_width() as usize + 8).sum(),
+        }
+    }
+
+    /// Reconstruct the `Value` at row `i`.
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            Column::Int { vals, validity } => {
+                if bit_get(validity, i) {
+                    Value::Int(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float { vals, validity } => {
+                if bit_get(validity, i) {
+                    Value::Float(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => {
+                if bit_get(validity, i) {
+                    Value::Str(dict[codes[i] as usize].clone())
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Gather the rows at `idx` into a new column (vectorized take).
+    fn take(&self, idx: &[u32]) -> Column {
+        let gather_validity = |validity: &Validity| -> Validity {
+            validity.as_ref().map(|_| {
+                let mut words = all_valid_words(idx.len());
+                for (out, &i) in idx.iter().enumerate() {
+                    if !bit_get(validity, i as usize) {
+                        bit_clear(&mut words, out);
+                    }
+                }
+                words
+            })
+        };
+        match self {
+            Column::Int { vals, validity } => Column::Int {
+                vals: idx.iter().map(|&i| vals[i as usize]).collect(),
+                validity: gather_validity(validity),
+            },
+            Column::Float { vals, validity } => Column::Float {
+                vals: idx.iter().map(|&i| vals[i as usize]).collect(),
+                validity: gather_validity(validity),
+            },
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => Column::Str {
+                dict: dict.clone(),
+                codes: idx.iter().map(|&i| codes[i as usize]).collect(),
+                validity: gather_validity(validity),
+            },
+            Column::Mixed(v) => Column::Mixed(idx.iter().map(|&i| v[i as usize].clone()).collect()),
+        }
+    }
+
+    /// Build a typed column from row `col` of `rows`.
+    fn from_rows(rows: &[Row], col: usize) -> Column {
+        let (mut ints, mut floats, mut strs, mut nulls) = (false, false, false, false);
+        for r in rows {
+            match &r[col] {
+                Value::Int(_) => ints = true,
+                Value::Float(_) => floats = true,
+                Value::Str(_) => strs = true,
+                Value::Null => nulls = true,
+            }
+        }
+        let n = rows.len();
+        let validity_from = |rows: &[Row]| -> Validity {
+            if !nulls {
+                return None;
+            }
+            let mut words = all_valid_words(n);
+            for (i, r) in rows.iter().enumerate() {
+                if r[col].is_null() {
+                    bit_clear(&mut words, i);
+                }
+            }
+            Some(words)
+        };
+        match (ints, floats, strs) {
+            (true, false, false) | (false, false, false) => Column::Int {
+                vals: rows.iter().map(|r| r[col].as_int().unwrap_or(0)).collect(),
+                validity: if ints {
+                    validity_from(rows)
+                } else {
+                    Some(vec![0; n.div_ceil(64)])
+                },
+            },
+            (false, true, false) => Column::Float {
+                vals: rows
+                    .iter()
+                    .map(|r| match &r[col] {
+                        Value::Float(x) => *x,
+                        _ => 0.0,
+                    })
+                    .collect(),
+                validity: validity_from(rows),
+            },
+            (false, false, true) => {
+                let mut dict: Vec<Arc<str>> = Vec::new();
+                let mut lookup: HashMap<Arc<str>, u32> = HashMap::new();
+                let codes = rows
+                    .iter()
+                    .map(|r| match &r[col] {
+                        Value::Str(s) => *lookup.entry(s.clone()).or_insert_with(|| {
+                            dict.push(s.clone());
+                            (dict.len() - 1) as u32
+                        }),
+                        _ => 0,
+                    })
+                    .collect();
+                Column::Str {
+                    dict,
+                    codes,
+                    validity: validity_from(rows),
+                }
+            }
+            _ => Column::Mixed(rows.iter().map(|r| r[col].clone()).collect()),
+        }
+    }
+}
+
+/// A batch of rows in columnar layout. All columns have length `len`.
+#[derive(Debug, Clone)]
+pub struct ColBatch {
+    /// Number of rows.
+    pub len: usize,
+    /// One typed column per schema position.
+    pub cols: Vec<Column>,
+}
+
+impl ColBatch {
+    /// Convert a row slice (all rows of width `width`) into one batch.
+    pub fn from_rows(rows: &[Row], width: usize) -> ColBatch {
+        ColBatch {
+            len: rows.len(),
+            cols: (0..width).map(|c| Column::from_rows(rows, c)).collect(),
+        }
+    }
+
+    /// The `Value` at `(col, row)`.
+    pub fn value_at(&self, col: usize, row: usize) -> Value {
+        self.cols[col].value_at(row)
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.cols.iter().map(|c| c.value_at(i)).collect()
+    }
+
+    /// Approximate heap bytes.
+    pub fn bytes(&self) -> usize {
+        self.cols.iter().map(Column::bytes).sum()
+    }
+
+    fn gather(&self, idx: &[u32]) -> ColBatch {
+        ColBatch {
+            len: idx.len(),
+            cols: self.cols.iter().map(|c| c.take(idx)).collect(),
+        }
+    }
+
+    fn hstack(mut self, right: ColBatch) -> ColBatch {
+        debug_assert_eq!(self.len, right.len);
+        self.cols.extend(right.cols);
+        self
+    }
+}
+
+/// Chunk rows into batches of `batch_rows`.
+pub fn rows_to_batches(rows: &[Row], width: usize, batch_rows: usize) -> Vec<ColBatch> {
+    let step = batch_rows.max(1);
+    rows.chunks(step)
+        .map(|chunk| ColBatch::from_rows(chunk, width))
+        .collect()
+}
+
+/// Flatten batches back into rows, preserving order.
+pub fn batches_to_rows(batches: &[ColBatch]) -> Table {
+    let mut out = Vec::with_capacity(batches.iter().map(|b| b.len).sum());
+    for b in batches {
+        for i in 0..b.len {
+            out.push(b.row(i));
+        }
+    }
+    out
+}
+
+fn batches_bytes(batches: &[ColBatch]) -> usize {
+    batches.iter().map(ColBatch::bytes).sum()
+}
+
+fn batches_rows(batches: &[ColBatch]) -> usize {
+    batches.iter().map(|b| b.len).sum()
+}
+
+/// Concatenate batches into one (for join build sides). Columns keep their
+/// typed representation when every batch agrees; otherwise fall back to
+/// `Mixed`.
+fn concat_batches(batches: &[ColBatch], width: usize) -> ColBatch {
+    let total: usize = batches_rows(batches);
+    let mut cols = Vec::with_capacity(width);
+    for c in 0..width {
+        cols.push(concat_columns(batches, c, total));
+    }
+    ColBatch { len: total, cols }
+}
+
+fn concat_columns(batches: &[ColBatch], c: usize, total: usize) -> Column {
+    let all_int = batches
+        .iter()
+        .all(|b| matches!(b.cols[c], Column::Int { .. }));
+    let all_float = batches
+        .iter()
+        .all(|b| matches!(b.cols[c], Column::Float { .. }));
+    let all_str = batches
+        .iter()
+        .all(|b| matches!(b.cols[c], Column::Str { .. }));
+    let merge_validity = |parts: Vec<(&Validity, usize)>| -> Validity {
+        if parts.iter().all(|(v, _)| v.is_none()) {
+            return None;
+        }
+        let mut words = all_valid_words(total);
+        let mut at = 0;
+        for (v, len) in parts {
+            for i in 0..len {
+                if !bit_get(v, i) {
+                    bit_clear(&mut words, at + i);
+                }
+            }
+            at += len;
+        }
+        Some(words)
+    };
+    if all_int {
+        let mut vals = Vec::with_capacity(total);
+        let mut parts = Vec::new();
+        for b in batches {
+            if let Column::Int { vals: v, validity } = &b.cols[c] {
+                vals.extend_from_slice(v);
+                parts.push((validity, v.len()));
+            }
+        }
+        return Column::Int {
+            vals,
+            validity: merge_validity(parts),
+        };
+    }
+    if all_float {
+        let mut vals = Vec::with_capacity(total);
+        let mut parts = Vec::new();
+        for b in batches {
+            if let Column::Float { vals: v, validity } = &b.cols[c] {
+                vals.extend_from_slice(v);
+                parts.push((validity, v.len()));
+            }
+        }
+        return Column::Float {
+            vals,
+            validity: merge_validity(parts),
+        };
+    }
+    if all_str {
+        let mut dict: Vec<Arc<str>> = Vec::new();
+        let mut lookup: HashMap<Arc<str>, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(total);
+        let mut parts = Vec::new();
+        for b in batches {
+            if let Column::Str {
+                dict: d,
+                codes: cs,
+                validity,
+            } = &b.cols[c]
+            {
+                let remap: Vec<u32> = d
+                    .iter()
+                    .map(|s| {
+                        *lookup.entry(s.clone()).or_insert_with(|| {
+                            dict.push(s.clone());
+                            (dict.len() - 1) as u32
+                        })
+                    })
+                    .collect();
+                codes.extend(cs.iter().map(|&code| remap[code as usize]));
+                parts.push((validity, cs.len()));
+            }
+        }
+        return Column::Str {
+            dict,
+            codes,
+            validity: merge_validity(parts),
+        };
+    }
+    let mut vals = Vec::with_capacity(total);
+    for b in batches {
+        for i in 0..b.len {
+            vals.push(b.cols[c].value_at(i));
+        }
+    }
+    Column::Mixed(vals)
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: PhysPlan → ColOp
+// ---------------------------------------------------------------------------
+
+/// A predicate with schema positions resolved at lowering time.
+#[derive(Debug, Clone)]
+struct LoweredPred {
+    left: usize,
+    op: CompOp,
+    right: LoweredOperand,
+}
+
+#[derive(Debug, Clone)]
+enum LoweredOperand {
+    Const(Value),
+    Col(usize),
+}
+
+/// A lowered columnar operator with its output arity.
+#[derive(Debug, Clone)]
+pub struct ColOp {
+    width: usize,
+    kind: ColKind,
+}
+
+#[derive(Debug, Clone)]
+enum ColKind {
+    Scan {
+        part: PartId,
+    },
+    Input {
+        slot: usize,
+    },
+    Filter {
+        input: Box<ColOp>,
+        preds: Vec<LoweredPred>,
+    },
+    Project {
+        input: Box<ColOp>,
+        cols: Vec<usize>,
+    },
+    HashJoin {
+        build: Box<ColOp>,
+        probe: Box<ColOp>,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+    },
+    MergeJoin {
+        left: Box<ColOp>,
+        right: Box<ColOp>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+    },
+    NlJoin {
+        left: Box<ColOp>,
+        right: Box<ColOp>,
+        preds: Vec<LoweredPred>,
+    },
+    Union {
+        inputs: Vec<ColOp>,
+    },
+    Sort {
+        input: Box<ColOp>,
+        keys: Vec<usize>,
+    },
+    HashAggregate {
+        input: Box<ColOp>,
+        key_cols: Vec<usize>,
+        aggs: Vec<(AggFunc, Option<usize>)>,
+    },
+}
+
+fn position(schema: &[Col], col: Col) -> Result<usize, ExecError> {
+    schema
+        .iter()
+        .position(|c| *c == col)
+        .ok_or(ExecError::UnresolvedColumn(col))
+}
+
+fn lower_preds(preds: &[Predicate], schema: &[Col]) -> Result<Vec<LoweredPred>, ExecError> {
+    preds
+        .iter()
+        .map(|p| {
+            Ok(LoweredPred {
+                left: position(schema, p.left)?,
+                op: p.op,
+                right: match &p.right {
+                    Operand::Const(v) => LoweredOperand::Const(v.clone()),
+                    Operand::Col(c) => LoweredOperand::Col(position(schema, *c)?),
+                },
+            })
+        })
+        .collect()
+}
+
+/// Lower a physical plan to the columnar operator tree — the plan→columnar
+/// boundary. All column references are resolved to schema positions here, so
+/// execution never touches `Col` identities again.
+pub fn lower(plan: &PhysPlan) -> Result<ColOp, ExecError> {
+    let width = plan.schema().len();
+    let kind = match plan {
+        PhysPlan::Scan { part, .. } => ColKind::Scan { part: *part },
+        PhysPlan::Input { slot, .. } => ColKind::Input { slot: *slot },
+        PhysPlan::Filter { input, predicates } => ColKind::Filter {
+            preds: lower_preds(predicates, &input.schema())?,
+            input: Box::new(lower(input)?),
+        },
+        PhysPlan::Project { input, cols } => {
+            let schema = input.schema();
+            ColKind::Project {
+                cols: cols
+                    .iter()
+                    .map(|c| position(&schema, *c))
+                    .collect::<Result<_, _>>()?,
+                input: Box::new(lower(input)?),
+            }
+        }
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let ls = left.schema();
+            let rs = right.schema();
+            ColKind::HashJoin {
+                build_keys: left_keys
+                    .iter()
+                    .map(|c| position(&ls, *c))
+                    .collect::<Result<_, _>>()?,
+                probe_keys: right_keys
+                    .iter()
+                    .map(|c| position(&rs, *c))
+                    .collect::<Result<_, _>>()?,
+                build: Box::new(lower(left)?),
+                probe: Box::new(lower(right)?),
+            }
+        }
+        PhysPlan::MergeJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let ls = left.schema();
+            let rs = right.schema();
+            ColKind::MergeJoin {
+                left_keys: left_keys
+                    .iter()
+                    .map(|c| position(&ls, *c))
+                    .collect::<Result<_, _>>()?,
+                right_keys: right_keys
+                    .iter()
+                    .map(|c| position(&rs, *c))
+                    .collect::<Result<_, _>>()?,
+                left: Box::new(lower(left)?),
+                right: Box::new(lower(right)?),
+            }
+        }
+        PhysPlan::NlJoin {
+            left,
+            right,
+            predicates,
+        } => ColKind::NlJoin {
+            preds: lower_preds(predicates, &plan.schema())?,
+            left: Box::new(lower(left)?),
+            right: Box::new(lower(right)?),
+        },
+        PhysPlan::Union { inputs } => ColKind::Union {
+            inputs: inputs.iter().map(lower).collect::<Result<_, _>>()?,
+        },
+        PhysPlan::Sort { input, keys } => {
+            let schema = input.schema();
+            ColKind::Sort {
+                keys: keys
+                    .iter()
+                    .map(|c| position(&schema, *c))
+                    .collect::<Result<_, _>>()?,
+                input: Box::new(lower(input)?),
+            }
+        }
+        PhysPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let schema = input.schema();
+            ColKind::HashAggregate {
+                key_cols: group_by
+                    .iter()
+                    .map(|c| position(&schema, *c))
+                    .collect::<Result<_, _>>()?,
+                aggs: aggs
+                    .iter()
+                    .map(|AggSpec { func, arg }| {
+                        Ok((*func, arg.map(|c| position(&schema, c)).transpose()?))
+                    })
+                    .collect::<Result<Vec<_>, ExecError>>()?,
+                input: Box::new(lower(input)?),
+            }
+        }
+    };
+    Ok(ColOp { width, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Filter kernels
+// ---------------------------------------------------------------------------
+
+fn ord_ok(op: CompOp) -> fn(Ordering) -> bool {
+    match op {
+        CompOp::Eq => |o| o == Ordering::Equal,
+        CompOp::Ne => |o| o != Ordering::Equal,
+        CompOp::Lt => |o| o == Ordering::Less,
+        CompOp::Le => |o| o != Ordering::Greater,
+        CompOp::Gt => |o| o == Ordering::Greater,
+        CompOp::Ge => |o| o != Ordering::Less,
+    }
+}
+
+/// AND one predicate into `mask`, vectorized per column type.
+fn apply_pred(batch: &ColBatch, pred: &LoweredPred, mask: &mut [bool]) {
+    let ok = ord_ok(pred.op);
+    match (&batch.cols[pred.left], &pred.right) {
+        // Int column vs Int constant: the hot kernel.
+        (
+            Column::Int {
+                vals,
+                validity: None,
+            },
+            LoweredOperand::Const(Value::Int(c)),
+        ) => {
+            for (m, v) in mask.iter_mut().zip(vals) {
+                *m &= ok(v.cmp(c));
+            }
+        }
+        // Float column vs Float constant (total order, same as Value::cmp).
+        (
+            Column::Float {
+                vals,
+                validity: None,
+            },
+            LoweredOperand::Const(Value::Float(c)),
+        ) => {
+            for (m, v) in mask.iter_mut().zip(vals) {
+                *m &= ok(v.total_cmp(c));
+            }
+        }
+        // Str column vs Str constant: compare each dict entry once.
+        (
+            Column::Str {
+                dict,
+                codes,
+                validity: None,
+            },
+            LoweredOperand::Const(Value::Str(c)),
+        ) => {
+            let per_code: Vec<bool> = dict.iter().map(|s| ok(s.as_ref().cmp(c))).collect();
+            for (m, code) in mask.iter_mut().zip(codes) {
+                *m &= per_code[*code as usize];
+            }
+        }
+        // Int-Int column comparison.
+        (
+            Column::Int {
+                vals: a,
+                validity: None,
+            },
+            LoweredOperand::Col(rc),
+        ) if matches!(&batch.cols[*rc], Column::Int { validity: None, .. }) => {
+            if let Column::Int { vals: b, .. } = &batch.cols[*rc] {
+                for i in 0..mask.len() {
+                    mask[i] &= ok(a[i].cmp(&b[i]));
+                }
+            }
+        }
+        // Everything else (mixed types, NULLs, cross-type constants):
+        // fall back to Value comparison, which is the oracle semantics.
+        _ => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                let l = batch.value_at(pred.left, i);
+                let ok = match &pred.right {
+                    LoweredOperand::Const(v) => pred.op.eval(&l, v),
+                    LoweredOperand::Col(c) => pred.op.eval(&l, &batch.value_at(*c, i)),
+                };
+                *m &= ok;
+            }
+        }
+    }
+}
+
+fn filter_batch(batch: &ColBatch, preds: &[LoweredPred]) -> ColBatch {
+    let mut mask = vec![true; batch.len];
+    for p in preds {
+        apply_pred(batch, p, &mut mask);
+    }
+    let idx: Vec<u32> = mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &m)| m.then_some(i as u32))
+        .collect();
+    if idx.len() == batch.len {
+        return batch.clone();
+    }
+    batch.gather(&idx)
+}
+
+// ---------------------------------------------------------------------------
+// Hash-join machinery
+// ---------------------------------------------------------------------------
+
+/// Build-side hash table: either specialized on a single non-null Int key or
+/// generic over `Vec<Value>` keys. Values are row indices into the
+/// concatenated build batch, in build order — matching the row executor's
+/// per-key insertion order.
+enum JoinTable {
+    Int(HashMap<i64, Vec<u32>>),
+    Generic(HashMap<Vec<Value>, Vec<u32>>),
+}
+
+fn build_join_table(build: &ColBatch, keys: &[usize]) -> JoinTable {
+    if keys.len() == 1 {
+        if let Column::Int {
+            vals,
+            validity: None,
+        } = &build.cols[keys[0]]
+        {
+            let mut t: HashMap<i64, Vec<u32>> = HashMap::with_capacity(vals.len());
+            for (i, &v) in vals.iter().enumerate() {
+                t.entry(v).or_default().push(i as u32);
+            }
+            return JoinTable::Int(t);
+        }
+    }
+    let mut t: HashMap<Vec<Value>, Vec<u32>> = HashMap::with_capacity(build.len);
+    for i in 0..build.len {
+        let key: Vec<Value> = keys.iter().map(|&k| build.value_at(k, i)).collect();
+        t.entry(key).or_default().push(i as u32);
+    }
+    JoinTable::Generic(t)
+}
+
+/// Probe one batch; returns (build indices, probe indices) of matches, in
+/// probe-row order with build matches in insertion order.
+fn probe_batch(batch: &ColBatch, keys: &[usize], table: &JoinTable) -> (Vec<u32>, Vec<u32>) {
+    let mut bidx = Vec::new();
+    let mut pidx = Vec::new();
+    match table {
+        JoinTable::Int(t) => {
+            // The build side is all non-null Int, so only Int probe keys can
+            // match (cross-type Values are never equal).
+            if keys.len() == 1 {
+                if let Column::Int {
+                    vals,
+                    validity: None,
+                } = &batch.cols[keys[0]]
+                {
+                    for (i, v) in vals.iter().enumerate() {
+                        if let Some(matches) = t.get(v) {
+                            for &b in matches {
+                                bidx.push(b);
+                                pidx.push(i as u32);
+                            }
+                        }
+                    }
+                    return (bidx, pidx);
+                }
+            }
+            for i in 0..batch.len {
+                if let Value::Int(v) = batch.value_at(keys[0], i) {
+                    if let Some(matches) = t.get(&v) {
+                        for &b in matches {
+                            bidx.push(b);
+                            pidx.push(i as u32);
+                        }
+                    }
+                }
+            }
+        }
+        JoinTable::Generic(t) => {
+            for i in 0..batch.len {
+                let key: Vec<Value> = keys.iter().map(|&k| batch.value_at(k, i)).collect();
+                if let Some(matches) = t.get(&key) {
+                    for &b in matches {
+                        bidx.push(b);
+                        pidx.push(i as u32);
+                    }
+                }
+            }
+        }
+    }
+    (bidx, pidx)
+}
+
+/// Deterministic spill partition of a key (fixed-seed std hasher).
+fn partition_of(key: &[Value], parts: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    for v in key {
+        v.hash(&mut h);
+    }
+    (h.finish() % parts.max(1) as u64) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+struct Ctx<'a> {
+    source: &'a dyn RowSource,
+    inputs: &'a [Table],
+    cfg: &'a ColumnarConfig,
+}
+
+/// Execute `plan` columnar; results are bit-identical to [`crate::execute`].
+pub fn execute_columnar(
+    plan: &PhysPlan,
+    source: &dyn RowSource,
+    inputs: &[Table],
+    cfg: &ColumnarConfig,
+) -> Result<Table, ExecError> {
+    execute_columnar_with_stats(plan, source, inputs, cfg).map(|(t, _)| t)
+}
+
+/// Like [`execute_columnar`], also returning spill counters and
+/// per-operator timings for the cost-calibration loop.
+pub fn execute_columnar_with_stats(
+    plan: &PhysPlan,
+    source: &dyn RowSource,
+    inputs: &[Table],
+    cfg: &ColumnarConfig,
+) -> Result<(Table, ColExecStats), ExecError> {
+    let lowered = lower(plan)?;
+    let mut stats = ColExecStats::default();
+    let ctx = Ctx {
+        source,
+        inputs,
+        cfg,
+    };
+    let batches = eval(&lowered, &ctx, &mut stats)?;
+    Ok((batches_to_rows(&batches), stats))
+}
+
+fn timing(
+    stats: &mut ColExecStats,
+    op: &'static str,
+    rows_in: usize,
+    rows_out: usize,
+    bytes_in: usize,
+    started: Instant,
+) {
+    stats.timings.push(OpTiming {
+        op,
+        rows_in: rows_in as u64,
+        rows_out: rows_out as u64,
+        bytes_in: bytes_in as u64,
+        secs: started.elapsed().as_secs_f64(),
+    });
+}
+
+fn eval(op: &ColOp, ctx: &Ctx<'_>, stats: &mut ColExecStats) -> Result<Vec<ColBatch>, ExecError> {
+    let threads = qt_par::max_threads();
+    match &op.kind {
+        ColKind::Scan { part } => {
+            let rows = ctx
+                .source
+                .rows_of(*part)
+                .ok_or(ExecError::MissingPartition(*part))?;
+            let t0 = Instant::now();
+            let batches = rows_to_batches(rows, op.width, ctx.cfg.batch_rows);
+            let bytes = batches_bytes(&batches);
+            timing(stats, "Scan", rows.len(), rows.len(), bytes, t0);
+            Ok(batches)
+        }
+        ColKind::Input { slot } => {
+            let rows = ctx
+                .inputs
+                .get(*slot)
+                .ok_or(ExecError::MissingInput(*slot))?;
+            let t0 = Instant::now();
+            let batches = rows_to_batches(rows, op.width, ctx.cfg.batch_rows);
+            let bytes = batches_bytes(&batches);
+            timing(stats, "Input", rows.len(), rows.len(), bytes, t0);
+            Ok(batches)
+        }
+        ColKind::Filter { input, preds } => {
+            let in_batches = eval(input, ctx, stats)?;
+            let rows_in = batches_rows(&in_batches);
+            let bytes_in = batches_bytes(&in_batches);
+            let t0 = Instant::now();
+            let out: Vec<ColBatch> =
+                qt_par::par_map_ref(&in_batches, threads, |b| filter_batch(b, preds))
+                    .into_iter()
+                    .filter(|b| b.len > 0)
+                    .collect();
+            timing(stats, "Filter", rows_in, batches_rows(&out), bytes_in, t0);
+            Ok(out)
+        }
+        ColKind::Project { input, cols } => {
+            let in_batches = eval(input, ctx, stats)?;
+            let rows_in = batches_rows(&in_batches);
+            let bytes_in = batches_bytes(&in_batches);
+            let t0 = Instant::now();
+            let out: Vec<ColBatch> = in_batches
+                .iter()
+                .map(|b| ColBatch {
+                    len: b.len,
+                    cols: cols.iter().map(|&c| b.cols[c].clone()).collect(),
+                })
+                .collect();
+            timing(stats, "Project", rows_in, rows_in, bytes_in, t0);
+            Ok(out)
+        }
+        ColKind::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+        } => {
+            let build_batches = eval(build, ctx, stats)?;
+            let probe_batches = eval(probe, ctx, stats)?;
+            hash_join(
+                &build_batches,
+                &probe_batches,
+                build.width,
+                probe.width,
+                build_keys,
+                probe_keys,
+                /* probe_cols_first = */ false,
+                &[],
+                ctx,
+                stats,
+            )
+        }
+        ColKind::MergeJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let lb = eval(left, ctx, stats)?;
+            let rb = eval(right, ctx, stats)?;
+            let rows_in = batches_rows(&lb) + batches_rows(&rb);
+            let bytes_in = batches_bytes(&lb) + batches_bytes(&rb);
+            let t0 = Instant::now();
+            let lrows = batches_to_rows(&lb);
+            let rrows = batches_to_rows(&rb);
+            let key_of = |row: &Row, pos: &[usize]| -> Vec<Value> {
+                pos.iter().map(|&i| row[i].clone()).collect()
+            };
+            let mut out_rows: Table = Vec::new();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < lrows.len() && j < rrows.len() {
+                let lk = key_of(&lrows[i], left_keys);
+                let rk = key_of(&rrows[j], right_keys);
+                match lk.cmp(&rk) {
+                    Ordering::Less => i += 1,
+                    Ordering::Greater => j += 1,
+                    Ordering::Equal => {
+                        let i_end = (i..lrows.len())
+                            .find(|&x| key_of(&lrows[x], left_keys) != lk)
+                            .unwrap_or(lrows.len());
+                        let j_end = (j..rrows.len())
+                            .find(|&x| key_of(&rrows[x], right_keys) != rk)
+                            .unwrap_or(rrows.len());
+                        for lrow in &lrows[i..i_end] {
+                            for rrow in &rrows[j..j_end] {
+                                let mut combined = lrow.clone();
+                                combined.extend(rrow.iter().cloned());
+                                out_rows.push(combined);
+                            }
+                        }
+                        i = i_end;
+                        j = j_end;
+                    }
+                }
+            }
+            let out = rows_to_batches(&out_rows, op.width, ctx.cfg.batch_rows);
+            timing(stats, "MergeJoin", rows_in, out_rows.len(), bytes_in, t0);
+            Ok(out)
+        }
+        ColKind::NlJoin { left, right, preds } => {
+            let lb = eval(left, ctx, stats)?;
+            let rb = eval(right, ctx, stats)?;
+            nl_join(&lb, &rb, left.width, right.width, preds, ctx, stats)
+        }
+        ColKind::Union { inputs } => {
+            let mut out = Vec::new();
+            let mut rows_in = 0;
+            for i in inputs {
+                let b = eval(i, ctx, stats)?;
+                rows_in += batches_rows(&b);
+                out.extend(b);
+            }
+            let t0 = Instant::now();
+            timing(stats, "Union", rows_in, rows_in, 0, t0);
+            Ok(out)
+        }
+        ColKind::Sort { input, keys } => {
+            let in_batches = eval(input, ctx, stats)?;
+            let rows_in = batches_rows(&in_batches);
+            let bytes_in = batches_bytes(&in_batches);
+            let t0 = Instant::now();
+            let mut rows = batches_to_rows(&in_batches);
+            rows.sort_by(|a, b| {
+                for &i in keys {
+                    let ord = a[i].cmp(&b[i]);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            let out = rows_to_batches(&rows, op.width, ctx.cfg.batch_rows);
+            timing(stats, "Sort", rows_in, rows_in, bytes_in, t0);
+            Ok(out)
+        }
+        ColKind::HashAggregate {
+            input,
+            key_cols,
+            aggs,
+        } => {
+            let in_batches = eval(input, ctx, stats)?;
+            hash_aggregate(&in_batches, op.width, key_cols, aggs, ctx, stats)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join (in-memory + grace spill)
+// ---------------------------------------------------------------------------
+
+/// Shared join body. `probe_cols_first` controls output column order:
+/// `false` = build ++ probe (HashJoin: build is the plan's left child),
+/// `true` = probe ++ build (NlJoin lowered to hash: probe is the left/outer
+/// child whose columns come first). `residual` predicates are applied to the
+/// combined batch afterwards (positions in combined schema).
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    build_batches: &[ColBatch],
+    probe_batches: &[ColBatch],
+    build_width: usize,
+    probe_width: usize,
+    build_keys: &[usize],
+    probe_keys: &[usize],
+    probe_cols_first: bool,
+    residual: &[LoweredPred],
+    ctx: &Ctx<'_>,
+    stats: &mut ColExecStats,
+) -> Result<Vec<ColBatch>, ExecError> {
+    let threads = qt_par::max_threads();
+    let build_bytes = batches_bytes(build_batches);
+    let op_build: &'static str = "HashJoinBuild";
+    let op_probe: &'static str = "HashJoinProbe";
+    if build_bytes > ctx.cfg.mem_budget_bytes {
+        return spill_join(
+            build_batches,
+            probe_batches,
+            build_width,
+            probe_width,
+            build_keys,
+            probe_keys,
+            probe_cols_first,
+            residual,
+            ctx,
+            stats,
+        );
+    }
+    let t0 = Instant::now();
+    let build_all = concat_batches(build_batches, build_width);
+    let table = build_join_table(&build_all, build_keys);
+    timing(
+        stats,
+        op_build,
+        build_all.len,
+        build_all.len,
+        build_bytes,
+        t0,
+    );
+    let probe_rows = batches_rows(probe_batches);
+    let probe_bytes = batches_bytes(probe_batches);
+    let t0 = Instant::now();
+    let mut out: Vec<ColBatch> = qt_par::par_map_ref(probe_batches, threads, |pb| {
+        let (bidx, pidx) = probe_batch(pb, probe_keys, &table);
+        let joined = if probe_cols_first {
+            pb.gather(&pidx).hstack(build_all.gather(&bidx))
+        } else {
+            build_all.gather(&bidx).hstack(pb.gather(&pidx))
+        };
+        if residual.is_empty() {
+            joined
+        } else {
+            filter_batch(&joined, residual)
+        }
+    })
+    .into_iter()
+    .filter(|b| b.len > 0)
+    .collect();
+    let rows_out = batches_rows(&out);
+    timing(stats, op_probe, probe_rows, rows_out, probe_bytes, t0);
+    // Normalize away zero-length batch vectors for stable downstream math.
+    if rows_out == 0 {
+        out.clear();
+    }
+    Ok(out)
+}
+
+/// Grace-hash join: partition both sides to disk by key hash, then join one
+/// partition at a time. Rows carry sequence numbers so the merged output is
+/// re-sorted into exactly the in-memory (= row executor) order.
+#[allow(clippy::too_many_arguments)]
+fn spill_join(
+    build_batches: &[ColBatch],
+    probe_batches: &[ColBatch],
+    build_width: usize,
+    probe_width: usize,
+    build_keys: &[usize],
+    probe_keys: &[usize],
+    probe_cols_first: bool,
+    residual: &[LoweredPred],
+    ctx: &Ctx<'_>,
+    stats: &mut ColExecStats,
+) -> Result<Vec<ColBatch>, ExecError> {
+    let parts = ctx.cfg.spill_partitions.max(1);
+    let t0 = Instant::now();
+    let spill_side =
+        |batches: &[ColBatch], keys: &[usize]| -> Result<(Vec<SpillFile>, usize), ExecError> {
+            let mut writers: Vec<SpillWriter> = (0..parts)
+                .map(|_| SpillWriter::create())
+                .collect::<Result<_, _>>()?;
+            let mut seq = 0u64;
+            for b in batches {
+                for i in 0..b.len {
+                    let key: Vec<Value> = keys.iter().map(|&k| b.value_at(k, i)).collect();
+                    writers[partition_of(&key, parts)].push(seq, &b.row(i))?;
+                    seq += 1;
+                }
+            }
+            let files: Vec<SpillFile> = writers
+                .into_iter()
+                .map(SpillWriter::finish)
+                .collect::<Result<_, _>>()?;
+            Ok((files, seq as usize))
+        };
+    let (bfiles, build_rows) = spill_side(build_batches, build_keys)?;
+    let (pfiles, probe_rows) = spill_side(probe_batches, probe_keys)?;
+    for f in bfiles.iter().chain(&pfiles) {
+        stats.spill_files += 1;
+        stats.spill_rows += f.rows;
+        stats.spill_bytes += f.bytes;
+    }
+    timing(
+        stats,
+        "HashJoinBuild",
+        build_rows,
+        build_rows,
+        batches_bytes(build_batches),
+        t0,
+    );
+
+    let t0 = Instant::now();
+    // (probe_seq, build_seq, combined row) — sorted at the end to restore
+    // the probe-major, build-insertion-minor oracle order.
+    let mut tagged: Vec<(u64, u64, Row)> = Vec::new();
+    for (bf, pf) in bfiles.iter().zip(&pfiles) {
+        let brows = bf.read_all()?;
+        let mut table: HashMap<Vec<Value>, Vec<(u64, Row)>> = HashMap::new();
+        for (seq, row) in brows {
+            let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
+            table.entry(key).or_default().push((seq, row));
+        }
+        for (pseq, prow) in pf.read_all()? {
+            let key: Vec<Value> = probe_keys.iter().map(|&k| prow[k].clone()).collect();
+            if let Some(matches) = table.get(&key) {
+                for (bseq, brow) in matches {
+                    let mut combined = if probe_cols_first {
+                        let mut c = prow.clone();
+                        c.extend(brow.iter().cloned());
+                        c
+                    } else {
+                        let mut c = brow.clone();
+                        c.extend(prow.iter().cloned());
+                        c
+                    };
+                    if !residual.is_empty() {
+                        let keep = residual.iter().all(|p| {
+                            let l = &combined[p.left];
+                            match &p.right {
+                                LoweredOperand::Const(v) => p.op.eval(l, v),
+                                LoweredOperand::Col(c) => p.op.eval(l, &combined[*c]),
+                            }
+                        });
+                        if !keep {
+                            continue;
+                        }
+                    }
+                    combined.shrink_to_fit();
+                    tagged.push((pseq, *bseq, combined));
+                }
+            }
+        }
+    }
+    tagged.sort_unstable_by_key(|t| (t.0, t.1));
+    let rows: Table = tagged.into_iter().map(|(_, _, r)| r).collect();
+    let out = rows_to_batches(&rows, build_width + probe_width, ctx.cfg.batch_rows);
+    timing(
+        stats,
+        "HashJoinProbe",
+        probe_rows,
+        rows.len(),
+        batches_bytes(probe_batches),
+        t0,
+    );
+    Ok(out)
+}
+
+/// Nested-loop join. Pure equi-join predicate sets lower to a hash join with
+/// the outer (left) side probing — output order (left-major, right
+/// insertion-minor) and column order (left ++ right) match the row executor's
+/// pair loop exactly. Anything else falls back to the literal pair loop.
+fn nl_join(
+    lb: &[ColBatch],
+    rb: &[ColBatch],
+    left_width: usize,
+    right_width: usize,
+    preds: &[LoweredPred],
+    ctx: &Ctx<'_>,
+    stats: &mut ColExecStats,
+) -> Result<Vec<ColBatch>, ExecError> {
+    // Split predicates into cross-side equalities and residuals.
+    let mut lkeys = Vec::new();
+    let mut rkeys = Vec::new();
+    let mut residual = Vec::new();
+    for p in preds {
+        if p.op == CompOp::Eq {
+            if let LoweredOperand::Col(rc) = p.right {
+                let (a, b) = (p.left, rc);
+                if a < left_width && b >= left_width {
+                    lkeys.push(a);
+                    rkeys.push(b - left_width);
+                    continue;
+                }
+                if b < left_width && a >= left_width {
+                    lkeys.push(b);
+                    rkeys.push(a - left_width);
+                    continue;
+                }
+            }
+        }
+        residual.push(p.clone());
+    }
+    if !lkeys.is_empty() {
+        // Build on the inner (right) side, probe with the outer (left) side.
+        return hash_join(
+            rb,
+            lb,
+            right_width,
+            left_width,
+            &rkeys,
+            &lkeys,
+            /* probe_cols_first = */ true,
+            &residual,
+            ctx,
+            stats,
+        );
+    }
+    let rows_in = batches_rows(lb) + batches_rows(rb);
+    let bytes_in = batches_bytes(lb) + batches_bytes(rb);
+    let t0 = Instant::now();
+    let lrows = batches_to_rows(lb);
+    let rrows = batches_to_rows(rb);
+    let mut out_rows: Table = Vec::new();
+    for lrow in &lrows {
+        for rrow in &rrows {
+            let mut combined = lrow.clone();
+            combined.extend(rrow.iter().cloned());
+            let keep = preds.iter().all(|p| {
+                let l = &combined[p.left];
+                match &p.right {
+                    LoweredOperand::Const(v) => p.op.eval(l, v),
+                    LoweredOperand::Col(c) => p.op.eval(l, &combined[*c]),
+                }
+            });
+            if keep {
+                out_rows.push(combined);
+            }
+        }
+    }
+    let out = rows_to_batches(&out_rows, left_width + right_width, ctx.cfg.batch_rows);
+    timing(stats, "NlJoin", rows_in, out_rows.len(), bytes_in, t0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Hash aggregation (in-memory + grace spill)
+// ---------------------------------------------------------------------------
+
+/// Group-id assignment: specialized single non-null Int key or generic.
+enum GroupKeys {
+    Int(HashMap<i64, u32>),
+    Generic(HashMap<Vec<Value>, u32>),
+}
+
+fn hash_aggregate(
+    in_batches: &[ColBatch],
+    width: usize,
+    key_cols: &[usize],
+    aggs: &[(AggFunc, Option<usize>)],
+    ctx: &Ctx<'_>,
+    stats: &mut ColExecStats,
+) -> Result<Vec<ColBatch>, ExecError> {
+    let rows_in = batches_rows(in_batches);
+    let bytes_in = batches_bytes(in_batches);
+    if bytes_in > ctx.cfg.mem_budget_bytes {
+        return spill_aggregate(in_batches, width, key_cols, aggs, ctx, stats);
+    }
+    let t0 = Instant::now();
+    let single_int_key = key_cols.len() == 1
+        && in_batches
+            .iter()
+            .all(|b| matches!(b.cols[key_cols[0]], Column::Int { validity: None, .. }));
+    let mut keys = if single_int_key {
+        GroupKeys::Int(HashMap::new())
+    } else {
+        GroupKeys::Generic(HashMap::new())
+    };
+    let mut group_rows: Vec<Vec<Value>> = Vec::new(); // first-seen order
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    let mut gids: Vec<u32> = Vec::new();
+    for b in in_batches {
+        gids.clear();
+        gids.reserve(b.len);
+        match &mut keys {
+            GroupKeys::Int(map) => {
+                if let Column::Int { vals, .. } = &b.cols[key_cols[0]] {
+                    for &v in vals {
+                        let gid = *map.entry(v).or_insert_with(|| {
+                            group_rows.push(vec![Value::Int(v)]);
+                            states.push(aggs.iter().map(|&(f, _)| AggState::new(f)).collect());
+                            (group_rows.len() - 1) as u32
+                        });
+                        gids.push(gid);
+                    }
+                }
+            }
+            GroupKeys::Generic(map) => {
+                for i in 0..b.len {
+                    let key: Vec<Value> = key_cols.iter().map(|&k| b.value_at(k, i)).collect();
+                    let gid = *map.entry(key.clone()).or_insert_with(|| {
+                        group_rows.push(key);
+                        states.push(aggs.iter().map(|&(f, _)| AggState::new(f)).collect());
+                        (group_rows.len() - 1) as u32
+                    });
+                    gids.push(gid);
+                }
+            }
+        }
+        for (j, &(func, arg)) in aggs.iter().enumerate() {
+            fold_agg_column(b, &gids, func, arg, j, &mut states)?;
+        }
+    }
+    // Scalar aggregate over zero rows still yields one (NULL-heavy) row.
+    if key_cols.is_empty() && group_rows.is_empty() {
+        group_rows.push(Vec::new());
+        states.push(aggs.iter().map(|&(f, _)| AggState::new(f)).collect());
+    }
+    let out_rows: Table = group_rows
+        .into_iter()
+        .zip(states)
+        .map(|(mut key, st)| {
+            key.extend(st.into_iter().map(AggState::finish));
+            key
+        })
+        .collect();
+    let out = rows_to_batches(&out_rows, width, ctx.cfg.batch_rows);
+    timing(
+        stats,
+        "HashAggregate",
+        rows_in,
+        out_rows.len(),
+        bytes_in,
+        t0,
+    );
+    Ok(out)
+}
+
+/// Fold one aggregate over a whole batch, vectorized per column type. The
+/// per-state fold order is the input row order, identical to the row
+/// executor's per-row fold.
+fn fold_agg_column(
+    b: &ColBatch,
+    gids: &[u32],
+    func: AggFunc,
+    arg: Option<usize>,
+    j: usize,
+    states: &mut [Vec<AggState>],
+) -> Result<(), ExecError> {
+    match (func, arg.map(|a| &b.cols[a])) {
+        (AggFunc::Count, _) => {
+            for &g in gids {
+                if let AggState::Count(n) = &mut states[g as usize][j] {
+                    *n += 1;
+                }
+            }
+        }
+        (
+            AggFunc::Sum,
+            Some(Column::Int {
+                vals,
+                validity: None,
+            }),
+        ) => {
+            for (&g, &v) in gids.iter().zip(vals) {
+                if let AggState::Sum(acc) = &mut states[g as usize][j] {
+                    acc.add_int(v);
+                }
+            }
+        }
+        (
+            AggFunc::Sum,
+            Some(Column::Float {
+                vals,
+                validity: None,
+            }),
+        ) => {
+            for (&g, &v) in gids.iter().zip(vals) {
+                if let AggState::Sum(acc) = &mut states[g as usize][j] {
+                    acc.add_float(v);
+                }
+            }
+        }
+        _ => {
+            for (i, &g) in gids.iter().enumerate() {
+                let v = arg.map(|a| b.value_at(a, i));
+                states[g as usize][j].fold(v.as_ref())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Grace-hash aggregation: partition input rows to disk by group-key hash,
+/// fold one partition's groups at a time, then emit groups in global
+/// first-seen order via carried sequence numbers.
+fn spill_aggregate(
+    in_batches: &[ColBatch],
+    width: usize,
+    key_cols: &[usize],
+    aggs: &[(AggFunc, Option<usize>)],
+    ctx: &Ctx<'_>,
+    stats: &mut ColExecStats,
+) -> Result<Vec<ColBatch>, ExecError> {
+    let rows_in = batches_rows(in_batches);
+    let bytes_in = batches_bytes(in_batches);
+    let parts = ctx.cfg.spill_partitions.max(1);
+    let t0 = Instant::now();
+    let mut writers: Vec<SpillWriter> = (0..parts)
+        .map(|_| SpillWriter::create())
+        .collect::<Result<_, _>>()?;
+    let mut seq = 0u64;
+    for b in in_batches {
+        for i in 0..b.len {
+            let key: Vec<Value> = key_cols.iter().map(|&k| b.value_at(k, i)).collect();
+            writers[partition_of(&key, parts)].push(seq, &b.row(i))?;
+            seq += 1;
+        }
+    }
+    let files: Vec<SpillFile> = writers
+        .into_iter()
+        .map(SpillWriter::finish)
+        .collect::<Result<_, _>>()?;
+    for f in &files {
+        stats.spill_files += 1;
+        stats.spill_rows += f.rows;
+        stats.spill_bytes += f.bytes;
+    }
+    // (first-seen seq, key row, states)
+    let mut finished: Vec<(u64, Vec<Value>, Vec<AggState>)> = Vec::new();
+    for f in &files {
+        let mut map: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut local: Vec<(u64, Vec<Value>, Vec<AggState>)> = Vec::new();
+        for (seq, row) in f.read_all()? {
+            let key: Vec<Value> = key_cols.iter().map(|&k| row[k].clone()).collect();
+            let slot = *map.entry(key.clone()).or_insert_with(|| {
+                local.push((
+                    seq,
+                    key,
+                    aggs.iter().map(|&(f, _)| AggState::new(f)).collect(),
+                ));
+                local.len() - 1
+            });
+            for (j, &(_, arg)) in aggs.iter().enumerate() {
+                let v = arg.map(|a| row[a].clone());
+                local[slot].2[j].fold(v.as_ref())?;
+            }
+        }
+        finished.extend(local);
+    }
+    finished.sort_unstable_by_key(|(s, _, _)| *s);
+    let mut out_rows: Table = finished
+        .into_iter()
+        .map(|(_, mut key, st)| {
+            key.extend(st.into_iter().map(AggState::finish));
+            key
+        })
+        .collect();
+    if key_cols.is_empty() && out_rows.is_empty() {
+        out_rows.push(
+            aggs.iter()
+                .map(|&(f, _)| AggState::new(f).finish())
+                .collect(),
+        );
+    }
+    let out = rows_to_batches(&out_rows, width, ctx.cfg.batch_rows);
+    timing(
+        stats,
+        "HashAggregate",
+        rows_in,
+        out_rows.len(),
+        bytes_in,
+        t0,
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use qt_catalog::RelId;
+    use std::collections::BTreeMap;
+
+    struct Mem(BTreeMap<PartId, Table>);
+
+    impl RowSource for Mem {
+        fn rows_of(&self, part: PartId) -> Option<&[Row]> {
+            self.0.get(&part).map(|t| t.as_slice())
+        }
+    }
+
+    fn store(n: i64) -> Mem {
+        let r: Table = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 17),
+                    Value::Int(i),
+                    Value::Float(i as f64 * 0.5),
+                ]
+            })
+            .collect();
+        let s: Table = (0..n / 2)
+            .map(|i| vec![Value::Int(i % 23), Value::str(format!("s{}", i % 5))])
+            .collect();
+        Mem(
+            [(PartId::new(RelId(0), 0), r), (PartId::new(RelId(1), 0), s)]
+                .into_iter()
+                .collect(),
+        )
+    }
+
+    fn scan(rel: u32, arity: usize) -> PhysPlan {
+        PhysPlan::Scan {
+            part: PartId::new(RelId(rel), 0),
+            arity,
+        }
+    }
+
+    fn demo_plan() -> PhysPlan {
+        PhysPlan::HashAggregate {
+            input: Box::new(PhysPlan::HashJoin {
+                left: Box::new(PhysPlan::Filter {
+                    input: Box::new(scan(0, 3)),
+                    predicates: vec![Predicate::with_const(
+                        Col::new(RelId(0), 1),
+                        CompOp::Ge,
+                        10i64,
+                    )],
+                }),
+                right: Box::new(scan(1, 2)),
+                left_keys: vec![Col::new(RelId(0), 0)],
+                right_keys: vec![Col::new(RelId(1), 0)],
+            }),
+            group_by: vec![Col::new(RelId(1), 1)],
+            aggs: vec![
+                AggSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(Col::new(RelId(0), 1)),
+                },
+                AggSpec {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+                AggSpec {
+                    func: AggFunc::Min,
+                    arg: Some(Col::new(RelId(0), 2)),
+                },
+            ],
+        }
+    }
+
+    fn assert_oracle_match(plan: &PhysPlan, src: &Mem, cfg: &ColumnarConfig) -> ColExecStats {
+        let oracle = execute(plan, src, &[]).unwrap();
+        let (got, stats) = execute_columnar_with_stats(plan, src, &[], cfg).unwrap();
+        assert_eq!(got, oracle);
+        stats
+    }
+
+    #[test]
+    fn matches_row_executor_across_batch_sizes() {
+        let src = store(500);
+        let plan = demo_plan();
+        for batch_rows in [1, 7, 1024] {
+            let cfg = ColumnarConfig {
+                batch_rows,
+                ..Default::default()
+            };
+            let stats = assert_oracle_match(&plan, &src, &cfg);
+            assert_eq!(stats.spill_rows, 0);
+            assert!(stats.timings.iter().any(|t| t.op == "HashAggregate"));
+        }
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_stays_bit_identical() {
+        let src = store(400);
+        let plan = demo_plan();
+        let cfg = ColumnarConfig {
+            batch_rows: 64,
+            mem_budget_bytes: 256,
+            spill_partitions: 4,
+        };
+        let stats = assert_oracle_match(&plan, &src, &cfg);
+        assert!(stats.spill_files > 0);
+        assert!(stats.spill_rows > 0);
+        assert!(stats.spill_bytes > 0);
+    }
+
+    #[test]
+    fn nl_join_equi_lowering_matches_pair_loop_order() {
+        let src = store(120);
+        let plan = PhysPlan::NlJoin {
+            left: Box::new(scan(0, 3)),
+            right: Box::new(scan(1, 2)),
+            predicates: vec![
+                Predicate::eq_cols(Col::new(RelId(0), 0), Col::new(RelId(1), 0)),
+                Predicate::with_const(Col::new(RelId(0), 1), CompOp::Lt, 100i64),
+            ],
+        };
+        assert_oracle_match(&plan, &src, &ColumnarConfig::default());
+        // And with a budget that forces the equi-lowered join to spill.
+        assert_oracle_match(
+            &plan,
+            &src,
+            &ColumnarConfig {
+                mem_budget_bytes: 128,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn non_equi_nl_union_sort_project_match() {
+        let src = store(60);
+        let plan = PhysPlan::Sort {
+            input: Box::new(PhysPlan::Project {
+                input: Box::new(PhysPlan::NlJoin {
+                    left: Box::new(PhysPlan::Union {
+                        inputs: vec![scan(0, 3), scan(0, 3)],
+                    }),
+                    right: Box::new(scan(1, 2)),
+                    predicates: vec![Predicate {
+                        left: Col::new(RelId(0), 0),
+                        op: CompOp::Lt,
+                        right: Operand::Col(Col::new(RelId(1), 0)),
+                    }],
+                }),
+                cols: vec![Col::new(RelId(1), 1), Col::new(RelId(0), 1)],
+            }),
+            keys: vec![Col::new(RelId(0), 1)],
+        };
+        assert_oracle_match(&plan, &src, &ColumnarConfig::default());
+    }
+
+    #[test]
+    fn merge_join_and_input_slots_match() {
+        let src = store(80);
+        let sorted = |rel: u32, arity: usize, key: Col| PhysPlan::Sort {
+            input: Box::new(scan(rel, arity)),
+            keys: vec![key],
+        };
+        let plan = PhysPlan::MergeJoin {
+            left: Box::new(sorted(0, 3, Col::new(RelId(0), 0))),
+            right: Box::new(sorted(1, 2, Col::new(RelId(1), 0))),
+            left_keys: vec![Col::new(RelId(0), 0)],
+            right_keys: vec![Col::new(RelId(1), 0)],
+        };
+        assert_oracle_match(&plan, &src, &ColumnarConfig::default());
+
+        let table = vec![
+            vec![Value::Int(3), Value::Null],
+            vec![Value::str("x"), Value::Float(1.5)],
+        ];
+        let p = PhysPlan::Input {
+            slot: 0,
+            schema: vec![Col::new(RelId(5), 0), Col::new(RelId(5), 1)],
+        };
+        let oracle = execute(&p, &src, std::slice::from_ref(&table)).unwrap();
+        let got = execute_columnar(
+            &p,
+            &src,
+            std::slice::from_ref(&table),
+            &ColumnarConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn errors_match_row_executor() {
+        let src = store(10);
+        let missing = PhysPlan::Scan {
+            part: PartId::new(RelId(9), 0),
+            arity: 1,
+        };
+        assert_eq!(
+            execute_columnar(&missing, &src, &[], &ColumnarConfig::default()),
+            Err(ExecError::MissingPartition(PartId::new(RelId(9), 0)))
+        );
+        let bad_col = PhysPlan::Project {
+            input: Box::new(scan(0, 3)),
+            cols: vec![Col::new(RelId(7), 0)],
+        };
+        assert!(matches!(
+            execute_columnar(&bad_col, &src, &[], &ColumnarConfig::default()),
+            Err(ExecError::UnresolvedColumn(_))
+        ));
+    }
+
+    #[test]
+    fn null_and_mixed_columns_roundtrip() {
+        let rows: Table = vec![
+            vec![Value::Int(1), Value::Null, Value::str("a")],
+            vec![Value::Null, Value::Float(2.5), Value::str("b")],
+            vec![Value::Int(3), Value::Int(7), Value::str("a")],
+        ];
+        let b = ColBatch::from_rows(&rows, 3);
+        assert!(matches!(b.cols[1], Column::Mixed(_)));
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(&b.row(i), r);
+        }
+        let taken = b.gather(&[2, 0]);
+        assert_eq!(taken.row(0), rows[2]);
+        assert_eq!(taken.row(1), rows[0]);
+    }
+
+    #[test]
+    fn str_columns_are_dictionary_coded() {
+        let rows: Table = (0..100)
+            .map(|i| vec![Value::str(format!("tag{}", i % 3))])
+            .collect();
+        let b = ColBatch::from_rows(&rows, 1);
+        match &b.cols[0] {
+            Column::Str { dict, codes, .. } => {
+                assert_eq!(dict.len(), 3);
+                assert_eq!(codes.len(), 100);
+            }
+            other => panic!("expected dict-coded strings, got {other:?}"),
+        }
+    }
+}

@@ -45,6 +45,33 @@ impl DataStore {
         dropped
     }
 
+    /// Like [`DataStore::load_relation`], but consumes rows from an iterator
+    /// so large generated relations stream straight into their partitions
+    /// without ever being materialized as one contiguous table.
+    pub fn load_relation_iter(
+        &mut self,
+        dict: &SchemaDict,
+        rel: RelId,
+        rows: impl Iterator<Item = Row>,
+    ) -> usize {
+        let scheme = &dict.rel(rel).partitioning;
+        let mut dropped = 0;
+        for row in rows {
+            match scheme.partition_of(&row) {
+                Some(idx) => self
+                    .partitions
+                    .entry(PartId::new(rel, idx))
+                    .or_default()
+                    .push(row),
+                None => dropped += 1,
+            }
+        }
+        for part in dict.parts_of(rel) {
+            self.partitions.entry(part).or_default();
+        }
+        dropped
+    }
+
     /// All stored partitions.
     pub fn parts(&self) -> impl Iterator<Item = PartId> + '_ {
         self.partitions.keys().copied()

@@ -15,6 +15,8 @@ pub enum ExecError {
     UnresolvedColumn(Col),
     /// An aggregate was applied to a non-numeric column.
     TypeError(String),
+    /// A spill file could not be written, read, or decoded.
+    Spill(String),
 }
 
 impl fmt::Display for ExecError {
@@ -26,6 +28,7 @@ impl fmt::Display for ExecError {
                 write!(f, "column {:?} not produced by child plan", c)
             }
             ExecError::TypeError(m) => write!(f, "type error: {m}"),
+            ExecError::Spill(m) => write!(f, "spill error: {m}"),
         }
     }
 }

@@ -37,37 +37,100 @@ fn eval_predicates(preds: &[Predicate], schema: &[Col], row: &Row) -> Result<boo
     Ok(true)
 }
 
-enum AggState {
+/// SUM accumulator that keeps integer sums integral: it folds into an `i64`
+/// (wrapping) until the first float input, at which point it switches to an
+/// `f64` accumulator seeded from the integer partial sum. Fold order is the
+/// input order, so results are bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SumAcc {
+    int_acc: i64,
+    float_acc: f64,
+    is_float: bool,
+    seen: bool,
+}
+
+impl SumAcc {
+    pub(crate) fn new() -> SumAcc {
+        SumAcc {
+            int_acc: 0,
+            float_acc: 0.0,
+            is_float: false,
+            seen: false,
+        }
+    }
+
+    pub(crate) fn add_int(&mut self, i: i64) {
+        self.seen = true;
+        if self.is_float {
+            self.float_acc += i as f64;
+        } else {
+            self.int_acc = self.int_acc.wrapping_add(i);
+        }
+    }
+
+    pub(crate) fn add_float(&mut self, x: f64) {
+        self.seen = true;
+        if !self.is_float {
+            self.is_float = true;
+            self.float_acc = self.int_acc as f64;
+        }
+        self.float_acc += x;
+    }
+
+    pub(crate) fn add(&mut self, v: &Value) -> Result<(), ExecError> {
+        match v {
+            Value::Int(i) => self.add_int(*i),
+            Value::Float(x) => self.add_float(*x),
+            other => {
+                return Err(ExecError::TypeError(format!(
+                    "non-numeric aggregate input {other}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(self) -> Value {
+        if !self.seen {
+            // SQL: SUM over zero rows is NULL.
+            Value::Null
+        } else if self.is_float {
+            // `+ 0.0` maps a possible `-0.0` accumulator to `+0.0` so the
+            // result is canonical under the total value order.
+            Value::Float(self.float_acc + 0.0)
+        } else {
+            Value::Int(self.int_acc)
+        }
+    }
+}
+
+pub(crate) enum AggState {
     Count(i64),
-    Sum(f64, bool),
+    Sum(SumAcc),
     Avg(f64, i64),
     Min(Option<Value>),
     Max(Option<Value>),
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum(0.0, false),
+            AggFunc::Sum => AggState::Sum(SumAcc::new()),
             AggFunc::Avg => AggState::Avg(0.0, 0),
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
         }
     }
 
-    fn fold(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
+    pub(crate) fn fold(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
         let num = |v: &Value| {
             v.as_f64()
                 .ok_or_else(|| ExecError::TypeError(format!("non-numeric aggregate input {v}")))
         };
         match self {
             AggState::Count(n) => *n += 1,
-            AggState::Sum(acc, seen) => {
-                let v = v.expect("SUM needs an argument");
-                *acc += num(v)?;
-                *seen = true;
-            }
+            AggState::Sum(acc) => acc.add(v.expect("SUM needs an argument"))?,
             AggState::Avg(acc, n) => {
                 let v = v.expect("AVG needs an argument");
                 *acc += num(v)?;
@@ -89,14 +152,13 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
-            // `+ 0.0` maps a possible `-0.0` accumulator to `+0.0`, matching
-            // the reference evaluator under the total value order.
-            AggState::Sum(acc, _) => Value::Float(acc + 0.0),
+            AggState::Sum(acc) => acc.finish(),
             AggState::Avg(acc, n) => Value::Float(if n == 0 { 0.0 } else { acc / n as f64 }),
-            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Int(0)),
+            // SQL: MIN/MAX over zero rows is NULL, not 0.
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
         }
     }
 }
@@ -528,10 +590,62 @@ mod tests {
         let mut t = execute(&p, &store(), &[]).unwrap();
         t.sort();
         assert_eq!(t.len(), 3);
-        // Group a=2: sum 45, count 2.
+        // Group a=2: sum 45 (stays Int over int inputs), count 2.
         let g2 = t.iter().find(|row| row[0] == Value::Int(2)).unwrap();
-        assert_eq!(g2[1], Value::Float(45.0));
+        assert_eq!(g2[1], Value::Int(45));
         assert_eq!(g2[2], Value::Int(2));
+    }
+
+    #[test]
+    fn empty_scalar_sum_min_max_are_null() {
+        let p = PhysPlan::HashAggregate {
+            input: Box::new(PhysPlan::Filter {
+                input: Box::new(scan_r()),
+                predicates: vec![Predicate::with_const(Col::new(r(), 0), CompOp::Gt, 100i64)],
+            }),
+            group_by: vec![],
+            aggs: vec![
+                AggSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(Col::new(r(), 1)),
+                },
+                AggSpec {
+                    func: AggFunc::Min,
+                    arg: Some(Col::new(r(), 1)),
+                },
+                AggSpec {
+                    func: AggFunc::Max,
+                    arg: Some(Col::new(r(), 1)),
+                },
+                AggSpec {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+            ],
+        };
+        let t = execute(&p, &store(), &[]).unwrap();
+        assert_eq!(
+            t,
+            vec![vec![Value::Null, Value::Null, Value::Null, Value::Int(0)]]
+        );
+    }
+
+    #[test]
+    fn sum_switches_to_float_on_first_float_input() {
+        let mut acc = SumAcc::new();
+        acc.add_int(3);
+        acc.add_int(4);
+        assert_eq!(acc.finish(), Value::Int(7));
+        let mut acc = SumAcc::new();
+        acc.add_int(3);
+        acc.add_float(0.5);
+        acc.add_int(1);
+        assert_eq!(acc.finish(), Value::Float(4.5));
+        // -0.0 canonicalizes to +0.0.
+        let mut acc = SumAcc::new();
+        acc.add_float(-0.0);
+        assert_eq!(acc.finish(), Value::Float(0.0));
+        assert_eq!(SumAcc::new().finish(), Value::Null);
     }
 
     #[test]

@@ -14,20 +14,26 @@
 //!   used to cross-check every plan the optimizers emit.
 
 pub mod arena;
+pub mod columnar;
 pub mod datastore;
 pub mod error;
 pub mod exec;
 pub mod plan;
 pub mod reference;
+mod spill;
 pub mod trace;
 
 pub use arena::{ArenaPlan, PlanArena, PlanId};
+pub use columnar::{
+    execute_columnar, execute_columnar_with_stats, lower, ColBatch, ColExecStats, ColOp, Column,
+    ColumnarConfig, DEFAULT_BATCH_ROWS,
+};
 pub use datastore::DataStore;
 pub use error::ExecError;
 pub use exec::{execute, RowSource};
 pub use plan::{AggSpec, PhysPlan};
 pub use reference::evaluate_query;
-pub use trace::{execute_traced, OpTrace};
+pub use trace::{execute_traced, OpTiming, OpTrace};
 
 /// A row of values.
 pub type Row = Vec<qt_catalog::Value>;

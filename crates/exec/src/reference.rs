@@ -179,9 +179,46 @@ fn eval_agg(
     };
     Ok(match func {
         AggFunc::Count => Value::Int(rows.len() as i64),
-        // `+ 0.0` normalizes the empty-sum identity `-0.0` to `+0.0`, which
-        // our total order distinguishes.
-        AggFunc::Sum => Value::Float(nums(arg.expect("SUM arg"))?.iter().sum::<f64>() + 0.0),
+        // SUM stays Int over all-int inputs (wrapping), switches to a float
+        // accumulator seeded from the integer partial sum on the first float
+        // input, and is NULL over zero rows. `+ 0.0` normalizes a possible
+        // `-0.0` accumulator, which our total order distinguishes.
+        AggFunc::Sum => {
+            let i = pos(arg.expect("SUM arg"))?;
+            let (mut int_acc, mut float_acc, mut is_float, mut seen) = (0i64, 0.0f64, false, false);
+            for r in rows {
+                match &r[i] {
+                    Value::Int(v) => {
+                        seen = true;
+                        if is_float {
+                            float_acc += *v as f64;
+                        } else {
+                            int_acc = int_acc.wrapping_add(*v);
+                        }
+                    }
+                    Value::Float(x) => {
+                        seen = true;
+                        if !is_float {
+                            is_float = true;
+                            float_acc = int_acc as f64;
+                        }
+                        float_acc += *x;
+                    }
+                    other => {
+                        return Err(ExecError::TypeError(format!(
+                            "non-numeric aggregate input {other}"
+                        )))
+                    }
+                }
+            }
+            if !seen {
+                Value::Null
+            } else if is_float {
+                Value::Float(float_acc + 0.0)
+            } else {
+                Value::Int(int_acc)
+            }
+        }
         AggFunc::Avg => {
             let v = nums(arg.expect("AVG arg"))?;
             Value::Float(if v.is_empty() {
@@ -190,19 +227,20 @@ fn eval_agg(
                 v.iter().sum::<f64>() / v.len() as f64
             })
         }
+        // SQL: MIN/MAX over zero rows is NULL.
         AggFunc::Min => {
             let i = pos(arg.expect("MIN arg"))?;
             rows.iter()
                 .map(|r| r[i].clone())
                 .min()
-                .unwrap_or(Value::Int(0))
+                .unwrap_or(Value::Null)
         }
         AggFunc::Max => {
             let i = pos(arg.expect("MAX arg"))?;
             rows.iter()
                 .map(|r| r[i].clone())
                 .max()
-                .unwrap_or(Value::Int(0))
+                .unwrap_or(Value::Null)
         }
     })
 }
@@ -371,9 +409,25 @@ mod tests {
             "SELECT SUM(charge) FROM invoiceline WHERE charge > 1000.0",
         )
         .unwrap();
+        assert_eq!(evaluate_query(&q, &store).unwrap(), vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn empty_min_max_are_null_and_int_sums_stay_int() {
+        let (cat, store) = setup();
+        let q = parse_query(
+            &cat.dict,
+            "SELECT MIN(charge), MAX(charge) FROM invoiceline WHERE charge > 1000.0",
+        )
+        .unwrap();
         assert_eq!(
             evaluate_query(&q, &store).unwrap(),
-            vec![vec![Value::Float(0.0)]]
+            vec![vec![Value::Null, Value::Null]]
+        );
+        let q = parse_query(&cat.dict, "SELECT SUM(custid) FROM customer").unwrap();
+        assert_eq!(
+            evaluate_query(&q, &store).unwrap(),
+            vec![vec![Value::Int(6)]]
         );
     }
 

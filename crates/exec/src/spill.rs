@@ -1,0 +1,264 @@
+//! Spill files for larger-than-memory operators.
+//!
+//! Hash joins and hash aggregates whose state exceeds the configured memory
+//! budget partition their inputs to disk and process one partition at a
+//! time (grace hashing). Records are framed with the same hand-rolled
+//! little-endian codec idiom as `qt_trade::wire` — `qt-exec` sits *below*
+//! `qt-trade` in the crate graph, so the few put/get helpers are local
+//! rather than imported. No serde anywhere.
+//!
+//! Every spilled row carries a `u64` sequence number so operators can
+//! restore the exact row order the row executor would have produced, keeping
+//! spilled and in-memory executions bit-identical.
+
+use crate::error::ExecError;
+use crate::Row;
+use qt_catalog::Value;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes temp files across concurrent executors in one process.
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode one row: `[seq u64][n u32][value]*` where a value is a tag byte
+/// (0=Int, 1=Float, 2=Str, 3=Null) followed by its payload. Floats go
+/// through `to_bits` so the round trip is bit-exact.
+pub(crate) fn encode_record(out: &mut Vec<u8>, seq: u64, row: &Row) {
+    put_u64(out, seq);
+    put_u32(out, row.len() as u32);
+    for v in row {
+        match v {
+            Value::Int(i) => {
+                out.push(0);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(x) => {
+                out.push(1);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(2);
+                put_u32(out, s.len() as u32);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Null => out.push(3),
+        }
+    }
+}
+
+/// Bounds-checked cursor over a spill file's bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ExecError> {
+        if self.at + n > self.buf.len() {
+            return Err(ExecError::Spill("truncated spill record".into()));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ExecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ExecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ExecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn value(&mut self) -> Result<Value, ExecError> {
+        match self.u8()? {
+            0 => Ok(Value::Int(i64::from_le_bytes(
+                self.take(8)?.try_into().unwrap(),
+            ))),
+            1 => Ok(Value::Float(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().unwrap(),
+            )))),
+            2 => {
+                let n = self.u32()? as usize;
+                let bytes = self.take(n)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| ExecError::Spill("non-utf8 spill string".into()))?;
+                Ok(Value::str(s))
+            }
+            3 => Ok(Value::Null),
+            t => Err(ExecError::Spill(format!("bad spill value tag {t}"))),
+        }
+    }
+}
+
+/// Decode a whole spill file back into `(seq, row)` records, in file order.
+pub(crate) fn decode_records(buf: &[u8]) -> Result<Vec<(u64, Row)>, ExecError> {
+    let mut c = Cursor { buf, at: 0 };
+    let mut out = Vec::new();
+    while c.at < buf.len() {
+        let seq = c.u64()?;
+        let n = c.u32()? as usize;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(c.value()?);
+        }
+        out.push((seq, row));
+    }
+    Ok(out)
+}
+
+fn io_err(e: std::io::Error) -> ExecError {
+    ExecError::Spill(e.to_string())
+}
+
+/// One spill partition being written. Buffers a chunk of encoded records in
+/// memory and flushes to a temp file; `finish` seals it into a readable
+/// [`SpillFile`]. The temp file is deleted when the `SpillFile` drops.
+pub(crate) struct SpillWriter {
+    path: PathBuf,
+    file: File,
+    buf: Vec<u8>,
+    rows: u64,
+    bytes: u64,
+}
+
+const FLUSH_BYTES: usize = 1 << 16;
+
+impl SpillWriter {
+    pub(crate) fn create() -> Result<SpillWriter, ExecError> {
+        let id = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("qt-spill-{}-{id}.bin", std::process::id()));
+        let file = File::create(&path).map_err(io_err)?;
+        Ok(SpillWriter {
+            path,
+            file,
+            buf: Vec::with_capacity(FLUSH_BYTES),
+            rows: 0,
+            bytes: 0,
+        })
+    }
+
+    pub(crate) fn push(&mut self, seq: u64, row: &Row) -> Result<(), ExecError> {
+        let before = self.buf.len();
+        encode_record(&mut self.buf, seq, row);
+        self.rows += 1;
+        self.bytes += (self.buf.len() - before) as u64;
+        if self.buf.len() >= FLUSH_BYTES {
+            self.file.write_all(&self.buf).map_err(io_err)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(mut self) -> Result<SpillFile, ExecError> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf).map_err(io_err)?;
+        }
+        self.file.flush().map_err(io_err)?;
+        Ok(SpillFile {
+            path: self.path,
+            rows: self.rows,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// A sealed spill partition on disk. Deleted on drop.
+pub(crate) struct SpillFile {
+    path: PathBuf,
+    pub(crate) rows: u64,
+    pub(crate) bytes: u64,
+}
+
+impl SpillFile {
+    /// Read the whole partition back, in write order.
+    pub(crate) fn read_all(&self) -> Result<Vec<(u64, Row)>, ExecError> {
+        let mut buf = Vec::with_capacity(self.bytes as usize);
+        File::open(&self.path)
+            .map_err(io_err)?
+            .read_to_end(&mut buf)
+            .map_err(io_err)?;
+        decode_records(&buf)
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_rows_and_seqs() {
+        let rows: Vec<(u64, Row)> = vec![
+            (7, vec![Value::Int(-3), Value::Float(-0.0), Value::Null]),
+            (1, vec![Value::str("spill me"), Value::Int(i64::MIN)]),
+            (2, vec![]),
+        ];
+        let mut w = SpillWriter::create().unwrap();
+        for (seq, row) in &rows {
+            w.push(*seq, row).unwrap();
+        }
+        let f = w.finish().unwrap();
+        assert_eq!(f.rows, 3);
+        let back = f.read_all().unwrap();
+        assert_eq!(back.len(), 3);
+        for ((s0, r0), (s1, r1)) in rows.iter().zip(&back) {
+            assert_eq!(s0, s1);
+            assert_eq!(r0.len(), r1.len());
+            // Bit-exact float round trip, not just Eq under total order.
+            for (a, b) in r0.iter().zip(r1) {
+                match (a, b) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits())
+                    }
+                    _ => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn file_removed_on_drop() {
+        let mut w = SpillWriter::create().unwrap();
+        w.push(0, &vec![Value::Int(1)]).unwrap();
+        let f = w.finish().unwrap();
+        let path = f.path.clone();
+        assert!(path.exists());
+        drop(f);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn truncated_file_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, 5, &vec![Value::str("abc"), Value::Int(1)]);
+        for cut in 0..buf.len() {
+            // Every prefix either decodes cleanly (empty) or errors.
+            if cut == 0 {
+                assert!(decode_records(&buf[..cut]).unwrap().is_empty());
+            } else {
+                assert!(decode_records(&buf[..cut]).is_err());
+            }
+        }
+        assert_eq!(decode_records(&buf).unwrap().len(), 1);
+    }
+}

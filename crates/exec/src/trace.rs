@@ -6,6 +6,25 @@ use crate::exec::{execute, RowSource};
 use crate::plan::PhysPlan;
 use crate::Table;
 
+/// One operator's measured work during a columnar execution: row counts,
+/// input bytes, and wall-clock seconds. These are the observations the
+/// `qt-cost` calibration loop fits its per-tuple/per-byte parameters from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTiming {
+    /// Operator kind (`"Scan"`, `"Filter"`, `"HashJoinBuild"`, …). Joins
+    /// emit separate build and probe records.
+    pub op: &'static str,
+    /// Rows the operator consumed.
+    pub rows_in: u64,
+    /// Rows the operator produced.
+    pub rows_out: u64,
+    /// Approximate bytes of columnar input.
+    pub bytes_in: u64,
+    /// Measured wall-clock seconds for the operator's own work (children
+    /// excluded).
+    pub secs: f64,
+}
+
 /// Row counts observed at one operator during a traced execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpTrace {

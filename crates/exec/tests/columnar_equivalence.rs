@@ -1,0 +1,190 @@
+//! Property-based equivalence: the columnar executor is bit-identical to the
+//! row executor (the correctness oracle) on random plans over random data —
+//! same rows, same order — across batch sizes {1, 7, 1024}, spill budgets
+//! {tiny (everything spills), unlimited}, and `QT_THREADS` ∈ {1, 4}.
+//!
+//! CI additionally runs this whole binary under `QT_THREADS=1` and
+//! `QT_THREADS=4`; the env-sweeping test below rotates the variable itself
+//! (under a lock, since `qt_par::max_threads` re-reads it per call).
+
+use proptest::prelude::*;
+use qt_catalog::{PartId, RelId, Value};
+use qt_exec::{
+    execute, execute_columnar_with_stats, AggSpec, ColumnarConfig, PhysPlan, Row, RowSource, Table,
+};
+use qt_query::{AggFunc, Col, CompOp, Operand, Predicate};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Guards `QT_THREADS` mutation: tests in this binary run on parallel
+/// threads and `qt_par` reads the variable on every call.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+struct Mem(BTreeMap<PartId, Table>);
+
+impl RowSource for Mem {
+    fn rows_of(&self, part: PartId) -> Option<&[Row]> {
+        self.0.get(&part).map(|t| t.as_slice())
+    }
+}
+
+/// A cell value drawn from all four `Value` variants, with narrow domains so
+/// joins and group-bys collide often.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..6).prop_map(Value::Int),
+        (-4i64..4).prop_map(|i| Value::Float(i as f64 * 0.5)),
+        (0usize..3).prop_map(|i| Value::str(["a", "b", "ab"][i])),
+        Just(Value::Null),
+    ]
+}
+
+/// Rows of (int key, any value, int payload) — col 0 stays Int so hash joins
+/// exercise the specialized Int kernel, col 1 exercises Mixed/Null paths.
+fn rows_strategy() -> impl Strategy<Value = Table> {
+    prop::collection::vec(
+        (
+            (0i64..5).prop_map(Value::Int),
+            value_strategy(),
+            (-9i64..9).prop_map(Value::Int),
+        ),
+        0..24,
+    )
+    .prop_map(|rows| rows.into_iter().map(|(a, b, c)| vec![a, b, c]).collect())
+}
+
+fn scan(rel: u32) -> PhysPlan {
+    PhysPlan::Scan {
+        part: PartId::new(RelId(rel), 0),
+        arity: 3,
+    }
+}
+
+fn store(l: Table, r: Table) -> Mem {
+    Mem(
+        [(PartId::new(RelId(0), 0), l), (PartId::new(RelId(1), 0), r)]
+            .into_iter()
+            .collect(),
+    )
+}
+
+/// A small random plan: filter → join → optional aggregate / sort.
+fn plan_strategy() -> impl Strategy<Value = PhysPlan> {
+    let filtered = (any::<bool>(), -3i64..3).prop_map(|(keep, c)| {
+        if keep {
+            PhysPlan::Filter {
+                input: Box::new(scan(0)),
+                predicates: vec![Predicate::with_const(Col::new(RelId(0), 2), CompOp::Ge, c)],
+            }
+        } else {
+            scan(0)
+        }
+    });
+    let joined = (filtered, any::<bool>()).prop_map(|(left, hash)| {
+        if hash {
+            PhysPlan::HashJoin {
+                left: Box::new(left),
+                right: Box::new(scan(1)),
+                left_keys: vec![Col::new(RelId(0), 0)],
+                right_keys: vec![Col::new(RelId(1), 0)],
+            }
+        } else {
+            PhysPlan::NlJoin {
+                left: Box::new(left),
+                right: Box::new(scan(1)),
+                predicates: vec![
+                    Predicate::eq_cols(Col::new(RelId(0), 0), Col::new(RelId(1), 0)),
+                    Predicate {
+                        left: Col::new(RelId(0), 2),
+                        op: CompOp::Le,
+                        right: Operand::Col(Col::new(RelId(1), 2)),
+                    },
+                ],
+            }
+        }
+    });
+    (joined, 0u8..3).prop_map(|(j, top)| match top {
+        0 => j,
+        1 => PhysPlan::Sort {
+            input: Box::new(j),
+            keys: vec![Col::new(RelId(1), 2), Col::new(RelId(0), 1)],
+        },
+        _ => PhysPlan::HashAggregate {
+            input: Box::new(j),
+            group_by: vec![Col::new(RelId(1), 0)],
+            aggs: vec![
+                AggSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(Col::new(RelId(0), 2)),
+                },
+                AggSpec {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+                AggSpec {
+                    func: AggFunc::Min,
+                    arg: Some(Col::new(RelId(0), 0)),
+                },
+            ],
+        },
+    })
+}
+
+fn configs() -> Vec<ColumnarConfig> {
+    let mut out = Vec::new();
+    for batch_rows in [1usize, 7, 1024] {
+        for mem_budget_bytes in [0usize, usize::MAX] {
+            out.push(ColumnarConfig {
+                batch_rows,
+                mem_budget_bytes,
+                spill_partitions: 3,
+            });
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Columnar output is bit-identical (rows and order) to the row executor
+    /// for every batch size × spill budget combination.
+    #[test]
+    fn columnar_matches_row_executor(l in rows_strategy(), r in rows_strategy(), plan in plan_strategy()) {
+        let src = store(l, r);
+        let oracle = execute(&plan, &src, &[]).unwrap();
+        for cfg in configs() {
+            let (got, stats) = execute_columnar_with_stats(&plan, &src, &[], &cfg).unwrap();
+            prop_assert_eq!(&got, &oracle, "batch_rows={} budget={}", cfg.batch_rows, cfg.mem_budget_bytes);
+            // A zero budget forces every join build / aggregate input to
+            // spill. An operator with zero input bytes has nothing to spill,
+            // so only require it when the join produced rows (which implies
+            // a nonempty build side).
+            if cfg.mem_budget_bytes == 0 && !got.is_empty() {
+                prop_assert_eq!(stats.spill_files > 0, true);
+            }
+        }
+    }
+
+    /// Same equivalence while rotating `QT_THREADS` between 1 and 4: the
+    /// parallel probe/filter sections must not perturb row order.
+    #[test]
+    fn columnar_is_thread_count_invariant(l in rows_strategy(), r in rows_strategy(), plan in plan_strategy()) {
+        let src = store(l, r);
+        let oracle = execute(&plan, &src, &[]).unwrap();
+        let _guard = ENV_LOCK.lock().unwrap();
+        let prev = std::env::var("QT_THREADS").ok();
+        for threads in ["1", "4"] {
+            std::env::set_var("QT_THREADS", threads);
+            for cfg in [ColumnarConfig { batch_rows: 7, ..Default::default() },
+                        ColumnarConfig { batch_rows: 7, mem_budget_bytes: 0, spill_partitions: 2 }] {
+                let (got, _) = execute_columnar_with_stats(&plan, &src, &[], &cfg).unwrap();
+                prop_assert_eq!(&got, &oracle, "QT_THREADS={} budget={}", threads, cfg.mem_budget_bytes);
+            }
+        }
+        match prev {
+            Some(v) => std::env::set_var("QT_THREADS", v),
+            None => std::env::remove_var("QT_THREADS"),
+        }
+    }
+}

@@ -123,10 +123,10 @@ proptest! {
             ],
         };
         let out = execute(&agg, &store, &[]).unwrap();
-        let mut expect: BTreeMap<i64, (f64, i64, i64, i64)> = BTreeMap::new();
+        let mut expect: BTreeMap<i64, (i64, i64, i64, i64)> = BTreeMap::new();
         for (a, b) in &rows {
-            let e = expect.entry(*a).or_insert((0.0, 0, i64::MAX, i64::MIN));
-            e.0 += *b as f64;
+            let e = expect.entry(*a).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 = e.0.wrapping_add(*b);
             e.1 += 1;
             e.2 = e.2.min(*b);
             e.3 = e.3.max(*b);
@@ -135,7 +135,8 @@ proptest! {
         for row in &out {
             let key = row[0].as_int().unwrap();
             let (sum, count, min, max) = expect[&key];
-            prop_assert_eq!(row[1].clone(), Value::Float(sum));
+            // SUM over all-int inputs stays Int.
+            prop_assert_eq!(row[1].clone(), Value::Int(sum));
             prop_assert_eq!(row[2].clone(), Value::Int(count));
             prop_assert_eq!(row[3].clone(), Value::Int(min));
             prop_assert_eq!(row[4].clone(), Value::Int(max));

@@ -30,8 +30,10 @@
 
 pub mod dp;
 pub mod local;
+pub mod lowering;
 pub mod reference;
 
 pub use dp::{ColCanon, JoinEnumerator};
 pub use local::{LocalOptimizer, Optimized, PartialResult};
+pub use lowering::sink_predicates;
 pub use reference::ReferenceOptimizer;

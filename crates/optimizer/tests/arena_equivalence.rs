@@ -92,6 +92,7 @@ fn golden_workload_queries_are_bit_identical() {
             partitions_per_relation: 2,
             replication: 1,
             rows_per_partition: 100_000,
+            scale: 1,
             seed,
             with_data: false,
             speed_spread: 1.0,
@@ -125,6 +126,7 @@ fn golden_node_holdings_view_is_bit_identical() {
         partitions_per_relation: 2,
         replication: 1,
         rows_per_partition: 50_000,
+        scale: 1,
         seed: 3,
         with_data: false,
         speed_spread: 1.0,

@@ -371,6 +371,7 @@ impl Wire for Value {
                 put_u8(out, 2);
                 put_str(out, s);
             }
+            Value::Null => put_u8(out, 3),
         }
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -378,6 +379,7 @@ impl Wire for Value {
             0 => Ok(Value::Int(r.i64()?)),
             1 => Ok(Value::Float(r.f64()?)),
             2 => Ok(Value::str(&r.string()?)),
+            3 => Ok(Value::Null),
             t => Err(WireError::BadTag("Value", t)),
         }
     }
@@ -641,6 +643,7 @@ mod tests {
             roundtrip(&Value::Int(i));
             roundtrip(&Value::Float(x));
             roundtrip(&Value::str("corfu"));
+            roundtrip(&Value::Null);
         }
 
         #[test]

@@ -18,7 +18,7 @@ pub mod tpch;
 pub use arrivals::{
     gen_arrivals, gen_arrivals_zipf, synthetic_mix, telecom_mix, tpch_mix, ArrivalSpec,
 };
-pub use federation::{build_federation, Federation, FederationSpec};
+pub use federation::{build_federation, row_stream, Federation, FederationSpec, RowStream};
 pub use queries::{gen_join_query, gen_join_query_with_cut, QueryShape};
 pub use telecom::{telecom_federation, TelecomSpec};
 pub use tpch::{tpch_federation, TpchRels, TpchSpec};

@@ -26,6 +26,7 @@ fn main() {
         partitions_per_relation: 2,
         replication: 3,
         rows_per_partition: 50_000,
+        scale: 1,
         seed: 77,
         with_data: false,
         speed_spread: 1.0,

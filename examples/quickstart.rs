@@ -23,6 +23,7 @@ fn main() {
         partitions_per_relation: 2,
         replication: 1,
         rows_per_partition: 200,
+        scale: 1,
         seed: 42,
         with_data: true,
         speed_spread: 1.0,

@@ -16,6 +16,7 @@ fn data_federation(seed: u64) -> qt_workload::Federation {
         partitions_per_relation: 2,
         replication: 2,
         rows_per_partition: 40,
+        scale: 1,
         seed,
         with_data: true,
         speed_spread: 1.0,

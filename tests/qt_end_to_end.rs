@@ -32,6 +32,7 @@ proptest! {
             partitions_per_relation: parts,
             replication,
             rows_per_partition: 30,
+            scale: 1,
             seed,
             with_data: true,
             speed_spread: 1.0,
@@ -72,6 +73,7 @@ proptest! {
             partitions_per_relation: 2,
             replication: 1,
             rows_per_partition: 1_000,
+            scale: 1,
             seed,
             with_data: false,
             speed_spread: 1.0,
