@@ -355,6 +355,7 @@ fn bench_serve() -> ServeStats {
             &ServeConfig {
                 concurrency: conc,
                 batch_rfbs: batch,
+                result_cache: None,
             },
         )
     };
@@ -488,6 +489,7 @@ fn bench_real_transport() -> RealTransportStats {
     let sc = ServeConfig {
         concurrency: 8,
         batch_rfbs: true,
+        result_cache: None,
     };
     let serve_sim = run_qt_serve(
         NodeId(0),
@@ -767,6 +769,58 @@ fn main() {
         "    \"losses_detected\": {}",
         failover.losses_detected
     );
+    json.push_str("  },\n");
+    let sem = qt_bench::experiments::semantic_cache_snapshot();
+    eprintln!(
+        "{:40} hit {:.3} vs exact {:.3} ({:.2}x), msgs/q {:.1} vs {:.1} vs {:.1} uncached",
+        "semantic_cache/16_sellers/zipf1.1",
+        sem.hit_rate_semantic,
+        sem.hit_rate_exact_baseline,
+        sem.hit_ratio_vs_exact,
+        sem.msgs_per_query_semantic,
+        sem.msgs_per_query_exact,
+        sem.msgs_per_query_nocache
+    );
+    json.push_str("  \"semantic_cache\": {\n");
+    let _ = writeln!(json, "    \"sellers\": {},", sem.sellers);
+    let _ = writeln!(json, "    \"skew\": {:.2},", sem.skew);
+    let _ = writeln!(json, "    \"n_queries\": {},", sem.n_queries);
+    let _ = writeln!(json, "    \"mix_size\": {},", sem.mix_size);
+    let _ = writeln!(
+        json,
+        "    \"hit_rate_semantic\": {:.4},",
+        sem.hit_rate_semantic
+    );
+    let _ = writeln!(
+        json,
+        "    \"hit_rate_exact_baseline\": {:.4},",
+        sem.hit_rate_exact_baseline
+    );
+    let _ = writeln!(
+        json,
+        "    \"hit_ratio_vs_exact\": {:.4},",
+        sem.hit_ratio_vs_exact
+    );
+    let _ = writeln!(
+        json,
+        "    \"msgs_per_query_semantic\": {:.3},",
+        sem.msgs_per_query_semantic
+    );
+    let _ = writeln!(
+        json,
+        "    \"msgs_per_query_exact\": {:.3},",
+        sem.msgs_per_query_exact
+    );
+    let _ = writeln!(
+        json,
+        "    \"msgs_per_query_nocache\": {:.3},",
+        sem.msgs_per_query_nocache
+    );
+    let _ = writeln!(json, "    \"hits_exact\": {},", sem.hits_exact);
+    let _ = writeln!(json, "    \"hits_semantic\": {},", sem.hits_semantic);
+    let _ = writeln!(json, "    \"misses\": {},", sem.misses);
+    let _ = writeln!(json, "    \"insertions\": {},", sem.insertions);
+    let _ = writeln!(json, "    \"invalidated\": {}", sem.invalidated);
     json.push_str("  }\n");
     json.push_str("}\n");
 

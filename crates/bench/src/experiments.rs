@@ -930,6 +930,7 @@ pub fn e19() -> Table {
                 &ServeConfig {
                     concurrency: conc,
                     batch_rfbs: true,
+                    result_cache: None,
                 },
             );
             t.push(vec![
@@ -1100,6 +1101,7 @@ pub fn e21() -> Table {
         let serve_cfg = ServeConfig {
             concurrency: 8,
             batch_rfbs: true,
+            result_cache: None,
         };
         for transport in ["sim", "threads", "tcp"] {
             if which != "all" && which != transport {
@@ -1388,6 +1390,159 @@ pub fn e22() -> Table {
     t
 }
 
+/// One serving run of the Zipf(`skew`) template stream at `offices`
+/// telecom sellers under the given result-cache arm (`"none"`, `"exact"`,
+/// or `"semantic"`); returns the outcome and the cache's counters (zeroed
+/// for the no-cache arm). The stream draws 48 arrivals from a 1024-query
+/// template family — one wide subsumer plus 1023 constant-varying
+/// near-duplicates — so an exact-fingerprint cache only hits on Zipf
+/// repeats while the semantic cache answers every subsumed variant.
+fn semcache_run(
+    offices: u32,
+    skew: f64,
+    arm: &str,
+) -> (qt_core::ServeOutcome, qt_trade::semcache::CacheStats) {
+    use qt_core::{run_qt_serve, SellerEngine, ServeConfig, SharedResultCache};
+    use qt_trade::semcache::SemCache;
+    use qt_workload::{gen_arrivals_zipf, telecom_federation, template_mix, ArrivalSpec};
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+    let (cat, _) = telecom_federation(&qt_workload::TelecomSpec {
+        offices,
+        invoice_replicas: 2,
+        ..qt_workload::TelecomSpec::default()
+    });
+    let mix = template_mix(&cat.dict, 1023, 23);
+    let arrivals = gen_arrivals_zipf(
+        &mix,
+        &ArrivalSpec {
+            n_queries: 48,
+            mean_interarrival: 0.5,
+            seed: 23,
+        },
+        skew,
+    );
+    let cfg = QtConfig {
+        enable_semantic_cache: true,
+        // Admission-queued sessions must not trip retransmission deadlines.
+        seller_timeout: 300.0,
+        ..QtConfig::default()
+    };
+    let sellers: BTreeMap<_, _> = cat
+        .nodes
+        .iter()
+        .map(|&n| (n, SellerEngine::new(cat.holdings_of(n), cfg.clone())))
+        .collect();
+    let cache: Option<SharedResultCache> = match arm {
+        "none" => None,
+        "exact" => Some(Arc::new(Mutex::new(SemCache::exact_only(0)))),
+        _ => Some(Arc::new(Mutex::new(SemCache::new(0)))),
+    };
+    let out = run_qt_serve(
+        BUYER,
+        cat.dict.clone(),
+        arrivals,
+        sellers,
+        &cfg,
+        &ServeConfig {
+            concurrency: 8,
+            batch_rfbs: true,
+            result_cache: cache.clone(),
+        },
+    );
+    let stats = cache
+        .map(|c| *c.lock().expect("cache lock").stats())
+        .unwrap_or_default();
+    (out, stats)
+}
+
+/// The CI-gated core of E23 at 16 sellers, Zipf(1.1): the semantic arm vs.
+/// the exact-fingerprint baseline vs. no cache. Shared with
+/// `bench_snapshot`, whose schema validation gates on
+/// `hit_ratio_vs_exact >= 2` and strictly fewer messages per query.
+pub struct SemanticCacheSnapshot {
+    pub sellers: u32,
+    pub skew: f64,
+    pub n_queries: usize,
+    pub mix_size: usize,
+    pub hit_rate_semantic: f64,
+    pub hit_rate_exact_baseline: f64,
+    pub hit_ratio_vs_exact: f64,
+    pub msgs_per_query_semantic: f64,
+    pub msgs_per_query_exact: f64,
+    pub msgs_per_query_nocache: f64,
+    pub hits_exact: u64,
+    pub hits_semantic: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub invalidated: u64,
+}
+
+/// Run the three E23 arms once at the gated operating point.
+pub fn semantic_cache_snapshot() -> SemanticCacheSnapshot {
+    let (nocache, _) = semcache_run(16, 1.1, "none");
+    let (exact, exact_stats) = semcache_run(16, 1.1, "exact");
+    let (semantic, sem_stats) = semcache_run(16, 1.1, "semantic");
+    SemanticCacheSnapshot {
+        sellers: 16,
+        skew: 1.1,
+        n_queries: 48,
+        mix_size: 1024,
+        hit_rate_semantic: sem_stats.hit_rate(),
+        hit_rate_exact_baseline: exact_stats.hit_rate(),
+        hit_ratio_vs_exact: sem_stats.hit_rate() / exact_stats.hit_rate().max(1e-12),
+        msgs_per_query_semantic: semantic.messages_per_query,
+        msgs_per_query_exact: exact.messages_per_query,
+        msgs_per_query_nocache: nocache.messages_per_query,
+        hits_exact: sem_stats.hits_exact,
+        hits_semantic: sem_stats.hits_semantic,
+        misses: sem_stats.misses,
+        insertions: sem_stats.insertions,
+        invalidated: sem_stats.invalidated,
+    }
+}
+
+/// E23 (tentpole, ROADMAP item 3): the federation-shared semantic result
+/// cache on Zipf template mixes. Three arms per operating point — no
+/// cache, exact-fingerprint cache (the PR-1 baseline), and the semantic
+/// subsumption cache — reporting hit rate, messages per query, and latency
+/// percentiles vs. skew at 8 and 16 sellers. All virtual-time, fully
+/// deterministic.
+pub fn e23() -> Table {
+    let mut t = Table::new(
+        "E23",
+        "semantic result cache on Zipf template mixes (48 arrivals, 1024-query family, conc 8): hit rate, message economy, latency vs skew",
+        &[
+            "sellers",
+            "skew",
+            "cache",
+            "hit rate",
+            "msgs/query",
+            "p50 latency",
+            "p95 latency",
+            "p99 latency",
+        ],
+    );
+    for offices in [8u32, 16] {
+        for skew in [0.0, 0.6, 1.1, 1.5] {
+            for arm in ["none", "exact", "semantic"] {
+                let (out, stats) = semcache_run(offices, skew, arm);
+                t.push(vec![
+                    offices.to_string(),
+                    f(skew),
+                    arm.to_string(),
+                    f(stats.hit_rate()),
+                    f(out.messages_per_query),
+                    f(out.p50_latency),
+                    f(out.p95_latency),
+                    f(out.p99_latency),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 pub fn all() -> Vec<Experiment> {
     vec![
         ("e1", e1 as fn() -> Table),
@@ -1412,6 +1567,7 @@ pub fn all() -> Vec<Experiment> {
         ("e20", e20),
         ("e21", e21),
         ("e22", e22),
+        ("e23", e23),
     ]
 }
 

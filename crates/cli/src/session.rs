@@ -43,6 +43,9 @@ pub struct Session {
     fault_loss: f64,
     /// Seed for the deterministic fault plan.
     fault_seed: u64,
+    /// The session-persistent semantic result cache shared by every `\serve`
+    /// and `\real` burst; `\cache` prints its counters.
+    result_cache: qt_core::SharedResultCache,
 }
 
 impl Session {
@@ -80,6 +83,7 @@ impl Session {
             demo: args.demo,
             fault_loss: 0.0,
             fault_seed: 7,
+            result_cache: qt_core::new_result_cache(0),
         }
     }
 
@@ -119,6 +123,7 @@ impl Session {
                  \\                    execute row vs columnar, show per-operator timings\n\
                  \\serve <n> [c]       serve a burst of n demo queries at concurrency c (default 1)\n\
                  \\real <n> [c]        like \\serve, but thread-per-node on real cores (wall clock)\n\
+                 \\cache [clear]       show (or reset) the semantic result cache shared by \\serve/\\real\n\
                  \\contracts <SQL>     trade with the contract lifecycle on, crash the winner\n\
                  \\                    post-award, and dump contract states + repair counters\n\
                  \\quit                leave"
@@ -191,6 +196,18 @@ impl Session {
                     )),
                 }
             }
+            "cache" => match rest.trim() {
+                "" => Eval::Output(self.cache_report()),
+                "clear" => {
+                    let dropped = self
+                        .result_cache
+                        .lock()
+                        .expect("result cache lock")
+                        .clear();
+                    Eval::Output(format!("result cache cleared ({dropped} entries dropped)"))
+                }
+                _ => Eval::Output(format!("invalid '\\cache {rest}' (try \\cache or \\cache clear)")),
+            },
             "contracts" => {
                 if rest.trim().is_empty() {
                     Eval::Output("usage: \\contracts <SQL>".into())
@@ -532,6 +549,7 @@ impl Session {
             &ServeConfig {
                 concurrency: conc,
                 batch_rfbs: true,
+                result_cache: Some(std::sync::Arc::clone(&self.result_cache)),
             },
         );
         let planned = out.reports.iter().filter(|r| r.plan.is_some()).count();
@@ -539,6 +557,11 @@ impl Session {
         let _ = writeln!(
             s,
             "served {n} queries at concurrency {conc} ({planned} planned), RFB batching on"
+        );
+        let _ = writeln!(
+            s,
+            "result cache: {} hits, {} misses this burst (\\cache for totals)",
+            out.result_cache_hits, out.result_cache_misses
         );
         if self.fault_loss > 0.0 {
             let _ = writeln!(s, "note: \\faults applies to SQL runs, not \\serve");
@@ -606,6 +629,7 @@ impl Session {
             &ServeConfig {
                 concurrency: conc,
                 batch_rfbs: true,
+                result_cache: Some(std::sync::Arc::clone(&self.result_cache)),
             },
             qt_net::RealConfig::default(),
         );
@@ -615,6 +639,11 @@ impl Session {
             s,
             "served {n} queries at concurrency {conc} ({planned} planned) on {} node threads",
             self.catalog.nodes.len()
+        );
+        let _ = writeln!(
+            s,
+            "result cache: {} hits, {} misses this burst (\\cache for totals)",
+            out.result_cache_hits, out.result_cache_misses
         );
         if self.fault_loss > 0.0 {
             let _ = writeln!(s, "note: \\faults applies to SQL runs, not \\real");
@@ -633,6 +662,36 @@ impl Session {
             s,
             "messages: {} total, {:.1} per query, {} codec bytes on the wire",
             out.messages, out.messages_per_query, out.metrics.wire_bytes
+        );
+        s
+    }
+
+    /// The `\cache` report: lifetime counters of the session's shared
+    /// semantic result cache. Exact hits reuse a cached plan verbatim;
+    /// semantic hits answered a *different* query by compensating a
+    /// subsuming entry (§3.5); invalidations are entries dropped when an
+    /// adaptive seller's award moved its asks.
+    fn cache_report(&self) -> String {
+        let c = self.result_cache.lock().expect("result cache lock");
+        let st = *c.stats();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "semantic result cache: {} entries (shared by \\serve and \\real)",
+            c.len()
+        );
+        let _ = writeln!(
+            s,
+            "hits: {} exact + {} semantic (subsumption), {} misses — hit rate {:.1}%",
+            st.hits_exact,
+            st.hits_semantic,
+            st.misses,
+            st.hit_rate() * 100.0
+        );
+        let _ = write!(
+            s,
+            "admission: {} inserted, {} rejected, {} evicted, {} invalidated",
+            st.insertions, st.rejected, st.evictions, st.invalidated
         );
         s
     }
@@ -930,6 +989,44 @@ mod tests {
         assert!(matches!(s.eval("\\serve 2"), Eval::Output(o) if o.contains("concurrency 1")));
         assert!(matches!(s.eval("\\serve"), Eval::Output(o) if o.contains("invalid")));
         assert!(matches!(s.eval("\\serve 4 0"), Eval::Output(o) if o.contains("invalid")));
+    }
+
+    #[test]
+    fn cache_command_tracks_serve_bursts_across_commands() {
+        let mut s = session();
+        // A fresh session's cache is empty.
+        let Eval::Output(o) = s.eval("\\cache") else {
+            panic!()
+        };
+        assert!(o.contains("0 entries"), "{o}");
+        // The first burst misses on each distinct query and fills the cache
+        // (repeats within the burst may already hit); a repeat of the same
+        // stream is served entirely from it — the cache persists across
+        // \serve invocations, which is the whole point of the command.
+        let Eval::Output(first) = s.eval("\\serve 6 3") else {
+            panic!()
+        };
+        assert!(first.contains("misses this burst"), "{first}");
+        assert!(!first.contains("0 misses"), "{first}");
+        let Eval::Output(second) = s.eval("\\serve 6 3") else {
+            panic!()
+        };
+        assert!(
+            second.contains("result cache: 6 hits, 0 misses"),
+            "{second}"
+        );
+        let Eval::Output(o) = s.eval("\\cache") else {
+            panic!()
+        };
+        assert!(!o.contains("0 entries"), "{o}");
+        assert!(o.contains("hit rate"), "{o}");
+        // Clearing drops the entries but keeps the lifetime counters.
+        assert!(matches!(s.eval("\\cache clear"), Eval::Output(o) if o.contains("cleared")));
+        let Eval::Output(o) = s.eval("\\cache") else {
+            panic!()
+        };
+        assert!(o.contains("0 entries"), "{o}");
+        assert!(matches!(s.eval("\\cache nope"), Eval::Output(o) if o.contains("invalid")));
     }
 
     #[test]

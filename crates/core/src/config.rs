@@ -100,6 +100,17 @@ pub struct QtConfig {
     /// costs, and offer ids are bit-identical to a serial run. The worker
     /// budget follows `QT_THREADS` / the host core count (see `qt-par`).
     pub parallel: bool,
+    /// Let seller offer caches answer RFBs *semantically*: an exact-key miss
+    /// falls back to the §3.5 view matcher over cached replies, so offers
+    /// priced for a subsuming query `Q'` are re-issued (suitably rewritten)
+    /// for any `Q ⊑ Q'` at zero offer-construction effort. Off by default —
+    /// with it off the cache is the PR-1 exact-fingerprint cache and every
+    /// run is bit-identical to earlier releases.
+    pub enable_semantic_cache: bool,
+    /// Max entries per seller offer cache (`0` = unbounded, the PR-1
+    /// behaviour). When bounded, admission/eviction is weighted by the
+    /// offer-construction effort each entry saves per hit.
+    pub offer_cache_entries: usize,
 }
 
 impl Default for QtConfig {
@@ -133,6 +144,8 @@ impl Default for QtConfig {
             lease_probes: 2,
             max_retrade_rounds: 2,
             parallel: true,
+            enable_semantic_cache: false,
+            offer_cache_entries: 0,
         }
     }
 }
@@ -158,5 +171,12 @@ mod tests {
         assert!(c.lease_interval > 0.0);
         assert!(c.lease_probes >= 1, "the lease phase must terminate");
         assert!(c.max_retrade_rounds >= 1);
+    }
+
+    #[test]
+    fn semantic_cache_defaults_off_and_unbounded() {
+        let c = QtConfig::default();
+        assert!(!c.enable_semantic_cache, "subsumption hits must be opt-in");
+        assert_eq!(c.offer_cache_entries, 0, "PR-1 cache was unbounded");
     }
 }

@@ -194,8 +194,12 @@ pub fn run_qt_direct(
             bytes += awards.len() as f64 * config.offer_msg_bytes;
         }
         let winners = winner_set(plan);
+        // Scope the cache invalidation to the traded query's relations:
+        // adaptive sellers move their markup on the outcome, which stales
+        // only cached asks touching those relations.
+        let rels = query.rel_ids().collect();
         for (&node, engine) in sellers.iter_mut() {
-            engine.observe_award(winners.contains(&node));
+            engine.observe_award_scoped(winners.contains(&node), &rels);
         }
     }
     QtOutcome {
@@ -397,17 +401,19 @@ impl Handler<QtMsg> for QtNode {
                     "offers",
                 );
             }
-            (QtNode::Seller(engine), QtMsg::Award { contract, .. }) => {
+            (QtNode::Seller(engine), QtMsg::Award { contract, offer }) => {
                 if contract == LEGACY_CONTRACT {
                     // Pre-lifecycle one-way notice: record the win, send
-                    // nothing back.
-                    engine.observe_award(true);
+                    // nothing back. The awarded offer id resolves which
+                    // relations the win touches, so unrelated cache entries
+                    // survive the strategy update.
+                    engine.observe_award_for_offer(true, offer);
                 } else {
                     // Two-phase award: learn from the win exactly once, but
                     // re-ack every (possibly retransmitted) award so a lost
                     // ack does not strand the buyer.
                     if engine.accept_award(contract) {
-                        engine.observe_award(true);
+                        engine.observe_award_for_offer(true, offer);
                     }
                     ctx.send(
                         from,

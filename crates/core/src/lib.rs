@@ -28,6 +28,7 @@
 
 pub mod analyser;
 pub mod buyer;
+pub mod compensate;
 pub mod config;
 pub mod contract;
 pub mod dist_plan;
@@ -40,6 +41,7 @@ pub mod session;
 pub mod wire;
 
 pub use buyer::{remote_awards, winner_set, BuyerEngine};
+pub use compensate::{compensate_assembly, compensate_plan};
 pub use config::QtConfig;
 pub use contract::{
     is_repair_round, ContractAction, ContractController, ContractReport, ContractStats,
@@ -54,6 +56,6 @@ pub use offer::{Offer, OfferKind, RfbItem};
 pub use relset::RelSet;
 pub use seller::{session_req, SellerEngine, SessionRfb};
 pub use session::{
-    run_qt_serve, run_qt_serve_real, run_qt_serve_with_faults, ServeConfig, ServeMsg, ServeNode,
-    ServeOutcome, SessionManager, SessionReport,
+    new_result_cache, run_qt_serve, run_qt_serve_real, run_qt_serve_with_faults, ServeConfig,
+    ServeMsg, ServeNode, ServeOutcome, SessionManager, SessionReport, SharedResultCache,
 };

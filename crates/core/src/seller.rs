@@ -3,12 +3,14 @@
 
 use crate::config::QtConfig;
 use crate::offer::{Offer, OfferKind, RfbItem};
-use qt_catalog::{NodeHoldings, NodeId};
+use qt_catalog::{NodeHoldings, NodeId, RelId};
 use qt_cost::{AnswerProperties, CardinalityEstimator, NodeResources};
 use qt_optimizer::LocalOptimizer;
-use qt_query::views::match_view;
+use qt_query::views::{match_view, ViewMatch};
 use qt_query::{rewrite_for_holdings, MaterializedView, Query};
+use qt_trade::semcache::{CacheStats, Probe, ProbeOutcome, SemCache};
 use qt_trade::SessionId;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// A seller's reply to one RFB.
@@ -88,7 +90,12 @@ pub struct SellerEngine {
     /// a query traded concurrently with others receives bit-identical offer
     /// ids to the same query traded alone.
     session_offers: std::collections::HashMap<SessionId, u64>,
-    offer_cache: std::collections::HashMap<u64, Vec<Offer>>,
+    /// Memoized RFB replies, keyed by [`cache_key`](Self::cache_key). With
+    /// `config.enable_semantic_cache`, an exact-key miss falls back to the
+    /// §3.5 view matcher over the cached queries and *derives* offers for
+    /// the subsumed request from a cached reply (see
+    /// [`derive_offers`](Self::derive_offers)).
+    offer_cache: SemCache<Vec<Offer>>,
     /// Request-id → the exact reply already sent. Distinct from the offer
     /// cache: a dedup hit resends *identical* offers (same ids) so the buyer
     /// can discard the duplicate, whereas an offer-cache hit mints fresh ids.
@@ -98,6 +105,7 @@ pub struct SellerEngine {
 impl SellerEngine {
     /// Build a seller from its private holdings.
     pub fn new(holdings: NodeHoldings, config: QtConfig) -> Self {
+        let offer_cache = SemCache::new(config.offer_cache_entries);
         SellerEngine {
             node: holdings.node,
             resources: NodeResources::reference(),
@@ -113,7 +121,7 @@ impl SellerEngine {
             config,
             next_offer: 0,
             session_offers: std::collections::HashMap::new(),
-            offer_cache: std::collections::HashMap::new(),
+            offer_cache,
             rfb_replies: std::collections::HashMap::new(),
         }
     }
@@ -130,18 +138,35 @@ impl SellerEngine {
         self
     }
 
-    /// Builder-style views.
+    /// Builder-style views. Invalidation is *selective*: only cached replies
+    /// whose relation sets intersect the old or new view definitions are
+    /// dropped — replies over unrelated relations stay warm.
     pub fn with_views(mut self, views: Vec<MaterializedView>) -> Self {
+        let mut rels: BTreeSet<RelId> = self.views.iter().flat_map(|v| v.query.rel_ids()).collect();
+        rels.extend(views.iter().flat_map(|v| v.query.rel_ids()));
         self.views = views;
-        self.invalidate_offer_cache();
+        self.invalidate_offer_cache_rels(&rels);
         self
     }
 
-    /// Drop all memoized replies. Called automatically when resources, views,
-    /// or (via an award observation) the strategy change; call it manually
-    /// after mutating the public state fields directly.
+    /// Drop all memoized replies. Called automatically when resources or
+    /// (via an unscoped award observation) the strategy change; call it
+    /// manually after mutating the public state fields directly.
     pub fn invalidate_offer_cache(&mut self) {
         self.offer_cache.clear();
+    }
+
+    /// Drop only the memoized replies whose relation set intersects `rels` —
+    /// the selective hook for relation-scoped mutations (view changes,
+    /// partition-stats drift, awards resolved to specific queries). Returns
+    /// how many entries were dropped.
+    pub fn invalidate_offer_cache_rels(&mut self, rels: &BTreeSet<RelId>) -> usize {
+        self.offer_cache.invalidate_rels(rels)
+    }
+
+    /// Hit/miss/evict/invalidate counters of the offer cache.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.offer_cache.stats()
     }
 
     fn optimizer(&self) -> LocalOptimizer<'_, NodeHoldings> {
@@ -207,21 +232,29 @@ impl SellerEngine {
     /// with a digest of the hint book when subcontracting is on (composite
     /// offers are assembled *from* the hints, so a reply is only reusable
     /// while the hints match).
+    ///
+    /// The hint digest is order-canonical: each hint is FNV-digested on its
+    /// own and the per-hint digests combine with a commutative fold, so the
+    /// same hint *set* arriving in a different order — offers travel through
+    /// order-scrambling transports — maps to the same key instead of a
+    /// spurious miss.
     fn cache_key(&self, q: &Query, hints: &[Offer]) -> u64 {
         let mut key = q.fingerprint();
         if self.config.enable_subcontracting && !hints.is_empty() {
-            let mut digest = 0xcbf2_9ce4_8422_2325u64;
-            let mut mix = |v: u64| {
-                digest ^= v;
-                digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
-            };
+            let mut combined = 0u64;
             for h in hints {
+                let mut digest = 0xcbf2_9ce4_8422_2325u64;
+                let mut mix = |v: u64| {
+                    digest ^= v;
+                    digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+                };
                 mix(h.seller.0 as u64);
                 mix(h.query.fingerprint());
                 mix(h.props.total_time.to_bits());
                 mix(h.props.price.to_bits());
+                combined = combined.wrapping_add(digest);
             }
-            key ^= digest;
+            key ^= combined;
         }
         key
     }
@@ -252,26 +285,46 @@ impl SellerEngine {
         } else {
             1
         };
-        let replies: Vec<(u64, Option<SellerResponse>)> =
-            qt_par::par_map_ref(items, workers, |item| {
-                let key = self.cache_key(&item.query, hints);
-                if self.offer_cache.contains_key(&key) {
-                    (key, None) // hit: merged from the cache below
-                } else {
-                    (key, Some(self.eval_item(round, &item.query, hints)))
-                }
-            });
+        // Evaluation phase: read-only probes against the pre-batch cache
+        // state (identical under any worker count), deriving or computing
+        // offers as needed; all cache mutation happens in the serial merge.
+        let replies: Vec<(u64, ItemReply)> = qt_par::par_map_ref(items, workers, |item| {
+            self.lookup_or_eval(round, &item.query, hints)
+        });
         let mut resp = SellerResponse::default();
-        for (key, computed) in replies {
-            let offers = match computed {
-                None => {
+        for ((key, reply), item) in replies.into_iter().zip(items) {
+            let offers = match reply {
+                ItemReply::Exact => {
                     self.cache_hits += 1;
-                    self.offer_cache[&key].clone()
+                    self.offer_cache.record(ProbeOutcome::HitExact);
+                    match self.offer_cache.get(key) {
+                        Some(e) => e.value.clone(),
+                        // Evicted between probe and merge by an earlier
+                        // item's insertion (bounded cache): recompute.
+                        None => {
+                            let r = self.eval_item(round, &item.query, hints);
+                            resp.effort += r.effort;
+                            r.offers
+                        }
+                    }
                 }
-                Some(r) => {
+                ItemReply::Semantic(derived) => {
+                    self.cache_hits += 1;
+                    self.offer_cache.record(ProbeOutcome::HitSemantic);
+                    self.offer_cache
+                        .insert(key, item.query.clone(), derived.clone(), 0.0);
+                    derived
+                }
+                ItemReply::Fresh(r) => {
                     self.cache_misses += 1;
+                    self.offer_cache.record(ProbeOutcome::Miss);
                     resp.effort += r.effort;
-                    self.offer_cache.insert(key, r.offers.clone());
+                    self.offer_cache.insert(
+                        key,
+                        item.query.clone(),
+                        r.offers.clone(),
+                        r.effort as f64,
+                    );
                     r.offers
                 }
             };
@@ -283,6 +336,94 @@ impl SellerEngine {
         }
         self.total_effort += resp.effort;
         resp
+    }
+
+    /// Read-only lookup for one RFB item: exact cache hit, semantic
+    /// subsumption hit (with derived offers), or a fresh evaluation. Runs on
+    /// `&self` so the parallel evaluation phase can call it concurrently.
+    fn lookup_or_eval(&self, round: u32, q: &Query, hints: &[Offer]) -> (u64, ItemReply) {
+        let key = self.cache_key(q, hints);
+        match self
+            .offer_cache
+            .probe(key, q, self.config.enable_semantic_cache)
+        {
+            Probe::Exact => (key, ItemReply::Exact),
+            Probe::Semantic(cands) => {
+                for (k, m) in cands {
+                    let e = self.offer_cache.get(k).expect("probed candidate exists");
+                    if let Some(derived) = self.derive_offers(round, q, &e.query, &m, &e.value) {
+                        return (key, ItemReply::Semantic(derived));
+                    }
+                }
+                (key, ItemReply::Fresh(self.eval_item(round, q, hints)))
+            }
+            Probe::Miss => (key, ItemReply::Fresh(self.eval_item(round, q, hints))),
+        }
+    }
+
+    /// Rewrite the offers of a cached reply for `cached_q` into offers for
+    /// the subsumed request `q` (`q ⊑ cached_q`, same `FROM` extents). The
+    /// derived offers use the exact syntactic shapes the buyer's plan
+    /// generator matches, and each one's `query` field still describes the
+    /// rows the seller would deliver — execution always re-derives from the
+    /// offered query over the seller's holdings, so a derived promise is
+    /// sound whenever the original was; only the attached pricing stays the
+    /// estimate struck for `cached_q`. Returns `None` when any offer resists
+    /// a sound rewrite, and the caller falls back to a fresh evaluation.
+    fn derive_offers(
+        &self,
+        round: u32,
+        q: &Query,
+        cached_q: &Query,
+        m: &ViewMatch,
+        offers: &[Offer],
+    ) -> Option<Vec<Offer>> {
+        let _ = m; // candidate ranking used it; derivation re-derives shapes
+        let q_core = q.strip_aggregation();
+        let mut out = Vec::with_capacity(offers.len());
+        for o in offers {
+            if !o.subcontracts.is_empty() {
+                // Composite offers embed third-party promises shaped for
+                // `cached_q`; rewriting those is not ours to do.
+                return None;
+            }
+            let derived_query = if o.query == *cached_q {
+                // Whole-answer promise (sorted delivery, view answers): a
+                // node able to produce all of `cached_q` can produce all of
+                // the narrower `q` over the same extents.
+                q.clone()
+            } else if o.kind == OfferKind::PartialAggregate {
+                // Pre-aggregated fragment over this node's partitions, in
+                // `q`'s aggregate shape (mirrors the fresh-path guard).
+                if !self.config.enable_partial_agg
+                    || !q.is_aggregate()
+                    || !q.aggregates_decomposable()
+                {
+                    return None;
+                }
+                let mut agg = q.clone();
+                agg.order_by.clear();
+                for (rel, parts) in &o.query.relations {
+                    agg.relations.insert(*rel, *parts);
+                }
+                agg
+            } else {
+                // Row fragment over a relation subset: re-derive `q`'s
+                // canonical fragment over the same subset, keeping the
+                // offer's partition coverage.
+                let rels: BTreeSet<RelId> = o.query.rel_ids().collect();
+                let mut frag = q_core.restrict_to_rels(&rels);
+                for (rel, parts) in &o.query.relations {
+                    frag.relations.insert(*rel, *parts);
+                }
+                frag
+            };
+            let mut d = o.clone();
+            d.query = derived_query;
+            d.round = round;
+            out.push(d);
+        }
+        Some(out)
     }
 
     /// Idempotent RFB entry point for unreliable transports: `req` uniquely
@@ -330,7 +471,12 @@ impl SellerEngine {
             hints: &'a [Offer],
             round: u32,
         }
+        // Scheduling: probe each distinct key against the pre-batch cache.
+        // Exact hits need no work; semantic hits derive their offers right
+        // here (cheap, read-only); the rest become one parallel batch.
         let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut derived: std::collections::HashMap<u64, Vec<Offer>> =
+            std::collections::HashMap::new();
         let mut scheduled = std::collections::HashSet::new();
         for e in entries {
             if self.rfb_replies.contains_key(&e.req) {
@@ -338,15 +484,38 @@ impl SellerEngine {
             }
             for item in e.items.iter() {
                 let key = self.cache_key(&item.query, &e.hints);
-                if self.offer_cache.contains_key(&key) || !scheduled.insert(key) {
+                if !scheduled.insert(key) {
                     continue;
                 }
-                jobs.push(Job {
-                    key,
-                    query: &item.query,
-                    hints: &e.hints,
-                    round: e.round,
-                });
+                match self
+                    .offer_cache
+                    .probe(key, &item.query, self.config.enable_semantic_cache)
+                {
+                    Probe::Exact => {}
+                    Probe::Semantic(cands) => {
+                        let hit = cands.iter().find_map(|(k, m)| {
+                            let en = self.offer_cache.get(*k).expect("probed candidate exists");
+                            self.derive_offers(e.round, &item.query, &en.query, m, &en.value)
+                        });
+                        match hit {
+                            Some(d) => {
+                                derived.insert(key, d);
+                            }
+                            None => jobs.push(Job {
+                                key,
+                                query: &item.query,
+                                hints: &e.hints,
+                                round: e.round,
+                            }),
+                        }
+                    }
+                    Probe::Miss => jobs.push(Job {
+                        key,
+                        query: &item.query,
+                        hints: &e.hints,
+                        round: e.round,
+                    }),
+                }
             }
         }
         let workers = if self.config.parallel {
@@ -357,17 +526,14 @@ impl SellerEngine {
         let computed: Vec<(u64, SellerResponse)> = qt_par::par_map_ref(&jobs, workers, |job| {
             (job.key, self.eval_item(job.round, job.query, job.hints))
         });
-        // Serial merge: fill the cache in first-occurrence order, then
-        // assemble per-entry replies in entry/item order. The effort of a
-        // fresh evaluation is charged to the first entry that references it;
-        // later references in the same batch are cache hits, exactly as they
-        // would be had the entries arrived one by one.
-        let mut fresh_effort: std::collections::HashMap<u64, u64> =
-            std::collections::HashMap::new();
-        for (key, r) in computed {
-            fresh_effort.insert(key, r.effort);
-            self.offer_cache.insert(key, r.offers);
-        }
+        // Serial merge: assemble per-entry replies in entry/item order,
+        // filling the cache at each key's first reference (= scheduling
+        // order). The effort of a fresh evaluation is charged to the first
+        // entry that references it; later references in the same batch are
+        // cache hits, exactly as they would be had the entries arrived one
+        // by one.
+        let mut fresh: std::collections::HashMap<u64, SellerResponse> =
+            computed.into_iter().collect();
         let mut out = Vec::with_capacity(entries.len());
         for e in entries {
             if let Some(offers) = self.rfb_replies.get(&e.req) {
@@ -381,14 +547,38 @@ impl SellerEngine {
             let mut resp = SellerResponse::default();
             for item in e.items.iter() {
                 let key = self.cache_key(&item.query, &e.hints);
-                match fresh_effort.remove(&key) {
-                    Some(effort) => {
-                        self.cache_misses += 1;
-                        resp.effort += effort;
+                let offers = if let Some(r) = fresh.remove(&key) {
+                    self.cache_misses += 1;
+                    self.offer_cache.record(ProbeOutcome::Miss);
+                    resp.effort += r.effort;
+                    self.offer_cache.insert(
+                        key,
+                        item.query.clone(),
+                        r.offers.clone(),
+                        r.effort as f64,
+                    );
+                    r.offers
+                } else if let Some(d) = derived.remove(&key) {
+                    self.cache_hits += 1;
+                    self.offer_cache.record(ProbeOutcome::HitSemantic);
+                    self.offer_cache
+                        .insert(key, item.query.clone(), d.clone(), 0.0);
+                    d
+                } else {
+                    self.cache_hits += 1;
+                    self.offer_cache.record(ProbeOutcome::HitExact);
+                    match self.offer_cache.get(key) {
+                        Some(en) => en.value.clone(),
+                        // Evicted/rejected between probe and merge under a
+                        // bounded capacity: recompute serially.
+                        None => {
+                            let r = self.eval_item(e.round, &item.query, &e.hints);
+                            resp.effort += r.effort;
+                            r.offers
+                        }
                     }
-                    None => self.cache_hits += 1,
-                }
-                for mut o in self.offer_cache[&key].clone() {
+                };
+                for mut o in offers {
                     o.id = self.fresh_session_id(e.session);
                     o.round = e.round;
                     resp.offers.push(o);
@@ -636,7 +826,9 @@ impl SellerEngine {
 
     /// Learn from the buyer's award: `won` per offer this seller made.
     /// Cached replies embed asks priced under the pre-award strategy, so a
-    /// strategy update (adaptive markup) drops them.
+    /// strategy update (adaptive markup) drops them — this unscoped form
+    /// conservatively drops *all* of them; prefer the scoped variants when
+    /// the award's queries are known.
     pub fn observe_award(&mut self, won: bool) {
         let before = self.strategy.clone();
         self.strategy.observe_outcome(won);
@@ -644,6 +836,51 @@ impl SellerEngine {
             self.invalidate_offer_cache();
         }
     }
+
+    /// [`observe_award`](Self::observe_award) with the awarded (or lost)
+    /// queries' relation set: a strategy move only drops cached replies
+    /// whose relations intersect `rels` — replies about unrelated data keep
+    /// their asks, which were computed by the *same* strategy state those
+    /// queries would see on a fresh trade next time they are RFB'd alone.
+    pub fn observe_award_scoped(&mut self, won: bool, rels: &BTreeSet<RelId>) {
+        let before = self.strategy.clone();
+        self.strategy.observe_outcome(won);
+        if self.strategy != before {
+            self.invalidate_offer_cache_rels(rels);
+        }
+    }
+
+    /// Award observation keyed by the awarded offer's id, as carried by the
+    /// wire `Award` messages: the invalidation scope is resolved from this
+    /// seller's own reply memos (the union over every memoized offer with
+    /// that id, so the result is independent of map iteration order). An id
+    /// the memos no longer know falls back to the conservative full clear.
+    pub fn observe_award_for_offer(&mut self, won: bool, offer_id: u64) {
+        let mut rels: BTreeSet<RelId> = BTreeSet::new();
+        let mut found = false;
+        for offers in self.rfb_replies.values() {
+            for o in offers.iter().filter(|o| o.id == offer_id) {
+                found = true;
+                rels.extend(o.query.rel_ids());
+            }
+        }
+        if found {
+            self.observe_award_scoped(won, &rels);
+        } else {
+            self.observe_award(won);
+        }
+    }
+}
+
+/// Outcome of the read-only cache lookup for one RFB item, produced by the
+/// (possibly parallel) evaluation phase and consumed by the serial merge.
+enum ItemReply {
+    /// The key is cached verbatim.
+    Exact,
+    /// Subsumption hit: offers derived from a cached reply.
+    Semantic(Vec<Offer>),
+    /// Cache miss: a fresh evaluation.
+    Fresh(SellerResponse),
 }
 
 /// Canonical request id for `session`'s RFB in `round`. The `+ 1` keeps the
@@ -979,6 +1216,155 @@ mod tests {
         // Single-query ids (< 2³²) belong to no session.
         assert!(seller.accept_award(3));
         assert!(!seller.session_has_contracts(SessionId(0)));
+    }
+
+    fn hint(seller: u32, q: &Query, t: f64) -> Offer {
+        Offer {
+            id: 1,
+            seller: NodeId(seller),
+            query: q.clone(),
+            true_cost: t,
+            props: AnswerProperties::timed(t, 100.0, 1000.0),
+            kind: OfferKind::Rows,
+            round: 0,
+            subcontracts: vec![],
+        }
+    }
+
+    #[test]
+    fn permuted_hints_hit_the_same_cache_entry() {
+        let cat = catalog();
+        let q = motivating(&cat);
+        let cfg = QtConfig {
+            enable_subcontracting: true,
+            ..QtConfig::default()
+        };
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), cfg);
+        let h1 = hint(
+            0,
+            &parse_query(&cat.dict, "SELECT custname FROM customer").unwrap(),
+            1.0,
+        );
+        let h2 = hint(
+            1,
+            &parse_query(&cat.dict, "SELECT charge FROM invoiceline").unwrap(),
+            2.0,
+        );
+        let first = seller.respond_with_hints(0, &rfb(&q), &[h1.clone(), h2.clone()]);
+        assert_eq!((seller.cache_hits, seller.cache_misses), (0, 1));
+        // The same hint set in the opposite arrival order is the same market
+        // state: it must hit, not spuriously re-evaluate.
+        let second = seller.respond_with_hints(1, &rfb(&q), &[h2.clone(), h1.clone()]);
+        assert_eq!((seller.cache_hits, seller.cache_misses), (1, 1));
+        assert_eq!(second.effort, 0);
+        assert_eq!(first.offers.len(), second.offers.len());
+        // A genuinely different hint book still misses.
+        let h3 = hint(1, &h1.query, 9.0);
+        seller.respond_with_hints(2, &rfb(&q), &[h1, h3]);
+        assert_eq!((seller.cache_hits, seller.cache_misses), (1, 2));
+    }
+
+    #[test]
+    fn scoped_award_keeps_unrelated_cache_entries() {
+        let cat = catalog();
+        let q_cust = parse_query(&cat.dict, "SELECT custname FROM customer").unwrap();
+        let q_inv = parse_query(&cat.dict, "SELECT charge FROM invoiceline").unwrap();
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        seller.strategy = qt_trade::SellerStrategy::adaptive_markup(1.5);
+        seller.respond(0, &rfb(&q_cust));
+        seller.respond(0, &rfb(&q_inv));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (0, 2));
+        // A lost award about `customer` moves the markup, but only the
+        // customer reply goes stale — the invoiceline reply survives.
+        seller.observe_award_scoped(false, &BTreeSet::from([qt_catalog::RelId(0)]));
+        seller.respond(1, &rfb(&q_inv));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (1, 2));
+        seller.respond(1, &rfb(&q_cust));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (1, 3));
+        assert_eq!(seller.cache_stats().invalidated, 1);
+    }
+
+    #[test]
+    fn offer_id_award_resolves_scope_from_reply_memos() {
+        let cat = catalog();
+        let q_cust = parse_query(&cat.dict, "SELECT custname FROM customer").unwrap();
+        let q_inv = parse_query(&cat.dict, "SELECT charge FROM invoiceline").unwrap();
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        seller.strategy = qt_trade::SellerStrategy::adaptive_markup(1.5);
+        let r_cust = seller.respond_request(1, 0, &rfb(&q_cust), &[]);
+        seller.respond_request(2, 0, &rfb(&q_inv), &[]);
+        // Award resolved to a customer offer id: only that entry drops.
+        seller.observe_award_for_offer(true, r_cust.offers[0].id);
+        seller.respond(1, &rfb(&q_inv));
+        seller.respond(1, &rfb(&q_cust));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (1, 3));
+        // An id the memos don't know falls back to the full clear.
+        seller.observe_award_for_offer(true, u64::MAX);
+        seller.respond(2, &rfb(&q_inv));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (1, 4));
+    }
+
+    #[test]
+    fn semantic_hit_derives_offers_for_subsumed_query() {
+        let cat = catalog();
+        let wide = parse_query(
+            &cat.dict,
+            "SELECT custname, office, charge FROM customer, invoiceline \
+             WHERE customer.custid = invoiceline.custid",
+        )
+        .unwrap();
+        let narrow = parse_query(
+            &cat.dict,
+            "SELECT custname FROM customer, invoiceline \
+             WHERE customer.custid = invoiceline.custid AND charge > 100",
+        )
+        .unwrap();
+        let cfg = QtConfig {
+            enable_semantic_cache: true,
+            ..QtConfig::default()
+        };
+        let mut warm = SellerEngine::new(cat.holdings_of(NodeId(2)), cfg.clone());
+        warm.respond(0, &rfb(&wide));
+        assert_eq!((warm.cache_hits, warm.cache_misses), (0, 1));
+        let derived = warm.respond(1, &rfb(&narrow));
+        assert_eq!(
+            (warm.cache_hits, warm.cache_misses),
+            (1, 1),
+            "the subsumed query is served from the wide reply"
+        );
+        assert_eq!(derived.effort, 0, "no local DP ran for the hit");
+        assert_eq!(warm.cache_stats().hits_semantic, 1);
+        // The derived offers promise exactly the queries a cold seller would
+        // promise for the narrow request (pricing may differ; the promises —
+        // what execution is contractually bound to — may not).
+        let mut cold = SellerEngine::new(cat.holdings_of(NodeId(2)), cfg);
+        let fresh = cold.respond(1, &rfb(&narrow));
+        let queries = |r: &SellerResponse| {
+            r.offers
+                .iter()
+                .map(|o| o.query.clone())
+                .collect::<BTreeSet<Query>>()
+        };
+        assert_eq!(queries(&derived), queries(&fresh));
+        // A second identical request is now an exact hit.
+        warm.respond(2, &rfb(&narrow));
+        assert_eq!((warm.cache_hits, warm.cache_misses), (2, 1));
+        assert_eq!(warm.cache_stats().hits_exact, 1);
+    }
+
+    #[test]
+    fn semantic_cache_off_by_default_misses_subsumed_queries() {
+        let cat = catalog();
+        let wide = parse_query(&cat.dict, "SELECT custname, office FROM customer").unwrap();
+        let narrow = parse_query(
+            &cat.dict,
+            "SELECT custname FROM customer WHERE office = 'Myconos'",
+        )
+        .unwrap();
+        let mut seller = SellerEngine::new(cat.holdings_of(NodeId(2)), QtConfig::default());
+        seller.respond(0, &rfb(&wide));
+        seller.respond(1, &rfb(&narrow));
+        assert_eq!((seller.cache_hits, seller.cache_misses), (0, 2));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   the proptest.
 
 use crate::buyer::{remote_awards, BuyerEngine, RoundOutcome};
+use crate::compensate::compensate_plan;
 use crate::config::QtConfig;
 use crate::contract::{
     is_repair_round, ContractAction, ContractController, ContractStats, LEGACY_CONTRACT,
@@ -31,12 +32,36 @@ use crate::contract::{
 use crate::dist_plan::DistributedPlan;
 use crate::offer::{Offer, RfbItem};
 use crate::seller::{session_req, SellerEngine, SessionRfb};
-use qt_catalog::{NodeId, SchemaDict};
+use qt_catalog::{NodeId, RelId, SchemaDict};
 use qt_net::{Ctx, FaultPlan, Handler, Simulator, Topology};
 use qt_query::Query;
+use qt_trade::semcache::{Probe, ProbeOutcome, SemCache};
 use qt_trade::SessionId;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// A result cache shared across serving sessions (and, via the `Arc`,
+/// across serving *runs* over the same federation). Holds finished
+/// [`DistributedPlan`]s keyed by query fingerprint; semantic probes answer
+/// subsumed queries with a compensated copy of a cached plan (see
+/// [`crate::compensate`]).
+///
+/// Invalidation hooks: the cache never observes the federation directly, so
+/// whoever mutates shared state must tell it —
+///
+/// * **catalog/statistics drift or resource/view mutation**: call
+///   [`SemCache::invalidate_rels`] with the mutated relations (or
+///   [`SemCache::clear`] for a federation-wide change);
+/// * **strategy-moving awards**: the serving loop does this itself — every
+///   finished session whose award moves adaptive seller asks invalidates
+///   the entries intersecting the traded relations before inserting its own
+///   plan.
+pub type SharedResultCache = Arc<Mutex<SemCache<DistributedPlan>>>;
+
+/// A fresh, empty [`SharedResultCache`] (`capacity` 0 = unbounded).
+pub fn new_result_cache(capacity: usize) -> SharedResultCache {
+    Arc::new(Mutex::new(SemCache::new(capacity)))
+}
 
 /// Knobs of the serving layer (the trading loop itself is [`QtConfig`]).
 #[derive(Debug, Clone)]
@@ -47,6 +72,11 @@ pub struct ServeConfig {
     /// `false` sends one message per session — the baseline the batching
     /// experiments compare against.
     pub batch_rfbs: bool,
+    /// Cross-session result cache: admitted queries answered by a cached
+    /// (possibly compensated) plan complete instantly with zero trading
+    /// traffic. `None` (the default) disables result caching entirely and
+    /// keeps every run bit-identical to earlier releases.
+    pub result_cache: Option<SharedResultCache>,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +84,7 @@ impl Default for ServeConfig {
         ServeConfig {
             concurrency: 1,
             batch_rfbs: true,
+            result_cache: None,
         }
     }
 }
@@ -256,6 +287,10 @@ pub struct SessionManager {
     lifecycles: BTreeMap<SessionId, ContractController>,
     /// Lifecycle counters aggregated over settled sessions.
     pub contract_stats: ContractStats,
+    /// Sessions answered from the shared result cache (exact or semantic).
+    pub result_cache_hits: u64,
+    /// Sessions that probed the result cache and traded from cold.
+    pub result_cache_misses: u64,
 }
 
 impl Handler<ServeMsg> for ServeNode {
@@ -279,16 +314,18 @@ impl Handler<ServeMsg> for ServeNode {
                 ServeMsg::Award {
                     session,
                     contract,
-                    offer: _,
+                    offer,
                 },
             ) => {
                 if contract == LEGACY_CONTRACT {
                     // Lifecycle off: one-way notice, exactly the old protocol.
-                    engine.observe_award(true);
+                    // Resolve the invalidation scope from the awarded offer's
+                    // reply memo *before* forgetting the session drops it.
+                    engine.observe_award_for_offer(true, offer);
                     engine.forget_session(session);
                 } else {
                     if engine.accept_award(contract) {
-                        engine.observe_award(true);
+                        engine.observe_award_for_offer(true, offer);
                     }
                     let bytes = engine.config().offer_msg_bytes;
                     ctx.send(
@@ -356,6 +393,24 @@ impl SessionManager {
                 return;
             };
             let query = self.queries[s.0 as usize].take().expect("arrival unseen");
+            if let Some(plan) = self.try_result_cache(&query) {
+                // Served from the shared result cache: an earlier session
+                // already traded for these rows and only buyer-local
+                // compensation remains — no rounds, no messages, and the
+                // trading slot stays free for the next arrival.
+                self.completed.push(SessionReport {
+                    session: s,
+                    arrived: self.arrive_times[s.0 as usize],
+                    started: ctx.now(),
+                    finished: ctx.now(),
+                    iterations: 0,
+                    plan: Some(plan),
+                    reawards: 0,
+                    rescoped_trades: 0,
+                    repaired: false,
+                });
+                continue;
+            }
             let mut engine =
                 BuyerEngine::new(self.node, self.dict.clone(), query, self.config.clone());
             let items = engine.start();
@@ -377,6 +432,66 @@ impl SessionManager {
             );
             self.stage_round(ctx, s, items, Vec::new());
         }
+    }
+
+    /// Probe the shared result cache for `query`: an exact-fingerprint hit
+    /// reuses the cached plan outright; a semantic hit compensates the
+    /// cached plan for the subsumed query (and re-inserts the compensated
+    /// plan under the query's own key, so the next identical arrival hits
+    /// exactly). Returns `None` on a miss or with caching disabled.
+    fn try_result_cache(&mut self, query: &Query) -> Option<DistributedPlan> {
+        let cache = self.serve.result_cache.as_ref()?;
+        let mut c = cache.lock().expect("result cache lock");
+        let key = query.fingerprint();
+        match c.probe(key, query, true) {
+            Probe::Exact => {
+                if let Some(plan) = c.get(key).map(|e| e.value.clone()) {
+                    c.record(ProbeOutcome::HitExact);
+                    self.result_cache_hits += 1;
+                    return Some(plan);
+                }
+            }
+            Probe::Semantic(candidates) => {
+                for (k, m) in candidates {
+                    let Some(entry) = c.get(k) else { continue };
+                    if let Some(plan) = compensate_plan(&entry.value, query, &m) {
+                        c.record(ProbeOutcome::HitSemantic);
+                        self.result_cache_hits += 1;
+                        c.insert(key, query.clone(), plan.clone(), 0.0);
+                        return Some(plan);
+                    }
+                }
+            }
+            Probe::Miss => {}
+        }
+        c.record(ProbeOutcome::Miss);
+        self.result_cache_misses += 1;
+        None
+    }
+
+    /// Publish a finished session's plan to the shared result cache. An
+    /// award moves adaptive sellers' asks, so entries priced before it and
+    /// touching the same relations are invalidated first (selectively — a
+    /// disjoint query's cached plan survives). The entry's eviction weight
+    /// is the trading work a future hit saves: rounds times remote sellers.
+    fn cache_finished_plan(&mut self, iterations: u32, plan: &DistributedPlan) {
+        let Some(cache) = self.serve.result_cache.as_ref() else {
+            return;
+        };
+        let mut c = cache.lock().expect("result cache lock");
+        if self.config.seller_strategy.adapts()
+            && plan.purchases.iter().any(|p| p.offer.seller != self.node)
+        {
+            let rels: BTreeSet<RelId> = plan.query.rel_ids().collect();
+            c.invalidate_rels(&rels);
+        }
+        let benefit = iterations as f64 * self.remote_sellers.len().max(1) as f64;
+        c.insert(
+            plan.query.fingerprint(),
+            plan.query.clone(),
+            plan.clone(),
+            benefit,
+        );
     }
 
     /// Open a round for `s`: local seller answers immediately (no network),
@@ -638,6 +753,15 @@ impl SessionManager {
         if let Some(local) = &mut self.local_seller {
             local.forget_session(s);
         }
+        // With the lifecycle off the plan is final here; publish it to the
+        // shared result cache. (With it on, publication waits for the
+        // lifecycle to settle — see `settle_lifecycle` — so a repaired or
+        // invalidated plan is never served to later sessions.)
+        if !self.config.enable_contracts {
+            if let Some(plan) = &sess.engine.best {
+                self.cache_finished_plan(sess.engine.round + 1, plan);
+            }
+        }
         self.completed.push(SessionReport {
             session: s,
             arrived: sess.arrived,
@@ -768,11 +892,17 @@ impl SessionManager {
         }
         let ctl = self.lifecycles.remove(&s).expect("checked above");
         self.contract_stats.accumulate(&ctl.stats);
+        let mut settled_plan = None;
         if let Some(report) = self.completed.iter_mut().find(|r| r.session == s) {
             report.plan = ctl.plan_valid().then(|| ctl.plan.clone());
             report.reawards = ctl.stats.reawards;
             report.rescoped_trades = ctl.stats.rescoped_trades;
             report.repaired = ctl.stats.contracts_repaired > 0;
+            settled_plan = report.plan.clone().map(|p| (report.iterations, p));
+        }
+        // The (possibly repaired) plan is final only now.
+        if let Some((iterations, plan)) = settled_plan {
+            self.cache_finished_plan(iterations, &plan);
         }
     }
 }
@@ -806,6 +936,11 @@ pub struct ServeOutcome {
     pub offer_cache_hits: u64,
     /// RFB items evaluated fresh.
     pub offer_cache_misses: u64,
+    /// Sessions answered from the shared result cache (zero traffic).
+    pub result_cache_hits: u64,
+    /// Sessions that probed the result cache and traded from cold (zero
+    /// when no cache is configured).
+    pub result_cache_misses: u64,
     /// Aggregated contract-lifecycle counters (zeros with the lifecycle off).
     pub contracts: ContractStats,
 }
@@ -876,6 +1011,8 @@ pub fn run_qt_serve_with_faults(
         unreachable: BTreeSet::new(),
         lifecycles: BTreeMap::new(),
         contract_stats: ContractStats::default(),
+        result_cache_hits: 0,
+        result_cache_misses: 0,
     };
     let mut sim: Simulator<ServeMsg, ServeNode> = Simulator::new(Topology::Uniform(config.link));
     if let Some(plan) = faults {
@@ -997,6 +1134,8 @@ fn finish_serve_outcome(
         seller_effort,
         offer_cache_hits: metrics.offer_cache_hits,
         offer_cache_misses: metrics.offer_cache_misses,
+        result_cache_hits: m.result_cache_hits,
+        result_cache_misses: m.result_cache_misses,
         contracts,
         makespan,
         reports,
@@ -1052,6 +1191,8 @@ pub fn run_qt_serve_real(
         unreachable: BTreeSet::new(),
         lifecycles: BTreeMap::new(),
         contract_stats: ContractStats::default(),
+        result_cache_hits: 0,
+        result_cache_misses: 0,
     };
     let mut rt: qt_net::RealRuntime<ServeMsg, ServeNode> = qt_net::RealRuntime::new(real);
     rt.add_node(buyer_node, ServeNode::Buyer(Box::new(manager)));
@@ -1188,6 +1329,7 @@ mod tests {
             &ServeConfig {
                 concurrency: 4,
                 batch_rfbs: true,
+                result_cache: None,
             },
         );
         for (a, b) in seq.reports.iter().zip(&conc.reports) {
@@ -1207,10 +1349,12 @@ mod tests {
         let conc = ServeConfig {
             concurrency: 8,
             batch_rfbs: true,
+            result_cache: None,
         };
         let unbatched = ServeConfig {
             concurrency: 8,
             batch_rfbs: false,
+            result_cache: None,
         };
         let a = run(&fed, 12, &conc);
         let b = run(&fed, 12, &unbatched);
@@ -1236,6 +1380,7 @@ mod tests {
             &ServeConfig {
                 concurrency: 8,
                 batch_rfbs: true,
+                result_cache: None,
             },
         );
         assert!(
@@ -1265,6 +1410,7 @@ mod tests {
             &ServeConfig {
                 concurrency: 2,
                 batch_rfbs: true,
+                result_cache: None,
             },
         );
         assert_eq!(out.reports.len(), 6);

@@ -237,6 +237,7 @@ fn serving_layer_matches_sim_on_threads_and_tcp() {
         let serve_cfg = ServeConfig {
             concurrency: 4,
             batch_rfbs: true,
+            result_cache: None,
         };
         let fed = build_federation(&spec(8, seed));
         let stream = burst_arrivals(&fed, 6, seed);

@@ -85,6 +85,7 @@ fn serve(
         &ServeConfig {
             concurrency,
             batch_rfbs: batch,
+            result_cache: None,
         },
     )
 }

@@ -40,8 +40,9 @@ pub struct ViewMatch {
     pub residual_predicates: Vec<Predicate>,
     /// Whether the query needs re-aggregation of the view's (finer) groups.
     pub needs_reaggregation: bool,
-    /// `true` when the view rows are exactly the query's answer (no residual
-    /// work beyond projection).
+    /// `true` when the view rows are exactly the query's answer — same
+    /// output list and row order, no residual work at all. Consumers may
+    /// reuse the rows verbatim; anything less needs a compensation step.
     pub exact: bool,
 }
 
@@ -114,7 +115,14 @@ pub fn match_view(view: &Query, query: &Query) -> Option<ViewMatch> {
         if !needed.is_subset(&view_cols) {
             return None;
         }
-        let exact = residual.is_empty() && !query.is_aggregate();
+        // `exact` promises the view rows *are* the answer, so beyond residual
+        // emptiness it needs the same output list (width and order) and the
+        // same row order — a reordered/narrowed projection or a differing
+        // ORDER BY is still a match, just not an exact one.
+        let exact = residual.is_empty()
+            && !query.is_aggregate()
+            && view.select == query.select
+            && view.order_by == query.order_by;
         return Some(ViewMatch {
             residual_predicates: residual,
             needs_reaggregation: query.is_aggregate(),
@@ -131,17 +139,24 @@ pub fn match_view(view: &Query, query: &Query) -> Option<ViewMatch> {
     {
         return None;
     }
-    // Query group-by must be a subset of the view's (coarser grouping).
+    // Query group-by must be a subset of the view's (coarser grouping), and
+    // every group key must actually be *output* by the view — grouping on a
+    // column the view grouped by but projected away is impossible.
     let view_groups: BTreeSet<Col> = view.group_by.iter().copied().collect();
-    if !query.group_by.iter().all(|c| view_groups.contains(c)) {
+    if !query
+        .group_by
+        .iter()
+        .all(|c| view_groups.contains(c) && view.select.contains(&SelectItem::Col(*c)))
+    {
         return None;
     }
     // Every query aggregate must be present in the view and decomposable;
-    // plain query outputs must be view group-by keys.
+    // plain query outputs must be view group-by keys present in the view's
+    // own output (group-key membership alone doesn't put them in the rows).
     for item in &query.select {
         match item {
             SelectItem::Col(c) => {
-                if !view_groups.contains(c) {
+                if !view_groups.contains(c) || !view.select.contains(&SelectItem::Col(*c)) {
                     return None;
                 }
             }
@@ -158,11 +173,15 @@ pub fn match_view(view: &Query, query: &Query) -> Option<ViewMatch> {
             }
         }
     }
-    let exact = view.group_by.len() == query.group_by.len();
+    // Same grouping cardinality ⇒ identical groups (query keys ⊆ view keys
+    // with equal counts), so no re-aggregation; but rows are only *exactly*
+    // the answer when the output lists agree too (aggregate queries carry no
+    // ORDER BY, so the select list is the whole story).
+    let same_groups = view.group_by.len() == query.group_by.len();
     Some(ViewMatch {
         residual_predicates: Vec::new(),
-        needs_reaggregation: !exact,
-        exact,
+        needs_reaggregation: !same_groups,
+        exact: same_groups && view.select == query.select,
     })
 }
 
@@ -329,6 +348,91 @@ mod tests {
         let query =
             Query::over_full(&d, [cust()]).with_select(vec![SelectItem::Col(Col::new(cust(), 1))]);
         assert!(match_view(&view, &query).is_none());
+    }
+
+    #[test]
+    fn projected_away_group_key_is_rejected() {
+        // View groups by (office, custname) but outputs only (office, SUM):
+        // a query selecting custname cannot be answered — custname is not in
+        // the view's rows even though it is among its group keys.
+        let d = dict();
+        let sum = SelectItem::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Col::new(inv(), 3)),
+        };
+        let view = Query::over_full(&d, [cust(), inv()])
+            .with_predicates(vec![join_pred()])
+            .with_select(vec![SelectItem::Col(Col::new(cust(), 2)), sum])
+            .with_group_by(vec![Col::new(cust(), 2), Col::new(cust(), 1)]);
+        let query = Query::over_full(&d, [cust(), inv()])
+            .with_predicates(vec![join_pred()])
+            .with_select(vec![SelectItem::Col(Col::new(cust(), 1)), sum])
+            .with_group_by(vec![Col::new(cust(), 1)]);
+        assert!(match_view(&view, &query).is_none());
+        // Same hole through GROUP BY: grouping by the projected-away key is
+        // equally impossible even when the output columns are available.
+        let query = Query::over_full(&d, [cust(), inv()])
+            .with_predicates(vec![join_pred()])
+            .with_select(vec![SelectItem::Col(Col::new(cust(), 2)), sum])
+            .with_group_by(vec![Col::new(cust(), 2), Col::new(cust(), 1)]);
+        assert!(match_view(&view, &query).is_none());
+    }
+
+    #[test]
+    fn differing_order_by_is_a_match_but_not_exact() {
+        let d = dict();
+        let sel = vec![SelectItem::Col(Col::new(cust(), 1))];
+        let view = Query::over_full(&d, [cust()]).with_select(sel.clone());
+        let query = Query::over_full(&d, [cust()])
+            .with_select(sel)
+            .with_order_by(vec![Col::new(cust(), 1)]);
+        let m = match_view(&view, &query).unwrap();
+        assert!(!m.exact, "unordered view rows are not the ordered answer");
+        assert!(m.residual_predicates.is_empty());
+        // And the reverse: an ordered view answering an unordered query is a
+        // valid (order-insensitive) match but not certified row-exact.
+        let m = match_view(&query, &view.clone()).unwrap();
+        assert!(!m.exact);
+    }
+
+    #[test]
+    fn reordered_projection_is_not_exact() {
+        let d = dict();
+        let view = Query::over_full(&d, [cust()]).with_select(vec![
+            SelectItem::Col(Col::new(cust(), 1)),
+            SelectItem::Col(Col::new(cust(), 2)),
+        ]);
+        let query = Query::over_full(&d, [cust()]).with_select(vec![
+            SelectItem::Col(Col::new(cust(), 2)),
+            SelectItem::Col(Col::new(cust(), 1)),
+        ]);
+        let m = match_view(&view, &query).unwrap();
+        assert!(!m.exact, "column order differs; rows are not verbatim");
+        assert!(!m.needs_reaggregation);
+    }
+
+    #[test]
+    fn same_groups_different_select_matches_without_reaggregation() {
+        let d = dict();
+        let sum = SelectItem::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Col::new(inv(), 3)),
+        };
+        let cnt = SelectItem::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        };
+        let view = Query::over_full(&d, [cust(), inv()])
+            .with_predicates(vec![join_pred()])
+            .with_select(vec![SelectItem::Col(Col::new(cust(), 2)), sum, cnt])
+            .with_group_by(vec![Col::new(cust(), 2)]);
+        let query = Query::over_full(&d, [cust(), inv()])
+            .with_predicates(vec![join_pred()])
+            .with_select(vec![SelectItem::Col(Col::new(cust(), 2)), sum])
+            .with_group_by(vec![Col::new(cust(), 2)]);
+        let m = match_view(&view, &query).unwrap();
+        assert!(!m.needs_reaggregation, "identical groups need no re-agg");
+        assert!(!m.exact, "narrower projection is compensation work");
     }
 
     #[test]

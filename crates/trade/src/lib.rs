@@ -9,18 +9,23 @@
 //!
 //! QT reuses this machinery unchanged for the *nested* winner-selection
 //! negotiation of each iteration (steps B3/S3); what QT changes is only that
-//! the negotiated item set differs per iteration. Hence this crate knows
-//! nothing about queries — it negotiates abstract items whose buyer-side
-//! scores and seller-side costs are already known.
+//! the negotiated item set differs per iteration. The negotiation machinery
+//! itself knows nothing about queries — it trades abstract items whose
+//! buyer-side scores and seller-side costs are already known. The one
+//! query-aware piece here is [`semcache`], the federation-wide semantic
+//! cache both trading layers share (it lives here so seller and serving
+//! integrations reuse one index structure).
 
 pub mod contract;
 pub mod offer;
 pub mod protocol;
+pub mod semcache;
 pub mod strategy;
 pub mod wire;
 
 pub use contract::{ContractId, ContractState};
 pub use offer::{Bid, NegotiationOutcome};
 pub use protocol::{ProtocolKind, SessionId, MAX_ENGLISH_ROUNDS};
+pub use semcache::{CacheStats, Probe, ProbeOutcome, SemCache, SemEntry};
 pub use strategy::{BuyerValueBook, SellerStrategy};
 pub use wire::{Wire, WireError};

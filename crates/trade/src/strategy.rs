@@ -52,6 +52,13 @@ impl SellerStrategy {
         }
     }
 
+    /// Whether trade outcomes move this strategy's asks — if so, prices
+    /// cached before an award may be stale after it (cache-invalidation
+    /// consumers key off this).
+    pub fn adapts(&self) -> bool {
+        matches!(self, SellerStrategy::Markup { adaptive: true, .. })
+    }
+
     /// The asking properties announced for a true-cost estimate.
     pub fn ask_for(&self, true_cost: &AnswerProperties) -> AnswerProperties {
         match self {

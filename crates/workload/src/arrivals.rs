@@ -135,6 +135,58 @@ pub fn telecom_mix(dict: &SchemaDict) -> Vec<Query> {
     .collect()
 }
 
+/// A template-heavy telecom mix for the semantic-cache experiments: one
+/// wide join template (the subsumer) followed by `variants` narrower
+/// variations of it — shifted selection constants, dropped columns, an
+/// ordered listing, and per-office/per-customer rollups — every one of
+/// which the §3.5 matcher can answer from the wide template's result with
+/// a residual filter/project/re-aggregation. Under a Zipf arrival skew the
+/// wide head query is traded early and the tail variants become semantic
+/// cache hits; an exact-fingerprint cache only ever hits on repeats.
+pub fn template_mix(dict: &SchemaDict, variants: usize, seed: u64) -> Vec<Query> {
+    const WIDE: &str = "SELECT custname, office, charge FROM customer, invoiceline \
+                        WHERE customer.custid = invoiceline.custid";
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sqls = vec![WIDE.to_string()];
+    for i in 0..variants {
+        // Every variant shifts the selection constant, so (collisions
+        // aside) each has a distinct fingerprint: what an exact cache sees
+        // as always-cold traffic, the matcher answers with a residual
+        // filter (plus project / sort / re-aggregation, by arm). Constants
+        // vary only on `charge` — the one predicate column the template's
+        // select list exposes for residual evaluation.
+        let floor = rng.random_range(5.0..195.0);
+        sqls.push(match i % 4 {
+            // Residual filter + narrower projection.
+            0 => format!(
+                "SELECT custname, charge FROM customer, invoiceline \
+                 WHERE customer.custid = invoiceline.custid AND charge > {floor:.4}"
+            ),
+            // Residual filter + re-ordered narrower output.
+            1 => format!(
+                "SELECT custname, office FROM customer, invoiceline \
+                 WHERE customer.custid = invoiceline.custid AND charge > {floor:.4} \
+                 ORDER BY custname"
+            ),
+            // Per-office rollup: filter + aggregation of template rows.
+            2 => format!(
+                "SELECT office, SUM(charge) FROM customer, invoiceline \
+                 WHERE customer.custid = invoiceline.custid AND charge > {floor:.4} \
+                 GROUP BY office"
+            ),
+            // Per-customer rollup with a shifted floor.
+            _ => format!(
+                "SELECT custname, SUM(charge) FROM customer, invoiceline \
+                 WHERE customer.custid = invoiceline.custid AND charge > {floor:.4} \
+                 GROUP BY custname"
+            ),
+        });
+    }
+    sqls.iter()
+        .map(|sql| parse_query(dict, sql).expect("template mix SQL parses"))
+        .collect()
+}
+
 /// The TPC-H-flavoured analytical queries against a
 /// [`tpch_federation`](crate::tpch_federation) dictionary.
 pub fn tpch_mix(dict: &SchemaDict) -> Vec<Query> {
@@ -258,5 +310,22 @@ mod tests {
         assert_eq!(telecom_mix(&cat.dict).len(), 3);
         let (cat, _, _) = crate::tpch_federation(&crate::TpchSpec::default());
         assert_eq!(tpch_mix(&cat.dict).len(), 3);
+    }
+
+    #[test]
+    fn template_mix_variants_are_subsumed_by_the_head() {
+        let (cat, _) = crate::telecom_federation(&crate::TelecomSpec::default());
+        let mix = template_mix(&cat.dict, 8, 11);
+        assert_eq!(mix.len(), 9);
+        let wide = &mix[0];
+        for (i, q) in mix.iter().enumerate().skip(1) {
+            assert!(
+                qt_query::views::match_view(wide, q).is_some(),
+                "variant {i} is not answerable from the wide template"
+            );
+        }
+        // Seed-deterministic.
+        let again = template_mix(&cat.dict, 8, 11);
+        assert_eq!(mix, again);
     }
 }

@@ -16,7 +16,8 @@ pub mod telecom;
 pub mod tpch;
 
 pub use arrivals::{
-    gen_arrivals, gen_arrivals_zipf, synthetic_mix, telecom_mix, tpch_mix, ArrivalSpec,
+    gen_arrivals, gen_arrivals_zipf, synthetic_mix, telecom_mix, template_mix, tpch_mix,
+    ArrivalSpec,
 };
 pub use federation::{build_federation, row_stream, Federation, FederationSpec, RowStream};
 pub use queries::{gen_join_query, gen_join_query_with_cut, QueryShape};
